@@ -1,0 +1,24 @@
+//! Times the bootstrap-diversity ablation and prints its summary once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmd_bench::{ablations, ExperimentScale};
+
+fn bench_ablation_diversity(c: &mut Criterion) {
+    let diversity = ablations::bootstrap_diversity(ExperimentScale::Smoke, 2021);
+    println!(
+        "\nbootstrap separation {:.1} pp, no-bootstrap separation {:.1} pp, gain {:.1} pp\n",
+        diversity.with_bootstrap.separation(),
+        diversity.without_bootstrap.separation(),
+        diversity.separation_gain()
+    );
+    c.bench_function("ablation_bootstrap_diversity", |b| {
+        b.iter(|| ablations::bootstrap_diversity(ExperimentScale::Smoke, 2021))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation_diversity
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Times the Platt-confidence vs vote-entropy ablation and prints its summary
+//! once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmd_bench::{ablations, ExperimentScale};
+
+fn bench_ablation_platt(c: &mut Criterion) {
+    let platt = ablations::platt_vs_entropy(ExperimentScale::Smoke, 2021);
+    println!(
+        "\nentropy separation {:.1} pp, Platt-confidence separation {:.1} pp, gain {:.1} pp\n",
+        platt.entropy_curve.separation(),
+        platt.platt_curve.separation(),
+        platt.separation_gain()
+    );
+    c.bench_function("ablation_platt_vs_entropy", |b| {
+        b.iter(|| ablations::platt_vs_entropy(ExperimentScale::Smoke, 2021))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation_platt
+}
+criterion_main!(benches);

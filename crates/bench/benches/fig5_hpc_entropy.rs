@@ -1,0 +1,20 @@
+//! Times the regeneration of Fig. 5 (HPC entropy boxplots) and prints the
+//! data series once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmd_bench::{entropy_boxplots, ExperimentScale};
+
+fn bench_fig5(c: &mut Criterion) {
+    let figure = entropy_boxplots::fig5(ExperimentScale::Smoke, 2021);
+    println!("\n{}", entropy_boxplots::render(&figure));
+    c.bench_function("fig5_hpc_entropy_boxplots", |b| {
+        b.iter(|| entropy_boxplots::fig5(ExperimentScale::Smoke, 2021))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Times the regeneration of Fig. 7a (DVFS rejection curves) and prints the
+//! data series once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmd_bench::{rejection_curves, ExperimentScale};
+
+fn bench_fig7a(c: &mut Criterion) {
+    let figure = rejection_curves::fig7a(ExperimentScale::Smoke, 2021);
+    println!("\n{}", rejection_curves::render(&figure));
+    c.bench_function("fig7a_dvfs_rejection_curves", |b| {
+        b.iter(|| rejection_curves::fig7a(ExperimentScale::Smoke, 2021))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7a
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Times the regeneration of Fig. 7b (accepted-F1 vs threshold) and prints
+//! the data series once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmd_bench::{f1_curves, ExperimentScale};
+
+fn bench_fig7b(c: &mut Criterion) {
+    let figure = f1_curves::fig7b(ExperimentScale::Smoke, 2021);
+    println!("\n{}", f1_curves::render(&figure));
+    c.bench_function("fig7b_f1_vs_threshold", |b| {
+        b.iter(|| f1_curves::fig7b(ExperimentScale::Smoke, 2021))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7b
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Times the regeneration of Fig. 8 (t-SNE latent-space panels) and prints
+//! the overlap summary once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmd_bench::{tsne_overlap, ExperimentScale};
+
+fn bench_fig8(c: &mut Criterion) {
+    let figure = tsne_overlap::fig8(ExperimentScale::Smoke, 2021);
+    println!("\n{}", tsne_overlap::render(&figure));
+    c.bench_function("fig8_tsne_embedding", |b| {
+        b.iter(|| tsne_overlap::fig8(ExperimentScale::Smoke, 2021))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig8
+}
+criterion_main!(benches);

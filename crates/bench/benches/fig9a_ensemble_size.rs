@@ -1,0 +1,22 @@
+//! Times the regeneration of Fig. 9a (average entropy vs ensemble size) and
+//! prints the data series once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmd_bench::{ensemble_size, ExperimentScale};
+
+const SIZES: [usize; 6] = [1, 5, 10, 20, 30, 40];
+
+fn bench_fig9a(c: &mut Criterion) {
+    let figure = ensemble_size::fig9a(ExperimentScale::Smoke, &SIZES, 2021);
+    println!("\n{}", ensemble_size::render(&figure));
+    c.bench_function("fig9a_entropy_vs_ensemble_size", |b| {
+        b.iter(|| ensemble_size::fig9a(ExperimentScale::Smoke, &SIZES, 2021))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig9a
+}
+criterion_main!(benches);

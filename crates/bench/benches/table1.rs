@@ -1,0 +1,19 @@
+//! Times the regeneration of Table I (dataset taxonomy) and prints it once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmd_bench::{table1, ExperimentScale};
+
+fn bench_table1(c: &mut Criterion) {
+    let table = table1::run(ExperimentScale::Smoke, 2021);
+    println!("\n{}", table1::render(&table));
+    c.bench_function("table1_dataset_taxonomy", |b| {
+        b.iter(|| table1::run(ExperimentScale::Smoke, 2021))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Figure 9a: average prediction entropy as a function of the number of base
+//! classifiers in the ensemble (the estimate stabilises beyond ~20).
+
+use crate::pipelines::forest_params;
+use crate::scale::ExperimentScale;
+use hmd_core::trusted::TrustedHmdBuilder;
+use serde::{Deserialize, Serialize};
+
+/// One point of the Fig. 9a curves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleSizePoint {
+    /// Number of base classifiers.
+    pub num_estimators: usize,
+    /// Average entropy over the known test set.
+    pub known_avg_entropy: f64,
+    /// Average entropy over the unknown set.
+    pub unknown_avg_entropy: f64,
+}
+
+/// The Fig. 9a data series (RF ensemble on the DVFS dataset).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleSizeFigure {
+    /// Curve points in ascending ensemble size.
+    pub points: Vec<EnsembleSizePoint>,
+}
+
+impl EnsembleSizeFigure {
+    /// Smallest ensemble size after which the known-data average entropy
+    /// changes by less than `tolerance` between consecutive sweep points
+    /// (the paper reports stabilisation around 20 base classifiers).
+    pub fn stabilisation_size(&self, tolerance: f64) -> Option<usize> {
+        for pair in self.points.windows(2) {
+            let delta = (pair[1].unknown_avg_entropy - pair[0].unknown_avg_entropy).abs();
+            if delta < tolerance {
+                return Some(pair[1].num_estimators);
+            }
+        }
+        None
+    }
+}
+
+/// Regenerates Fig. 9a: a single large RF bagging ensemble is trained once
+/// and truncated to each requested size, exactly like varying sklearn's
+/// `n_estimators`.
+pub fn fig9a(scale: ExperimentScale, sizes: &[usize], seed: u64) -> EnsembleSizeFigure {
+    let split = scale
+        .dvfs_builder()
+        .build_split(seed)
+        .expect("DVFS corpus generation");
+    let max_size = sizes.iter().copied().max().unwrap_or(25).max(1);
+    let hmd = TrustedHmdBuilder::new(forest_params())
+        .with_num_estimators(max_size)
+        .fit(&split.train, seed ^ 0xabcd)
+        .expect("RF ensemble trains on DVFS data");
+
+    // Preprocess once, then reuse the estimator's truncation sweep (the
+    // truncated ensembles must see the same feature space they were trained
+    // on).
+    let estimator = hmd.estimator();
+    let scaled_known = hmd
+        .preprocess_dataset(&split.test_known)
+        .expect("known test set matches the training feature space");
+    let scaled_unknown = hmd
+        .preprocess_dataset(&split.unknown)
+        .expect("unknown set matches the training feature space");
+    let known_curve = estimator.ensemble_size_sweep(&scaled_known, sizes);
+    let unknown_curve = estimator.ensemble_size_sweep(&scaled_unknown, sizes);
+
+    let points = known_curve
+        .into_iter()
+        .zip(unknown_curve)
+        .map(|((size, known_avg), (_, unknown_avg))| EnsembleSizePoint {
+            num_estimators: size,
+            known_avg_entropy: known_avg,
+            unknown_avg_entropy: unknown_avg,
+        })
+        .collect();
+    EnsembleSizeFigure { points }
+}
+
+/// Renders the curve as a text table.
+pub fn render(figure: &EnsembleSizeFigure) -> String {
+    let mut out = String::new();
+    out.push_str("Average entropy vs number of base classifiers (Fig. 9a)\n");
+    out.push_str(&format!(
+        "{:>12} {:>12} {:>14}\n",
+        "n_estimators", "known avg H", "unknown avg H"
+    ));
+    for p in &figure.points {
+        out.push_str(&format!(
+            "{:>12} {:>12.3} {:>14.3}\n",
+            p.num_estimators, p.known_avg_entropy, p.unknown_avg_entropy
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9a_smoke_curve_is_complete_and_stabilises() {
+        let sizes = [1, 5, 10, 20, 30];
+        let figure = fig9a(ExperimentScale::Smoke, &sizes, 3);
+        assert_eq!(figure.points.len(), sizes.len());
+        // Unknown entropy should exceed known entropy once the ensemble is
+        // large enough to express disagreement.
+        let last = figure.points.last().unwrap();
+        assert!(last.unknown_avg_entropy >= last.known_avg_entropy);
+        // A single-model ensemble cannot express any vote disagreement.
+        assert_eq!(figure.points[0].known_avg_entropy, 0.0);
+        assert!(figure.stabilisation_size(0.5).is_some());
+        let text = render(&figure);
+        assert!(text.contains("n_estimators"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Shared model pipelines used by every experiment: the three ensembles the
+//! paper evaluates (Random Forest, Logistic Regression, SVM base classifiers)
+//! trained behind the standard scaling front end.
+
+use crate::scale::ExperimentScale;
+use hmd_core::estimator::UncertainPrediction;
+use hmd_core::trusted::{TrustedHmd, TrustedHmdBuilder};
+use hmd_data::split::KnownUnknownSplit;
+use hmd_ml::forest::RandomForestParams;
+use hmd_ml::logistic::LogisticRegressionParams;
+use hmd_ml::svm::LinearSvmParams;
+use hmd_ml::tree::{DecisionTreeParams, MaxFeatures};
+use hmd_ml::MlError;
+use serde::{Deserialize, Serialize};
+
+/// The base-classifier families evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaseModel {
+    /// Random-forest base classifiers (the paper's best performer).
+    RandomForest,
+    /// Logistic-regression base classifiers.
+    LogisticRegression,
+    /// Linear-SVM base classifiers (poor uncertainty on DVFS, fails to
+    /// converge on HPC).
+    Svm,
+}
+
+impl BaseModel {
+    /// Short display name used in figures ("RF", "LR", "SVM").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            BaseModel::RandomForest => "RF",
+            BaseModel::LogisticRegression => "LR",
+            BaseModel::Svm => "SVM",
+        }
+    }
+
+    /// All base models, in the order the paper lists them.
+    pub fn all() -> [BaseModel; 3] {
+        [
+            BaseModel::RandomForest,
+            BaseModel::LogisticRegression,
+            BaseModel::Svm,
+        ]
+    }
+}
+
+/// Known/unknown prediction sets of one trained ensemble, the raw material of
+/// every figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedEnsemble {
+    /// Which base classifier the ensemble uses.
+    pub model: BaseModel,
+    /// Predictions (with uncertainty) on the known test set.
+    pub known: Vec<UncertainPrediction>,
+    /// Predictions (with uncertainty) on the unknown set.
+    pub unknown: Vec<UncertainPrediction>,
+    /// Ground-truth labels of the known test set.
+    pub known_truth: Vec<hmd_data::Label>,
+    /// Ground-truth labels of the unknown set.
+    pub unknown_truth: Vec<hmd_data::Label>,
+}
+
+/// Trains the requested ensemble on a split and evaluates it on the known
+/// test and unknown sets.
+///
+/// # Errors
+///
+/// Propagates training failures — in particular the SVM convergence failure
+/// on HPC-style data, which the caller is expected to report rather than
+/// panic on (the paper drops SVM from the HPC figures for this reason).
+pub fn evaluate_ensemble(
+    model: BaseModel,
+    split: &KnownUnknownSplit,
+    num_estimators: usize,
+    convergence_check: bool,
+    seed: u64,
+) -> Result<EvaluatedEnsemble, MlError> {
+    let (known, unknown) = match model {
+        BaseModel::RandomForest => {
+            let hmd = TrustedHmdBuilder::new(forest_params())
+                .with_num_estimators(num_estimators)
+                .fit(&split.train, seed)?;
+            predictions(&hmd, split)?
+        }
+        BaseModel::LogisticRegression => {
+            let hmd = TrustedHmdBuilder::new(logistic_params())
+                .with_num_estimators(num_estimators)
+                .fit(&split.train, seed)?;
+            predictions(&hmd, split)?
+        }
+        BaseModel::Svm => {
+            let hmd = TrustedHmdBuilder::new(svm_params(convergence_check))
+                .with_num_estimators(num_estimators)
+                .fit(&split.train, seed)?;
+            predictions(&hmd, split)?
+        }
+    };
+    Ok(EvaluatedEnsemble {
+        model,
+        known,
+        unknown,
+        known_truth: split.test_known.labels().to_vec(),
+        unknown_truth: split.unknown.labels().to_vec(),
+    })
+}
+
+fn predictions<M: hmd_ml::Classifier>(
+    hmd: &TrustedHmd<M>,
+    split: &KnownUnknownSplit,
+) -> Result<(Vec<UncertainPrediction>, Vec<UncertainPrediction>), MlError> {
+    Ok((
+        hmd.predict_dataset(&split.test_known)?,
+        hmd.predict_dataset(&split.unknown)?,
+    ))
+}
+
+/// Random-forest base-classifier parameters used throughout the experiments.
+///
+/// The base forests are deliberately small (3 deep trees): a large forest is
+/// itself an ensemble and averages away the disagreement between bagging
+/// replicates, which weakens the uncertainty signal the paper relies on.
+pub fn forest_params() -> RandomForestParams {
+    RandomForestParams::new()
+        .with_num_trees(3)
+        .with_tree_params(
+            DecisionTreeParams::new()
+                .with_max_depth(14)
+                .with_max_features(MaxFeatures::Sqrt),
+        )
+}
+
+/// Logistic-regression base-classifier parameters used throughout the
+/// experiments.
+pub fn logistic_params() -> LogisticRegressionParams {
+    LogisticRegressionParams::new().with_epochs(200)
+}
+
+/// Linear-SVM base-classifier parameters; the convergence check reproduces
+/// scikit-learn's failure on the bootstrapped HPC dataset.
+pub fn svm_params(convergence_check: bool) -> LinearSvmParams {
+    let params = LinearSvmParams::new().with_epochs(40);
+    if convergence_check {
+        params.with_convergence_check(0.5)
+    } else {
+        params
+    }
+}
+
+/// Builds the DVFS split, trains every requested ensemble and evaluates it.
+/// SVM failures are reported as `Err` entries rather than aborting the run.
+pub fn evaluate_dvfs(
+    scale: ExperimentScale,
+    models: &[BaseModel],
+    seed: u64,
+) -> Vec<(BaseModel, Result<EvaluatedEnsemble, MlError>)> {
+    let split = scale
+        .dvfs_builder()
+        .build_split(seed)
+        .expect("DVFS corpus generation is infallible for valid builders");
+    models
+        .iter()
+        .map(|&m| {
+            (
+                m,
+                evaluate_ensemble(m, &split, scale.num_estimators(), false, seed ^ 0x5eed),
+            )
+        })
+        .collect()
+}
+
+/// Builds the HPC split, trains every requested ensemble and evaluates it.
+/// The SVM ensemble runs with the convergence check enabled, reproducing the
+/// paper's "SVM failed to converge" observation.
+pub fn evaluate_hpc(
+    scale: ExperimentScale,
+    models: &[BaseModel],
+    seed: u64,
+) -> Vec<(BaseModel, Result<EvaluatedEnsemble, MlError>)> {
+    let split = scale
+        .hpc_builder()
+        .build_split(seed)
+        .expect("HPC corpus generation is infallible for valid builders");
+    models
+        .iter()
+        .map(|&m| {
+            (
+                m,
+                evaluate_ensemble(m, &split, scale.num_estimators(), true, seed ^ 0x5eed),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_names_match_paper_labels() {
+        assert_eq!(BaseModel::RandomForest.short_name(), "RF");
+        assert_eq!(BaseModel::LogisticRegression.short_name(), "LR");
+        assert_eq!(BaseModel::Svm.short_name(), "SVM");
+        assert_eq!(BaseModel::all().len(), 3);
+    }
+
+    #[test]
+    fn dvfs_smoke_evaluation_produces_predictions_for_rf() {
+        let results = evaluate_dvfs(ExperimentScale::Smoke, &[BaseModel::RandomForest], 1);
+        assert_eq!(results.len(), 1);
+        let (model, result) = &results[0];
+        assert_eq!(*model, BaseModel::RandomForest);
+        let eval = result.as_ref().expect("RF training succeeds");
+        assert!(!eval.known.is_empty());
+        assert!(!eval.unknown.is_empty());
+        assert_eq!(eval.known.len(), eval.known_truth.len());
+    }
+
+    #[test]
+    fn hpc_smoke_evaluation_runs_logistic_regression() {
+        let results = evaluate_hpc(ExperimentScale::Smoke, &[BaseModel::LogisticRegression], 2);
+        let (_, result) = &results[0];
+        let eval = result.as_ref().expect("LR training succeeds");
+        assert_eq!(eval.unknown.len(), eval.unknown_truth.len());
+    }
+}

@@ -1,0 +1,232 @@
+//! Distribution summaries used by the paper's figures: boxplot statistics of
+//! entropy distributions (Figs. 4–5) and latent-space class-overlap scores
+//! (Fig. 8).
+
+use hmd_data::{Label, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary (plus mean) of a set of entropy values — exactly what
+/// a boxplot renders.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EntropySummary {
+    /// Minimum value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of values summarised.
+    pub count: usize,
+}
+
+impl EntropySummary {
+    /// Computes the summary of a set of values.
+    ///
+    /// Returns an all-zero summary for an empty slice.
+    pub fn from_values(values: &[f64]) -> EntropySummary {
+        if values.is_empty() {
+            return EntropySummary {
+                min: 0.0,
+                q1: 0.0,
+                median: 0.0,
+                q3: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                count: 0,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        EntropySummary {
+            min: sorted[0],
+            q1: percentile(&sorted, 0.25),
+            median: percentile(&sorted, 0.5),
+            q3: percentile(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+            mean,
+            count: sorted.len(),
+        }
+    }
+
+    /// Inter-quartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Linear-interpolation percentile of an already sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lower = rank.floor() as usize;
+    let upper = rank.ceil() as usize;
+    let weight = rank - lower as f64;
+    sorted[lower] * (1.0 - weight) + sorted[upper] * weight
+}
+
+/// The boxplot pair reported for each ensemble in Figs. 4–5: entropy
+/// distribution over the known test set vs. over the unknown set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnownUnknownEntropy {
+    /// Summary of entropies on known (in-distribution) data.
+    pub known: EntropySummary,
+    /// Summary of entropies on unknown (out-of-distribution) data.
+    pub unknown: EntropySummary,
+}
+
+impl KnownUnknownEntropy {
+    /// Builds the pair from raw entropy values.
+    pub fn new(known_entropies: &[f64], unknown_entropies: &[f64]) -> KnownUnknownEntropy {
+        KnownUnknownEntropy {
+            known: EntropySummary::from_values(known_entropies),
+            unknown: EntropySummary::from_values(unknown_entropies),
+        }
+    }
+
+    /// Difference between the unknown and known median entropies. Large
+    /// positive gaps reproduce the paper's DVFS finding (unknowns are
+    /// detectable); gaps near zero reproduce the HPC finding.
+    pub fn median_gap(&self) -> f64 {
+        self.unknown.median - self.known.median
+    }
+}
+
+/// Degree of overlap between the benign and malware classes of an embedded
+/// (e.g. t-SNE) dataset, measured as the fraction of samples whose nearest
+/// neighbour (other than itself) belongs to the *other* class.
+///
+/// Values near 0 indicate cleanly separated classes (DVFS, Fig. 8a); values
+/// approaching 0.5 indicate heavy overlap (HPC, Fig. 8b).
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the number of embedded rows.
+pub fn class_overlap_score(embedding: &Matrix, labels: &[Label]) -> f64 {
+    assert_eq!(
+        embedding.rows(),
+        labels.len(),
+        "labels must align with the embedding"
+    );
+    let n = embedding.rows();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut cross_class_neighbours = 0usize;
+    for i in 0..n {
+        let mut best = f64::INFINITY;
+        let mut best_j = i;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d: f64 = embedding
+                .row(i)
+                .iter()
+                .zip(embedding.row(j))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if d < best {
+                best = d;
+                best_j = j;
+            }
+        }
+        if labels[i] != labels[best_j] {
+            cross_class_neighbours += 1;
+        }
+    }
+    cross_class_neighbours as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = EntropySummary::from_values(&values);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn summary_handles_degenerate_inputs() {
+        let empty = EntropySummary::from_values(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max, 0.0);
+        let single = EntropySummary::from_values(&[0.7]);
+        assert_eq!(single.median, 0.7);
+        assert_eq!(single.q1, 0.7);
+    }
+
+    #[test]
+    fn summary_is_order_invariant() {
+        let a = EntropySummary::from_values(&[0.3, 0.9, 0.1, 0.5]);
+        let b = EntropySummary::from_values(&[0.9, 0.1, 0.5, 0.3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn median_gap_reflects_separation() {
+        let pair = KnownUnknownEntropy::new(&[0.1, 0.2, 0.15], &[0.8, 0.9, 0.85]);
+        assert!(pair.median_gap() > 0.6);
+        let flat = KnownUnknownEntropy::new(&[0.5, 0.6], &[0.55, 0.62]);
+        assert!(flat.median_gap().abs() < 0.1);
+    }
+
+    #[test]
+    fn overlap_score_detects_separated_and_mixed_classes() {
+        // Separated: benign near origin, malware far away.
+        let separated = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+        ])
+        .unwrap();
+        let labels = [Label::Benign, Label::Benign, Label::Malware, Label::Malware];
+        assert_eq!(class_overlap_score(&separated, &labels), 0.0);
+
+        // Interleaved: nearest neighbour is always the other class.
+        let mixed = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.2, 0.0],
+            vec![0.3, 0.0],
+        ])
+        .unwrap();
+        let labels = [Label::Benign, Label::Malware, Label::Benign, Label::Malware];
+        assert_eq!(class_overlap_score(&mixed, &labels), 1.0);
+    }
+
+    #[test]
+    fn overlap_score_of_tiny_inputs_is_zero() {
+        let single = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert_eq!(class_overlap_score(&single, &[Label::Benign]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn overlap_score_checks_label_count() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let _ = class_overlap_score(&m, &[Label::Benign]);
+    }
+}

@@ -1,0 +1,222 @@
+//! The ensemble-based uncertainty estimator (Section III of the paper).
+
+use crate::entropy::vote_entropy;
+use hmd_data::{Dataset, Label};
+use hmd_ml::bagging::BaggingEnsemble;
+use hmd_ml::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// A prediction augmented with its predictive uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UncertainPrediction {
+    /// Majority-vote label of the ensemble.
+    pub label: Label,
+    /// Fraction of base classifiers voting malware (the approximate
+    /// predictive posterior of Eq. 3).
+    pub malware_vote_fraction: f64,
+    /// Shannon entropy (bits) of the vote distribution (Eq. 4) — the paper's
+    /// predictive-uncertainty estimate.
+    pub entropy: f64,
+    /// Number of base classifiers that produced the votes.
+    pub ensemble_size: usize,
+}
+
+impl UncertainPrediction {
+    /// `true` when the prediction's entropy is at or below `threshold`
+    /// (i.e. the prediction would be *accepted* at that threshold).
+    pub fn is_confident(&self, threshold: f64) -> bool {
+        self.entropy <= threshold
+    }
+}
+
+/// The paper's uncertainty estimator: a bagging ensemble whose base-classifier
+/// votes are turned into a frequency distribution, with the dispersion of
+/// that distribution (entropy) reported as the predictive uncertainty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleUncertaintyEstimator<M> {
+    ensemble: BaggingEnsemble<M>,
+}
+
+impl<M: Classifier> EnsembleUncertaintyEstimator<M> {
+    /// Wraps a trained bagging ensemble.
+    pub fn new(ensemble: BaggingEnsemble<M>) -> EnsembleUncertaintyEstimator<M> {
+        EnsembleUncertaintyEstimator { ensemble }
+    }
+
+    /// The wrapped ensemble.
+    pub fn ensemble(&self) -> &BaggingEnsemble<M> {
+        &self.ensemble
+    }
+
+    /// Consumes the estimator and returns the wrapped ensemble.
+    pub fn into_ensemble(self) -> BaggingEnsemble<M> {
+        self.ensemble
+    }
+
+    /// Number of base classifiers.
+    pub fn ensemble_size(&self) -> usize {
+        self.ensemble.num_estimators()
+    }
+
+    /// Predicts one input and quantifies the prediction's uncertainty.
+    pub fn predict_with_uncertainty(&self, features: &[f64]) -> UncertainPrediction {
+        let counts = self.ensemble.vote_counts(features);
+        let total = counts[0] + counts[1];
+        UncertainPrediction {
+            label: Label::from(counts[1] >= counts[0]),
+            malware_vote_fraction: if total == 0 {
+                0.0
+            } else {
+                counts[1] as f64 / total as f64
+            },
+            entropy: vote_entropy(&counts),
+            ensemble_size: total,
+        }
+    }
+
+    /// Predicts every sample of a dataset with uncertainty.
+    pub fn predict_dataset(&self, dataset: &Dataset) -> Vec<UncertainPrediction> {
+        dataset
+            .features()
+            .iter_rows()
+            .map(|row| self.predict_with_uncertainty(row))
+            .collect()
+    }
+
+    /// Entropies of every sample of a dataset (convenience for the boxplot
+    /// figures).
+    pub fn entropies(&self, dataset: &Dataset) -> Vec<f64> {
+        self.predict_dataset(dataset)
+            .into_iter()
+            .map(|p| p.entropy)
+            .collect()
+    }
+
+    /// Average entropy over a dataset as a function of the number of base
+    /// classifiers used (Fig. 9a: the estimate stabilises beyond ~20 base
+    /// classifiers). Returns `(ensemble_size, average_entropy)` pairs for
+    /// every size in `sizes` that does not exceed the ensemble.
+    pub fn ensemble_size_sweep(&self, dataset: &Dataset, sizes: &[usize]) -> Vec<(usize, f64)>
+    where
+        M: Clone,
+    {
+        let mut curve = Vec::new();
+        for &size in sizes {
+            let Some(truncated) = self.ensemble.truncated(size) else {
+                continue;
+            };
+            let sub = EnsembleUncertaintyEstimator::new(truncated);
+            let entropies = sub.entropies(dataset);
+            let mean = if entropies.is_empty() {
+                0.0
+            } else {
+                entropies.iter().sum::<f64>() / entropies.len() as f64
+            };
+            curve.push((size, mean));
+        }
+        curve
+    }
+}
+
+impl<M: Classifier> Classifier for EnsembleUncertaintyEstimator<M> {
+    fn predict_one(&self, features: &[f64]) -> Label {
+        self.predict_with_uncertainty(features).label
+    }
+
+    fn predict_proba_one(&self, features: &[f64]) -> f64 {
+        self.predict_with_uncertainty(features).malware_vote_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_data::Matrix;
+    use hmd_ml::bagging::BaggingParams;
+    use hmd_ml::tree::DecisionTreeParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob_train(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let malware = rng.gen_bool(0.5);
+            let c = if malware { 2.0 } else { -2.0 };
+            rows.push(vec![c + rng.gen_range(-0.5..0.5), c + rng.gen_range(-0.5..0.5)]);
+            labels.push(Label::from(malware));
+        }
+        Dataset::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    fn estimator(seed: u64) -> EnsembleUncertaintyEstimator<hmd_ml::tree::DecisionTree> {
+        let train = blob_train(200, seed);
+        let ensemble = BaggingParams::new(DecisionTreeParams::new().with_max_depth(6))
+            .with_num_estimators(25)
+            .fit(&train, seed)
+            .unwrap();
+        EnsembleUncertaintyEstimator::new(ensemble)
+    }
+
+    #[test]
+    fn in_distribution_predictions_have_low_entropy() {
+        let est = estimator(1);
+        let prediction = est.predict_with_uncertainty(&[2.0, 2.0]);
+        assert_eq!(prediction.label, Label::Malware);
+        assert!(prediction.entropy < 0.3, "entropy {}", prediction.entropy);
+        assert!(prediction.is_confident(0.4));
+        assert_eq!(prediction.ensemble_size, 25);
+    }
+
+    #[test]
+    fn out_of_distribution_predictions_have_higher_entropy() {
+        let est = estimator(2);
+        let known: f64 = est.predict_with_uncertainty(&[-2.0, -2.0]).entropy;
+        // A point straddling the decision boundary far from both blobs.
+        let unknown = est.predict_with_uncertainty(&[0.1, -0.1]).entropy;
+        assert!(
+            unknown > known,
+            "boundary point entropy {unknown} should exceed blob-centre entropy {known}"
+        );
+    }
+
+    #[test]
+    fn entropy_matches_vote_fraction() {
+        let est = estimator(3);
+        let p = est.predict_with_uncertainty(&[0.0, 0.0]);
+        let expected = crate::entropy::binary_entropy(p.malware_vote_fraction);
+        assert!((p.entropy - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_dataset_covers_every_sample() {
+        let est = estimator(4);
+        let test = blob_train(50, 99);
+        let predictions = est.predict_dataset(&test);
+        assert_eq!(predictions.len(), 50);
+        let entropies = est.entropies(&test);
+        assert_eq!(entropies.len(), 50);
+        assert!(entropies.iter().all(|h| (0.0..=1.0 + 1e-9).contains(h)));
+    }
+
+    #[test]
+    fn ensemble_size_sweep_skips_oversized_requests() {
+        let est = estimator(5);
+        let test = blob_train(30, 7);
+        let curve = est.ensemble_size_sweep(&test, &[1, 5, 10, 25, 40]);
+        let sizes: Vec<usize> = curve.iter().map(|(s, _)| *s).collect();
+        assert_eq!(sizes, vec![1, 5, 10, 25]);
+        // single-model "ensembles" have zero vote entropy by construction
+        assert_eq!(curve[0].1, 0.0);
+    }
+
+    #[test]
+    fn classifier_impl_delegates_to_majority_vote() {
+        let est = estimator(6);
+        assert_eq!(est.predict_one(&[2.0, 2.0]), Label::Malware);
+        assert_eq!(est.predict_one(&[-2.0, -2.0]), Label::Benign);
+        let p = est.predict_proba_one(&[2.0, 2.0]);
+        assert!(p > 0.8);
+    }
+}

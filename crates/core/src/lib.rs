@@ -1,0 +1,68 @@
+//! Online ensemble-based uncertainty estimation for trustworthy hardware
+//! malware detectors — the primary contribution of the reproduced paper.
+//!
+//! A conventional ("untrusted") HMD feeds a hardware signature through
+//! feature scaling, optional dimensionality reduction and a black-box
+//! classifier, and always emits a binary benign/malware verdict. The paper
+//! adds an **uncertainty estimator** on top of a bagging ensemble: the
+//! frequency distribution of the base classifiers' votes approximates the
+//! predictive posterior (Eq. 3), and its Shannon entropy (Eq. 4) quantifies
+//! how much the model actually knows about the input. Predictions whose
+//! entropy exceeds a threshold are *rejected* instead of trusted.
+//!
+//! The crate provides:
+//!
+//! * [`entropy`] — entropy of vote distributions,
+//! * [`estimator::EnsembleUncertaintyEstimator`] — the uncertainty estimator
+//!   wrapped around any [`hmd_ml::bagging::BaggingEnsemble`],
+//! * [`rejection`] — rejection policies, threshold sweeps (Fig. 7a/9b) and
+//!   accepted-F1 curves (Fig. 7b),
+//! * [`analysis`] — entropy-distribution summaries (the boxplots of
+//!   Figs. 4–5) and latent-space overlap scores (Fig. 8),
+//! * [`trusted`] — the end-to-end [`trusted::TrustedHmd`] pipeline and its
+//!   [`trusted::UntrustedHmd`] baseline,
+//! * [`platt_baseline`] — the Platt-scaling confidence baseline the paper
+//!   argues against.
+//!
+//! # Example
+//!
+//! ```
+//! use hmd_core::estimator::EnsembleUncertaintyEstimator;
+//! use hmd_data::{Dataset, Label, Matrix};
+//! use hmd_ml::bagging::BaggingParams;
+//! use hmd_ml::tree::DecisionTreeParams;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let x = Matrix::from_rows(&[
+//!     vec![0.1, 0.1], vec![0.2, 0.3], vec![0.9, 0.8], vec![0.8, 0.9],
+//! ])?;
+//! let y = vec![Label::Benign, Label::Benign, Label::Malware, Label::Malware];
+//! let train = Dataset::new(x, y)?;
+//! let ensemble = BaggingParams::new(DecisionTreeParams::new())
+//!     .with_num_estimators(15)
+//!     .fit(&train, 7)?;
+//! let estimator = EnsembleUncertaintyEstimator::new(ensemble);
+//!
+//! // In-distribution input: confident (low entropy).
+//! let confident = estimator.predict_with_uncertainty(&[0.15, 0.2]);
+//! // Far-away input: the base classifiers disagree more.
+//! let uncertain = estimator.predict_with_uncertainty(&[0.5, 0.55]);
+//! assert!(confident.entropy <= uncertain.entropy + 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod entropy;
+pub mod estimator;
+pub mod platt_baseline;
+pub mod rejection;
+pub mod trusted;
+
+pub use analysis::EntropySummary;
+pub use estimator::{EnsembleUncertaintyEstimator, UncertainPrediction};
+pub use rejection::{F1Curve, RejectionCurve, RejectionPolicy};
+pub use trusted::{TrustedHmd, TrustedHmdBuilder, UntrustedHmd};

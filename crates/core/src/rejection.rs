@@ -1,0 +1,314 @@
+//! Rejection policies and threshold sweeps.
+//!
+//! The paper's operating principle: if the entropy of a prediction exceeds a
+//! threshold, the HMD rejects the decision and escalates the input (forensic
+//! collection, human analyst) instead of trusting the label. This module
+//! provides the threshold sweeps behind Fig. 7a / Fig. 9b (fraction of
+//! known/unknown inputs rejected vs. threshold) and Fig. 7b (F1 of the
+//! accepted predictions vs. threshold).
+
+use crate::estimator::UncertainPrediction;
+use hmd_data::Label;
+use hmd_ml::metrics::ClassificationReport;
+use serde::{Deserialize, Serialize};
+
+/// A fixed entropy threshold above which predictions are rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RejectionPolicy {
+    /// Maximum entropy (bits) of an accepted prediction.
+    pub entropy_threshold: f64,
+}
+
+impl RejectionPolicy {
+    /// Creates a policy with the given threshold.
+    pub fn new(entropy_threshold: f64) -> RejectionPolicy {
+        RejectionPolicy { entropy_threshold }
+    }
+
+    /// `true` when the prediction should be rejected under this policy.
+    pub fn rejects(&self, prediction: &UncertainPrediction) -> bool {
+        prediction.entropy > self.entropy_threshold
+    }
+
+    /// Fraction of predictions rejected under this policy.
+    pub fn rejection_rate(&self, predictions: &[UncertainPrediction]) -> f64 {
+        if predictions.is_empty() {
+            return 0.0;
+        }
+        predictions.iter().filter(|p| self.rejects(p)).count() as f64 / predictions.len() as f64
+    }
+}
+
+/// One point of a rejection curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RejectionPoint {
+    /// Entropy threshold.
+    pub threshold: f64,
+    /// Percentage (0–100) of known (in-distribution) inputs rejected.
+    pub known_rejected_pct: f64,
+    /// Percentage (0–100) of unknown (out-of-distribution) inputs rejected.
+    pub unknown_rejected_pct: f64,
+}
+
+/// Rejected-inputs-vs-threshold curve (Fig. 7a for DVFS, Fig. 9b for HPC).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RejectionCurve {
+    /// Name of the classifier/ensemble the curve belongs to (e.g. "RF").
+    pub model_name: String,
+    /// Curve points in ascending threshold order.
+    pub points: Vec<RejectionPoint>,
+}
+
+impl RejectionCurve {
+    /// Sweeps thresholds over predictions made on the known test set and the
+    /// unknown set.
+    pub fn sweep(
+        model_name: impl Into<String>,
+        known: &[UncertainPrediction],
+        unknown: &[UncertainPrediction],
+        thresholds: &[f64],
+    ) -> RejectionCurve {
+        let points = thresholds
+            .iter()
+            .map(|&threshold| {
+                let policy = RejectionPolicy::new(threshold);
+                RejectionPoint {
+                    threshold,
+                    known_rejected_pct: 100.0 * policy.rejection_rate(known),
+                    unknown_rejected_pct: 100.0 * policy.rejection_rate(unknown),
+                }
+            })
+            .collect();
+        RejectionCurve {
+            model_name: model_name.into(),
+            points,
+        }
+    }
+
+    /// The paper's headline operating point: the smallest threshold that
+    /// rejects at most `max_known_rejection_pct` of the known inputs, together
+    /// with the unknown-rejection percentage achieved there.
+    pub fn operating_point(&self, max_known_rejection_pct: f64) -> Option<RejectionPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.known_rejected_pct <= max_known_rejection_pct)
+            .min_by(|a, b| {
+                a.threshold
+                    .partial_cmp(&b.threshold)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .copied()
+    }
+
+    /// Area between the unknown- and known-rejection curves (in percentage
+    /// points, averaged over thresholds). Positive values mean the estimator
+    /// separates unknown from known inputs; values near zero reproduce the
+    /// paper's HPC finding that the two populations cannot be told apart.
+    pub fn separation(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points
+            .iter()
+            .map(|p| p.unknown_rejected_pct - p.known_rejected_pct)
+            .sum::<f64>()
+            / self.points.len() as f64
+    }
+}
+
+/// One point of an accepted-F1 curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct F1Point {
+    /// Entropy threshold.
+    pub threshold: f64,
+    /// F1 score computed over the accepted predictions only.
+    pub f1: f64,
+    /// Precision over the accepted predictions.
+    pub precision: f64,
+    /// Recall over the accepted predictions.
+    pub recall: f64,
+    /// Fraction of predictions accepted at this threshold.
+    pub accepted_fraction: f64,
+}
+
+/// F1-of-accepted-predictions vs. threshold curve (Fig. 7b).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct F1Curve {
+    /// Name of the dataset/model combination (e.g. "RF-DVFS").
+    pub name: String,
+    /// Curve points in ascending threshold order.
+    pub points: Vec<F1Point>,
+}
+
+impl F1Curve {
+    /// Sweeps thresholds over predictions with ground-truth labels; at every
+    /// threshold the classification metrics are computed over the accepted
+    /// predictions only (rejected ones are escalated, not scored).
+    ///
+    /// Thresholds that accept nothing produce an [`F1Point`] with zero scores.
+    pub fn sweep(
+        name: impl Into<String>,
+        predictions: &[UncertainPrediction],
+        truth: &[Label],
+        thresholds: &[f64],
+    ) -> F1Curve {
+        assert_eq!(
+            predictions.len(),
+            truth.len(),
+            "predictions and ground truth must align"
+        );
+        let points = thresholds
+            .iter()
+            .map(|&threshold| {
+                let policy = RejectionPolicy::new(threshold);
+                let mut accepted_truth = Vec::new();
+                let mut accepted_pred = Vec::new();
+                for (p, &t) in predictions.iter().zip(truth) {
+                    if !policy.rejects(p) {
+                        accepted_truth.push(t);
+                        accepted_pred.push(p.label);
+                    }
+                }
+                if accepted_truth.is_empty() {
+                    F1Point {
+                        threshold,
+                        f1: 0.0,
+                        precision: 0.0,
+                        recall: 0.0,
+                        accepted_fraction: 0.0,
+                    }
+                } else {
+                    let report =
+                        ClassificationReport::from_predictions(&accepted_truth, &accepted_pred);
+                    F1Point {
+                        threshold,
+                        f1: report.f1,
+                        precision: report.precision,
+                        recall: report.recall,
+                        accepted_fraction: accepted_truth.len() as f64 / predictions.len() as f64,
+                    }
+                }
+            })
+            .collect();
+        F1Curve {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// The best F1 achieved anywhere on the curve.
+    pub fn best_f1(&self) -> f64 {
+        self.points.iter().map(|p| p.f1).fold(0.0, f64::max)
+    }
+}
+
+/// Evenly spaced thresholds from `start` to `end` inclusive, with `step`
+/// spacing (the tick spacing used by the paper's figures is 0.05).
+pub fn threshold_grid(start: f64, end: f64, step: f64) -> Vec<f64> {
+    assert!(step > 0.0, "threshold step must be positive");
+    let mut thresholds = Vec::new();
+    let mut t = start;
+    while t <= end + 1e-9 {
+        thresholds.push((t * 1e9).round() / 1e9);
+        t += step;
+    }
+    thresholds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prediction(label: Label, entropy: f64) -> UncertainPrediction {
+        UncertainPrediction {
+            label,
+            malware_vote_fraction: if label.is_malware() { 0.9 } else { 0.1 },
+            entropy,
+            ensemble_size: 25,
+        }
+    }
+
+    #[test]
+    fn policy_rejects_above_threshold_only() {
+        let policy = RejectionPolicy::new(0.4);
+        assert!(!policy.rejects(&prediction(Label::Benign, 0.4)));
+        assert!(policy.rejects(&prediction(Label::Benign, 0.41)));
+        assert_eq!(policy.rejection_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn rejection_curve_is_monotone_non_increasing_in_threshold() {
+        let known: Vec<UncertainPrediction> = (0..50)
+            .map(|i| prediction(Label::Benign, i as f64 / 100.0))
+            .collect();
+        let unknown: Vec<UncertainPrediction> = (0..50)
+            .map(|i| prediction(Label::Malware, 0.5 + i as f64 / 100.0))
+            .collect();
+        let curve = RejectionCurve::sweep("RF", &known, &unknown, &threshold_grid(0.0, 1.0, 0.05));
+        for pair in curve.points.windows(2) {
+            assert!(pair[1].known_rejected_pct <= pair[0].known_rejected_pct + 1e-9);
+            assert!(pair[1].unknown_rejected_pct <= pair[0].unknown_rejected_pct + 1e-9);
+        }
+        assert!(curve.separation() > 0.0);
+    }
+
+    #[test]
+    fn operating_point_respects_known_budget() {
+        let known: Vec<UncertainPrediction> = (0..100)
+            .map(|i| prediction(Label::Benign, i as f64 / 200.0))
+            .collect();
+        let unknown: Vec<UncertainPrediction> =
+            (0..100).map(|_| prediction(Label::Malware, 0.9)).collect();
+        let curve = RejectionCurve::sweep("RF", &known, &unknown, &threshold_grid(0.0, 1.0, 0.05));
+        let op = curve.operating_point(5.0).expect("feasible point exists");
+        assert!(op.known_rejected_pct <= 5.0);
+        assert!(op.unknown_rejected_pct >= 99.0);
+        // an infeasible budget yields None
+        let strict = RejectionCurve::sweep("RF", &known, &unknown, &[0.0]);
+        assert!(strict.operating_point(-1.0).is_none());
+    }
+
+    #[test]
+    fn f1_curve_improves_when_uncertain_mistakes_are_rejected() {
+        // Confident predictions are correct; uncertain ones are wrong.
+        let mut predictions = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..40 {
+            let malware = i % 2 == 0;
+            predictions.push(prediction(Label::from(malware), 0.1));
+            truth.push(Label::from(malware));
+        }
+        for i in 0..20 {
+            let malware = i % 2 == 0;
+            predictions.push(prediction(Label::from(!malware), 0.9));
+            truth.push(Label::from(malware));
+        }
+        let curve = F1Curve::sweep("RF-DVFS", &predictions, &truth, &[0.2, 1.0]);
+        assert!(curve.points[0].f1 > curve.points[1].f1);
+        assert_eq!(curve.points[0].accepted_fraction, 40.0 / 60.0);
+        assert!((curve.best_f1() - curve.points[0].f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_acceptance_yields_zero_scores() {
+        let predictions = vec![prediction(Label::Malware, 0.9)];
+        let truth = vec![Label::Malware];
+        let curve = F1Curve::sweep("x", &predictions, &truth, &[0.1]);
+        assert_eq!(curve.points[0].f1, 0.0);
+        assert_eq!(curve.points[0].accepted_fraction, 0.0);
+    }
+
+    #[test]
+    fn threshold_grid_includes_endpoints() {
+        let grid = threshold_grid(0.0, 0.75, 0.05);
+        assert_eq!(grid.len(), 16);
+        assert_eq!(grid[0], 0.0);
+        assert!((grid[15] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_truth_length_panics() {
+        let _ = F1Curve::sweep("x", &[prediction(Label::Benign, 0.1)], &[], &[0.5]);
+    }
+}

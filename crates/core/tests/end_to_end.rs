@@ -1,0 +1,171 @@
+//! End-to-end tests of the paper's two headline findings, at reduced scale:
+//!
+//! * DVFS: unknown (zero-day proxy) workloads have clearly higher predictive
+//!   entropy than known workloads and can be rejected without rejecting the
+//!   known test set (epistemic uncertainty → detectable).
+//! * HPC: benign and malware classes overlap, so known and unknown samples
+//!   have similar entropy and rejection cannot separate them (aleatoric
+//!   uncertainty → the dataset cannot yield a trustworthy HMD).
+
+use hmd_core::analysis::KnownUnknownEntropy;
+use hmd_core::rejection::{threshold_grid, F1Curve, RejectionCurve};
+use hmd_core::trusted::TrustedHmdBuilder;
+use hmd_dvfs::dataset::DvfsCorpusBuilder;
+use hmd_hpc::dataset::HpcCorpusBuilder;
+use hmd_ml::tree::{DecisionTreeParams, MaxFeatures};
+
+fn tree_params() -> DecisionTreeParams {
+    DecisionTreeParams::new()
+        .with_max_depth(10)
+        .with_max_features(MaxFeatures::Sqrt)
+}
+
+#[test]
+fn dvfs_unknown_workloads_have_higher_entropy_and_are_rejectable() {
+    let split = DvfsCorpusBuilder::new()
+        .with_samples_per_app(25)
+        .with_trace_len(512)
+        .build_split(11)
+        .expect("corpus generation");
+    let hmd = TrustedHmdBuilder::new(tree_params())
+        .with_num_estimators(25)
+        .fit(&split.train, 3)
+        .expect("training");
+
+    let known = hmd.predict_dataset(&split.test_known).expect("known predictions");
+    let unknown = hmd.predict_dataset(&split.unknown).expect("unknown predictions");
+
+    let known_entropy: Vec<f64> = known.iter().map(|p| p.entropy).collect();
+    let unknown_entropy: Vec<f64> = unknown.iter().map(|p| p.entropy).collect();
+    let pair = KnownUnknownEntropy::new(&known_entropy, &unknown_entropy);
+    assert!(
+        pair.median_gap() > 0.3,
+        "unknown median entropy {:.3} should clearly exceed known median {:.3}",
+        pair.unknown.median,
+        pair.known.median
+    );
+
+    let curve = RejectionCurve::sweep("RF", &known, &unknown, &threshold_grid(0.0, 1.0, 0.05));
+    let op = curve
+        .operating_point(10.0)
+        .expect("an operating point rejecting <=10% of known data exists");
+    assert!(
+        op.unknown_rejected_pct >= 60.0,
+        "at threshold {:.2} only {:.1}% of unknown workloads are rejected",
+        op.threshold,
+        op.unknown_rejected_pct
+    );
+}
+
+#[test]
+fn dvfs_rejection_improves_accepted_f1() {
+    let split = DvfsCorpusBuilder::new()
+        .with_samples_per_app(25)
+        .with_trace_len(512)
+        .build_split(11)
+        .expect("corpus generation");
+    let hmd = TrustedHmdBuilder::new(tree_params())
+        .with_num_estimators(25)
+        .fit(&split.train, 3)
+        .expect("training");
+
+    // Score over known test plus unknown data, as in Fig. 7b: rejecting the
+    // uncertain unknowns should not hurt (and typically helps) the F1 of what
+    // remains.
+    let combined = split.test_known.concat(&split.unknown).expect("same feature space");
+    let predictions = hmd.predict_dataset(&combined).expect("predictions");
+    let curve = F1Curve::sweep(
+        "RF-DVFS",
+        &predictions,
+        combined.labels(),
+        &threshold_grid(0.45, 1.0, 0.05),
+    );
+    let paper_threshold = &curve.points[0];
+    let loosest = &curve.points[curve.points.len() - 1];
+    assert!(
+        paper_threshold.accepted_fraction > 0.3,
+        "threshold 0.40 accepts too little ({:.2})",
+        paper_threshold.accepted_fraction
+    );
+    assert!(
+        paper_threshold.f1 + 1e-9 >= loosest.f1,
+        "accepted-F1 at the paper's threshold ({:.3}) should not be worse than accept-everything ({:.3})",
+        paper_threshold.f1,
+        loosest.f1
+    );
+}
+
+#[test]
+fn hpc_known_and_unknown_entropies_overlap() {
+    let split = HpcCorpusBuilder::new()
+        .with_samples_per_app(25)
+        .build_split(13)
+        .expect("corpus generation");
+    let hmd = TrustedHmdBuilder::new(tree_params())
+        .with_num_estimators(25)
+        .fit(&split.train, 7)
+        .expect("training");
+
+    let known = hmd.predict_dataset(&split.test_known).expect("known predictions");
+    let unknown = hmd.predict_dataset(&split.unknown).expect("unknown predictions");
+
+    let known_entropy: Vec<f64> = known.iter().map(|p| p.entropy).collect();
+    let unknown_entropy: Vec<f64> = unknown.iter().map(|p| p.entropy).collect();
+    let pair = KnownUnknownEntropy::new(&known_entropy, &unknown_entropy);
+
+    // The paper's negative result: the gap between unknown and known entropy
+    // on HPC data is small (both are uncertain), unlike the DVFS case.
+    assert!(
+        pair.median_gap().abs() < 0.35,
+        "HPC known/unknown entropy medians should be close, gap {:.3}",
+        pair.median_gap()
+    );
+    // And the known data itself is substantially uncertain (class overlap):
+    assert!(
+        pair.known.median > 0.05,
+        "known HPC data should show non-trivial data uncertainty, median {:.3}",
+        pair.known.median
+    );
+
+    let curve = RejectionCurve::sweep("RF", &known, &unknown, &threshold_grid(0.0, 1.0, 0.05));
+    // Separation between unknown and known rejection curves stays small
+    // compared to the DVFS case (where it exceeds ~40 percentage points).
+    assert!(
+        curve.separation() < 40.0,
+        "HPC rejection curves should track each other, separation {:.1}",
+        curve.separation()
+    );
+}
+
+#[test]
+fn dvfs_separation_exceeds_hpc_separation() {
+    // The comparative claim at the heart of the paper: the DVFS HMD can tell
+    // unknowns apart via uncertainty, the HPC HMD cannot.
+    let dvfs_split = DvfsCorpusBuilder::new()
+        .with_samples_per_app(10)
+        .with_trace_len(192)
+        .build_split(31)
+        .expect("dvfs corpus");
+    let hpc_split = HpcCorpusBuilder::new()
+        .with_samples_per_app(18)
+        .build_split(32)
+        .expect("hpc corpus");
+
+    let thresholds = threshold_grid(0.0, 1.0, 0.05);
+    let mut separations = Vec::new();
+    for (split, seed) in [(&dvfs_split, 41u64), (&hpc_split, 42u64)] {
+        let hmd = TrustedHmdBuilder::new(tree_params())
+            .with_num_estimators(21)
+            .fit(&split.train, seed)
+            .expect("training");
+        let known = hmd.predict_dataset(&split.test_known).expect("known");
+        let unknown = hmd.predict_dataset(&split.unknown).expect("unknown");
+        separations.push(RejectionCurve::sweep("RF", &known, &unknown, &thresholds).separation());
+    }
+    assert!(
+        separations[0] > separations[1],
+        "DVFS separation {:.1} should exceed HPC separation {:.1}",
+        separations[0],
+        separations[1]
+    );
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the uncertainty framework.
+
+use hmd_core::analysis::EntropySummary;
+use hmd_core::entropy::{binary_entropy, max_entropy, normalized_vote_entropy, vote_entropy};
+use hmd_core::estimator::UncertainPrediction;
+use hmd_core::rejection::{threshold_grid, F1Curve, RejectionCurve};
+use hmd_data::Label;
+use proptest::prelude::*;
+
+fn predictions_strategy(max_len: usize) -> impl Strategy<Value = Vec<UncertainPrediction>> {
+    proptest::collection::vec((proptest::bool::ANY, 0.0f64..=1.0), 1..max_len).prop_map(|items| {
+        items
+            .into_iter()
+            .map(|(malware, entropy)| UncertainPrediction {
+                label: Label::from(malware),
+                malware_vote_fraction: if malware { 0.8 } else { 0.2 },
+                entropy,
+                ensemble_size: 25,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vote_entropy_is_bounded_by_max_entropy(a in 0usize..200, b in 0usize..200) {
+        let h = vote_entropy(&[a, b]);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= max_entropy(2) + 1e-12);
+        // zero iff votes are unanimous (or empty)
+        if a == 0 || b == 0 {
+            prop_assert_eq!(h, 0.0);
+        } else {
+            prop_assert!(h > 0.0);
+        }
+    }
+
+    #[test]
+    fn normalized_entropy_matches_binary_entropy(a in 0usize..100, b in 1usize..100) {
+        let total = (a + b) as f64;
+        let normalized = normalized_vote_entropy(&[a, b]);
+        let direct = binary_entropy(a as f64 / total);
+        prop_assert!((normalized - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_summary_is_ordered(values in proptest::collection::vec(0.0f64..=1.0, 1..100)) {
+        let s = EntropySummary::from_values(&values);
+        prop_assert!(s.min <= s.q1 + 1e-12);
+        prop_assert!(s.q1 <= s.median + 1e-12);
+        prop_assert!(s.median <= s.q3 + 1e-12);
+        prop_assert!(s.q3 <= s.max + 1e-12);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert_eq!(s.count, values.len());
+    }
+
+    #[test]
+    fn rejection_curves_are_monotone_in_threshold(
+        known in predictions_strategy(60),
+        unknown in predictions_strategy(60),
+    ) {
+        let curve = RejectionCurve::sweep("m", &known, &unknown, &threshold_grid(0.0, 1.0, 0.1));
+        for pair in curve.points.windows(2) {
+            prop_assert!(pair[1].known_rejected_pct <= pair[0].known_rejected_pct + 1e-9);
+            prop_assert!(pair[1].unknown_rejected_pct <= pair[0].unknown_rejected_pct + 1e-9);
+        }
+        for p in &curve.points {
+            prop_assert!((0.0..=100.0).contains(&p.known_rejected_pct));
+            prop_assert!((0.0..=100.0).contains(&p.unknown_rejected_pct));
+        }
+    }
+
+    #[test]
+    fn f1_curve_accepted_fraction_grows_with_threshold(preds in predictions_strategy(80)) {
+        let truth: Vec<Label> = preds.iter().map(|p| p.label).collect();
+        let curve = F1Curve::sweep("m", &preds, &truth, &threshold_grid(0.0, 1.0, 0.1));
+        for pair in curve.points.windows(2) {
+            prop_assert!(pair[1].accepted_fraction + 1e-9 >= pair[0].accepted_fraction);
+        }
+        // With perfect agreement between truth and prediction, any non-empty
+        // accepted set has F1 of 1 when malware is present, 0 otherwise.
+        for p in &curve.points {
+            prop_assert!((0.0..=1.0).contains(&p.f1));
+        }
+    }
+
+    #[test]
+    fn threshold_grid_is_sorted_and_within_range(end in 0.1f64..2.0, step in 0.01f64..0.5) {
+        let grid = threshold_grid(0.0, end, step);
+        prop_assert!(!grid.is_empty());
+        prop_assert!(grid.windows(2).all(|w| w[1] > w[0]));
+        prop_assert!(*grid.last().unwrap() <= end + 1e-9);
+    }
+}

@@ -1,0 +1,369 @@
+use crate::{DataError, Label, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of the application (or malware family) a signature was collected
+/// from.
+///
+/// The paper partitions signatures into *known* and *unknown* buckets **by
+/// application**, not by sample, so the provenance of every sample must travel
+/// with the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(pub u32);
+
+impl std::fmt::Display for AppId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "app#{}", self.0)
+    }
+}
+
+/// Per-sample metadata: which application produced the signature and whether
+/// that application belongs to the *known* or *unknown* bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleMeta {
+    /// Application the signature was derived from.
+    pub app: AppId,
+    /// `true` when the application was held out of training entirely
+    /// (the paper's "unknown"/zero-day bucket).
+    pub unknown_app: bool,
+}
+
+impl SampleMeta {
+    /// Metadata for a sample from a known (in-distribution) application.
+    pub fn known(app: AppId) -> SampleMeta {
+        SampleMeta {
+            app,
+            unknown_app: false,
+        }
+    }
+
+    /// Metadata for a sample from an unknown (out-of-distribution) application.
+    pub fn unknown(app: AppId) -> SampleMeta {
+        SampleMeta {
+            app,
+            unknown_app: true,
+        }
+    }
+}
+
+/// A labelled feature dataset with optional per-sample provenance.
+///
+/// Rows of [`Dataset::features`] are hardware signatures, `labels[i]` is the
+/// ground-truth class of row `i`, and `meta[i]` (when present) records the
+/// application the signature came from.
+///
+/// # Example
+///
+/// ```
+/// use hmd_data::{Dataset, Label, Matrix};
+///
+/// # fn main() -> Result<(), hmd_data::DataError> {
+/// let features = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]])?;
+/// let ds = Dataset::new(features, vec![Label::Benign, Label::Malware])?;
+/// assert_eq!(ds.class_counts(), [1, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<Label>,
+    feature_names: Vec<String>,
+    meta: Vec<SampleMeta>,
+}
+
+impl Dataset {
+    /// Creates a dataset from features and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] when `labels.len()` differs
+    /// from the number of feature rows, and [`DataError::Empty`] for an empty
+    /// dataset.
+    pub fn new(features: Matrix, labels: Vec<Label>) -> Result<Dataset, DataError> {
+        if features.rows() == 0 {
+            return Err(DataError::Empty { context: "dataset" });
+        }
+        if features.rows() != labels.len() {
+            return Err(DataError::DimensionMismatch {
+                context: "label count",
+                expected: features.rows(),
+                found: labels.len(),
+            });
+        }
+        let feature_names = (0..features.cols()).map(|i| format!("f{i}")).collect();
+        Ok(Dataset {
+            features,
+            labels,
+            feature_names,
+            meta: Vec::new(),
+        })
+    }
+
+    /// Creates a dataset carrying per-sample provenance metadata.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dataset::new`], plus a mismatch error when `meta.len()`
+    /// differs from the number of rows.
+    pub fn with_meta(
+        features: Matrix,
+        labels: Vec<Label>,
+        meta: Vec<SampleMeta>,
+    ) -> Result<Dataset, DataError> {
+        if meta.len() != features.rows() {
+            return Err(DataError::DimensionMismatch {
+                context: "metadata count",
+                expected: features.rows(),
+                found: meta.len(),
+            });
+        }
+        let mut ds = Dataset::new(features, labels)?;
+        ds.meta = meta;
+        Ok(ds)
+    }
+
+    /// Replaces the auto-generated feature names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] when the number of names does
+    /// not equal the number of feature columns.
+    pub fn set_feature_names<S: Into<String>>(
+        &mut self,
+        names: impl IntoIterator<Item = S>,
+    ) -> Result<(), DataError> {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.len() != self.features.cols() {
+            return Err(DataError::DimensionMismatch {
+                context: "feature name count",
+                expected: self.features.cols(),
+                found: names.len(),
+            });
+        }
+        self.feature_names = names;
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// `true` when the dataset has no samples (never true for constructed
+    /// datasets, kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of feature columns.
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The label vector.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Feature names (auto-generated `f0..fN` unless overridden).
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Per-sample metadata; empty when the dataset was built without
+    /// provenance.
+    pub fn meta(&self) -> &[SampleMeta] {
+        &self.meta
+    }
+
+    /// Feature row of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn sample(&self, i: usize) -> (&[f64], Label) {
+        (self.features.row(i), self.labels[i])
+    }
+
+    /// Number of samples per class, indexed by [`Label::index`].
+    pub fn class_counts(&self) -> [usize; Label::NUM_CLASSES] {
+        let mut counts = [0usize; Label::NUM_CLASSES];
+        for label in &self.labels {
+            counts[label.index()] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of malware samples.
+    pub fn malware_fraction(&self) -> f64 {
+        let counts = self.class_counts();
+        counts[Label::Malware.index()] as f64 / self.len() as f64
+    }
+
+    /// Builds a new dataset from the selected sample indices (repeats allowed,
+    /// as required by bootstrap resampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let features = self.features.select_rows(indices);
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        let meta = if self.meta.is_empty() {
+            Vec::new()
+        } else {
+            indices.iter().map(|&i| self.meta[i]).collect()
+        };
+        Dataset {
+            features,
+            labels,
+            feature_names: self.feature_names.clone(),
+            meta,
+        }
+    }
+
+    /// Builds a new dataset restricted to the selected feature columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column index is out of bounds.
+    pub fn select_features(&self, columns: &[usize]) -> Dataset {
+        let features = self.features.select_columns(columns);
+        let feature_names = columns
+            .iter()
+            .map(|&c| self.feature_names[c].clone())
+            .collect();
+        Dataset {
+            features,
+            labels: self.labels.clone(),
+            feature_names,
+            meta: self.meta.clone(),
+        }
+    }
+
+    /// Concatenates two datasets with identical feature spaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] when the feature counts differ.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset, DataError> {
+        let features = self.features.vstack(&other.features)?;
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        let meta = if self.meta.is_empty() && other.meta.is_empty() {
+            Vec::new()
+        } else if self.meta.len() == self.len() && other.meta.len() == other.len() {
+            let mut m = self.meta.clone();
+            m.extend_from_slice(&other.meta);
+            m
+        } else {
+            Vec::new()
+        };
+        Ok(Dataset {
+            features,
+            labels,
+            feature_names: self.feature_names.clone(),
+            meta,
+        })
+    }
+
+    /// Distinct application identifiers present in the dataset, in ascending
+    /// order. Empty when the dataset carries no metadata.
+    pub fn app_ids(&self) -> Vec<AppId> {
+        let mut ids: Vec<AppId> = self.meta.iter().map(|m| m.app).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Indices of the samples belonging to the given applications.
+    pub fn indices_of_apps(&self, apps: &[AppId]) -> Vec<usize> {
+        self.meta
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| apps.contains(&m.app))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let features = Matrix::from_rows(&[
+            vec![0.0, 0.1],
+            vec![0.9, 1.0],
+            vec![0.2, 0.2],
+            vec![0.8, 0.7],
+        ])
+        .expect("valid rows");
+        let labels = vec![Label::Benign, Label::Malware, Label::Benign, Label::Malware];
+        let meta = vec![
+            SampleMeta::known(AppId(1)),
+            SampleMeta::known(AppId(2)),
+            SampleMeta::unknown(AppId(3)),
+            SampleMeta::known(AppId(2)),
+        ];
+        Dataset::with_meta(features, labels, meta).expect("consistent dataset")
+    }
+
+    #[test]
+    fn new_validates_label_count() {
+        let features = Matrix::from_rows(&[vec![1.0]]).expect("valid");
+        assert!(Dataset::new(features, vec![]).is_err());
+    }
+
+    #[test]
+    fn class_counts_and_fraction() {
+        let ds = toy();
+        assert_eq!(ds.class_counts(), [2, 2]);
+        assert_eq!(ds.malware_fraction(), 0.5);
+    }
+
+    #[test]
+    fn select_keeps_meta_aligned() {
+        let ds = toy();
+        let sub = ds.select(&[3, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels()[0], Label::Malware);
+        assert_eq!(sub.meta()[0].app, AppId(2));
+        assert_eq!(sub.meta()[1].app, AppId(1));
+    }
+
+    #[test]
+    fn select_features_projects_names() {
+        let mut ds = toy();
+        ds.set_feature_names(["mean", "peak"]).expect("two names");
+        let sub = ds.select_features(&[1]);
+        assert_eq!(sub.num_features(), 1);
+        assert_eq!(sub.feature_names(), &["peak".to_string()]);
+    }
+
+    #[test]
+    fn concat_appends_samples() {
+        let ds = toy();
+        let both = ds.concat(&ds).expect("same width");
+        assert_eq!(both.len(), 8);
+        assert_eq!(both.meta().len(), 8);
+    }
+
+    #[test]
+    fn app_ids_are_deduplicated() {
+        let ds = toy();
+        assert_eq!(ds.app_ids(), vec![AppId(1), AppId(2), AppId(3)]);
+        assert_eq!(ds.indices_of_apps(&[AppId(2)]), vec![1, 3]);
+    }
+
+    #[test]
+    fn feature_name_count_is_validated() {
+        let mut ds = toy();
+        assert!(ds.set_feature_names(["only one"]).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for dataset construction and preprocessing operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A matrix was constructed from rows of unequal length.
+    RaggedRows {
+        /// Expected number of columns (from the first row).
+        expected: usize,
+        /// Offending row length.
+        found: usize,
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// A matrix or dataset dimension did not match what the operation expects.
+    DimensionMismatch {
+        /// Human readable description of the expectation.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Found dimension.
+        found: usize,
+    },
+    /// The operation requires a non-empty dataset or matrix.
+    Empty {
+        /// Human readable description of what was empty.
+        context: &'static str,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Explanation of the valid range.
+        message: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::RaggedRows {
+                expected,
+                found,
+                row,
+            } => write!(
+                f,
+                "row {row} has {found} columns but {expected} were expected"
+            ),
+            DataError::DimensionMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "{context}: expected {expected}, found {found}"),
+            DataError::Empty { context } => write!(f, "{context} must not be empty"),
+            DataError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = DataError::RaggedRows {
+            expected: 3,
+            found: 2,
+            row: 5,
+        };
+        let text = err.to_string();
+        assert!(text.contains("row 5"));
+        assert!(text.contains('3'));
+        assert!(text.contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! Dataset containers and preprocessing primitives shared by every crate in the
+//! HMD uncertainty workspace.
+//!
+//! The crate provides:
+//!
+//! * [`Matrix`] — a small dense row-major `f64` matrix used as the feature
+//!   container throughout the workspace.
+//! * [`Label`] — the binary benign/malware classification label.
+//! * [`Dataset`] — features + labels + application provenance for every sample.
+//! * [`split`] — train/test and known/unknown partitioning utilities.
+//! * [`scaler`] — standardisation and min-max scaling.
+//! * [`taxonomy`] — the Table I style summary of a generated corpus.
+//!
+//! # Example
+//!
+//! ```
+//! use hmd_data::{Dataset, Label, Matrix};
+//!
+//! # fn main() -> Result<(), hmd_data::DataError> {
+//! let features = Matrix::from_rows(&[vec![0.1, 0.9], vec![0.8, 0.2]])?;
+//! let labels = vec![Label::Benign, Label::Malware];
+//! let dataset = Dataset::new(features, labels)?;
+//! assert_eq!(dataset.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+mod label;
+mod matrix;
+pub mod scaler;
+pub mod split;
+pub mod taxonomy;
+
+pub use dataset::{AppId, Dataset, SampleMeta};
+pub use error::DataError;
+pub use label::Label;
+pub use matrix::Matrix;

@@ -1,0 +1,472 @@
+use crate::DataError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64` values.
+///
+/// [`Matrix`] is the feature container used throughout the workspace. Rows are
+/// samples, columns are features. The type deliberately stays small: it offers
+/// exactly the operations the hand-rolled learners need (row access, column
+/// statistics, transposed products) instead of a full linear-algebra API.
+///
+/// # Example
+///
+/// ```
+/// use hmd_data::Matrix;
+///
+/// # fn main() -> Result<(), hmd_data::DataError> {
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(m.shape(), (2, 2));
+/// assert_eq!(m[(1, 0)], 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with a constant value.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Matrix, DataError> {
+        if data.len() != rows * cols {
+            return Err(DataError::DimensionMismatch {
+                context: "matrix buffer length",
+                expected: rows * cols,
+                found: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from a slice of equally sized rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Empty`] when `rows` is empty and
+    /// [`DataError::RaggedRows`] when rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Matrix, DataError> {
+        if rows.is_empty() {
+            return Err(DataError::Empty { context: "matrix rows" });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(DataError::RaggedRows {
+                    expected: cols,
+                    found: row.len(),
+                    row: i,
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows (samples).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Flat row-major view of the underlying buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix and returns the underlying row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Builds a new matrix containing only the rows selected by `indices`
+    /// (indices may repeat, which is exactly what bootstrap resampling needs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Builds a new matrix containing only the columns selected by `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_columns(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for &c in indices {
+                assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
+                data.push(row[c]);
+            }
+        }
+        Matrix {
+            rows: self.rows,
+            cols: indices.len(),
+            data,
+        }
+    }
+
+    /// Per-column mean values.
+    pub fn column_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        if self.rows == 0 {
+            return means;
+        }
+        for row in self.iter_rows() {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows as f64;
+        }
+        means
+    }
+
+    /// Per-column population standard deviations.
+    pub fn column_stds(&self) -> Vec<f64> {
+        let means = self.column_means();
+        let mut vars = vec![0.0; self.cols];
+        if self.rows == 0 {
+            return vars;
+        }
+        for row in self.iter_rows() {
+            for ((v, x), m) in vars.iter_mut().zip(row).zip(&means) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        vars.iter().map(|v| (v / self.rows as f64).sqrt()).collect()
+    }
+
+    /// Per-column minimum values.
+    pub fn column_mins(&self) -> Vec<f64> {
+        let mut mins = vec![f64::INFINITY; self.cols];
+        for row in self.iter_rows() {
+            for (m, v) in mins.iter_mut().zip(row) {
+                if *v < *m {
+                    *m = *v;
+                }
+            }
+        }
+        mins
+    }
+
+    /// Per-column maximum values.
+    pub fn column_maxs(&self) -> Vec<f64> {
+        let mut maxs = vec![f64::NEG_INFINITY; self.cols];
+        for row in self.iter_rows() {
+            for (m, v) in maxs.iter_mut().zip(row) {
+                if *v > *m {
+                    *m = *v;
+                }
+            }
+        }
+        maxs
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] when the inner dimensions do
+    /// not agree.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, DataError> {
+        if self.cols != other.rows {
+            return Err(DataError::DimensionMismatch {
+                context: "matrix product inner dimension",
+                expected: self.cols,
+                found: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out[(r, c)] += a * other[(k, c)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] when `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, DataError> {
+        if v.len() != self.cols {
+            return Err(DataError::DimensionMismatch {
+                context: "matrix-vector product",
+                expected: self.cols,
+                found: v.len(),
+            });
+        }
+        Ok(self
+            .iter_rows()
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Appends another matrix's rows below this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] when the column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix, DataError> {
+        if self.cols != other.cols {
+            return Err(DataError::DimensionMismatch {
+                context: "vertical stack column count",
+                expected: self.cols,
+                found: other.cols,
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
+        for row in self.iter_rows().take(8) {
+            let cells: Vec<String> = row.iter().take(8).map(|v| format!("{v:9.4}")).collect();
+            writeln!(f, "  [{}]", cells.join(", "))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ... ({} more rows)", self.rows - 8)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).expect("valid rows")
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, DataError::RaggedRows { row: 1, .. }));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn shape_and_indexing() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.column(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn column_statistics() {
+        let m = sample();
+        assert_eq!(m.column_means(), vec![2.5, 3.5, 4.5]);
+        assert_eq!(m.column_mins(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.column_maxs(), vec![4.0, 5.0, 6.0]);
+        let stds = m.column_stds();
+        for s in stds {
+            assert!((s - 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn select_rows_allows_repeats() {
+        let m = sample();
+        let picked = m.select_rows(&[1, 1, 0]);
+        assert_eq!(picked.rows(), 3);
+        assert_eq!(picked.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(picked.row(2), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn select_columns_projects() {
+        let m = sample();
+        let picked = m.select_columns(&[2, 0]);
+        assert_eq!(picked.shape(), (2, 2));
+        assert_eq!(picked.row(0), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = sample(); // 2x3
+        let b = a.transpose(); // 3x2
+        let prod = a.matmul(&b).expect("conformant");
+        assert_eq!(prod.shape(), (2, 2));
+        assert_eq!(prod[(0, 0)], 14.0);
+        assert_eq!(prod[(0, 1)], 32.0);
+        assert_eq!(prod[(1, 1)], 77.0);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_shapes() {
+        let a = sample();
+        assert!(a.matmul(&sample()).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = sample();
+        let v = m.matvec(&[1.0, 0.0, -1.0]).expect("conformant");
+        assert_eq!(v, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let m = sample();
+        let stacked = m.vstack(&m).expect("same width");
+        assert_eq!(stacked.shape(), (4, 3));
+        assert_eq!(stacked.row(3), m.row(1));
+    }
+
+    #[test]
+    fn display_is_not_empty() {
+        let text = sample().to_string();
+        assert!(text.contains("Matrix 2x3"));
+    }
+}

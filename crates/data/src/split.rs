@@ -1,0 +1,314 @@
+//! Train/test splitting and known/unknown partitioning.
+//!
+//! The paper first buckets every signature by the *application* it was derived
+//! from: applications seen during training are "known", held-out applications
+//! are "unknown" (zero-day proxies). The known signatures are then split into
+//! train and test sets. [`KnownUnknownSplit`] and [`train_test_split`]
+//! reproduce that protocol.
+
+use crate::{AppId, DataError, Dataset, Label};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The three-way corpus split used throughout the paper (Fig. 6):
+/// train / known-test / unknown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnownUnknownSplit {
+    /// Training signatures (known applications only).
+    pub train: Dataset,
+    /// Held-out test signatures from known applications (in-distribution).
+    pub test_known: Dataset,
+    /// Signatures from applications never seen in training
+    /// (out-of-distribution / zero-day proxies).
+    pub unknown: Dataset,
+}
+
+impl KnownUnknownSplit {
+    /// Total number of samples across the three buckets.
+    pub fn total_samples(&self) -> usize {
+        self.train.len() + self.test_known.len() + self.unknown.len()
+    }
+}
+
+/// Splits a dataset into train and test subsets uniformly at random.
+///
+/// `test_fraction` is the fraction of samples placed in the test set.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidParameter`] when `test_fraction` is outside
+/// `(0, 1)`, or when either side of the split would be empty.
+pub fn train_test_split<R: Rng>(
+    dataset: &Dataset,
+    test_fraction: f64,
+    rng: &mut R,
+) -> Result<(Dataset, Dataset), DataError> {
+    validate_fraction(test_fraction)?;
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    indices.shuffle(rng);
+    let test_len = ((dataset.len() as f64) * test_fraction).round() as usize;
+    split_at(dataset, &indices, test_len)
+}
+
+/// Splits a dataset into train and test subsets while preserving the class
+/// ratio in both subsets (stratified split).
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidParameter`] when `test_fraction` is outside
+/// `(0, 1)`, or when either side of the split would be empty.
+pub fn stratified_split<R: Rng>(
+    dataset: &Dataset,
+    test_fraction: f64,
+    rng: &mut R,
+) -> Result<(Dataset, Dataset), DataError> {
+    validate_fraction(test_fraction)?;
+    let mut test_indices = Vec::new();
+    let mut train_indices = Vec::new();
+    for label in Label::all() {
+        let mut class_indices: Vec<usize> = (0..dataset.len())
+            .filter(|&i| dataset.labels()[i] == label)
+            .collect();
+        class_indices.shuffle(rng);
+        let test_len = ((class_indices.len() as f64) * test_fraction).round() as usize;
+        test_indices.extend_from_slice(&class_indices[..test_len]);
+        train_indices.extend_from_slice(&class_indices[test_len..]);
+    }
+    if train_indices.is_empty() || test_indices.is_empty() {
+        return Err(DataError::InvalidParameter {
+            name: "test_fraction",
+            message: format!(
+                "split of {} samples at fraction {test_fraction} leaves an empty side",
+                dataset.len()
+            ),
+        });
+    }
+    train_indices.shuffle(rng);
+    test_indices.shuffle(rng);
+    Ok((dataset.select(&train_indices), dataset.select(&test_indices)))
+}
+
+/// Partitions a corpus into the paper's train / known-test / unknown buckets.
+///
+/// Samples whose [`crate::SampleMeta::unknown_app`] flag is set form the
+/// unknown bucket. The remaining (known) samples are split into train and
+/// test with a stratified split of `test_fraction`.
+///
+/// # Errors
+///
+/// Returns an error when the corpus has no metadata, when either the known or
+/// the unknown bucket is empty, or when the stratified split fails.
+pub fn known_unknown_split<R: Rng>(
+    corpus: &Dataset,
+    test_fraction: f64,
+    rng: &mut R,
+) -> Result<KnownUnknownSplit, DataError> {
+    if corpus.meta().len() != corpus.len() {
+        return Err(DataError::InvalidParameter {
+            name: "corpus",
+            message: "known/unknown partition requires per-sample application metadata".into(),
+        });
+    }
+    let unknown_indices: Vec<usize> = corpus
+        .meta()
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.unknown_app)
+        .map(|(i, _)| i)
+        .collect();
+    let known_indices: Vec<usize> = (0..corpus.len())
+        .filter(|i| !unknown_indices.contains(i))
+        .collect();
+    if unknown_indices.is_empty() {
+        return Err(DataError::Empty {
+            context: "unknown bucket",
+        });
+    }
+    if known_indices.is_empty() {
+        return Err(DataError::Empty {
+            context: "known bucket",
+        });
+    }
+    let known = corpus.select(&known_indices);
+    let unknown = corpus.select(&unknown_indices);
+    let (train, test_known) = stratified_split(&known, test_fraction, rng)?;
+    Ok(KnownUnknownSplit {
+        train,
+        test_known,
+        unknown,
+    })
+}
+
+/// Partitions a corpus by explicitly naming the unknown applications.
+///
+/// Any sample whose application id is listed in `unknown_apps` lands in the
+/// unknown bucket regardless of its metadata flag.
+///
+/// # Errors
+///
+/// Same conditions as [`known_unknown_split`].
+pub fn split_by_apps<R: Rng>(
+    corpus: &Dataset,
+    unknown_apps: &[AppId],
+    test_fraction: f64,
+    rng: &mut R,
+) -> Result<KnownUnknownSplit, DataError> {
+    if corpus.meta().len() != corpus.len() {
+        return Err(DataError::InvalidParameter {
+            name: "corpus",
+            message: "application split requires per-sample application metadata".into(),
+        });
+    }
+    let unknown_indices = corpus.indices_of_apps(unknown_apps);
+    if unknown_indices.is_empty() {
+        return Err(DataError::Empty {
+            context: "unknown bucket",
+        });
+    }
+    let known_indices: Vec<usize> = (0..corpus.len())
+        .filter(|i| !unknown_indices.contains(i))
+        .collect();
+    if known_indices.is_empty() {
+        return Err(DataError::Empty {
+            context: "known bucket",
+        });
+    }
+    let known = corpus.select(&known_indices);
+    let unknown = corpus.select(&unknown_indices);
+    let (train, test_known) = stratified_split(&known, test_fraction, rng)?;
+    Ok(KnownUnknownSplit {
+        train,
+        test_known,
+        unknown,
+    })
+}
+
+/// Draws a bootstrap replicate (sampling with replacement, same size as the
+/// input) and also reports the out-of-bag indices.
+pub fn bootstrap_indices<R: Rng>(len: usize, rng: &mut R) -> (Vec<usize>, Vec<usize>) {
+    let mut chosen = vec![false; len];
+    let mut indices = Vec::with_capacity(len);
+    for _ in 0..len {
+        let i = rng.gen_range(0..len);
+        chosen[i] = true;
+        indices.push(i);
+    }
+    let oob = (0..len).filter(|&i| !chosen[i]).collect();
+    (indices, oob)
+}
+
+fn validate_fraction(test_fraction: f64) -> Result<(), DataError> {
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(DataError::InvalidParameter {
+            name: "test_fraction",
+            message: format!("must lie strictly between 0 and 1, got {test_fraction}"),
+        });
+    }
+    Ok(())
+}
+
+fn split_at(
+    dataset: &Dataset,
+    shuffled: &[usize],
+    test_len: usize,
+) -> Result<(Dataset, Dataset), DataError> {
+    if test_len == 0 || test_len >= dataset.len() {
+        return Err(DataError::InvalidParameter {
+            name: "test_fraction",
+            message: format!(
+                "split of {} samples produces a {test_len}-sample test set",
+                dataset.len()
+            ),
+        });
+    }
+    let test = dataset.select(&shuffled[..test_len]);
+    let train = dataset.select(&shuffled[test_len..]);
+    Ok((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Matrix, SampleMeta};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let labels: Vec<Label> = (0..n)
+            .map(|i| if i % 2 == 0 { Label::Benign } else { Label::Malware })
+            .collect();
+        let meta: Vec<SampleMeta> = (0..n)
+            .map(|i| {
+                let app = AppId((i % 10) as u32);
+                if i % 10 >= 8 {
+                    SampleMeta::unknown(app)
+                } else {
+                    SampleMeta::known(app)
+                }
+            })
+            .collect();
+        Dataset::with_meta(Matrix::from_rows(&rows).unwrap(), labels, meta).unwrap()
+    }
+
+    #[test]
+    fn train_test_split_partitions_all_samples() {
+        let ds = corpus(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (train, test) = train_test_split(&ds, 0.25, &mut rng).unwrap();
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 25);
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_ratio() {
+        let ds = corpus(200);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, test) = stratified_split(&ds, 0.3, &mut rng).unwrap();
+        let train_frac = train.malware_fraction();
+        let test_frac = test.malware_fraction();
+        assert!((train_frac - 0.5).abs() < 0.05, "train fraction {train_frac}");
+        assert!((test_frac - 0.5).abs() < 0.05, "test fraction {test_frac}");
+    }
+
+    #[test]
+    fn known_unknown_split_respects_app_flags() {
+        let ds = corpus(100);
+        let mut rng = StdRng::seed_from_u64(11);
+        let split = known_unknown_split(&ds, 0.25, &mut rng).unwrap();
+        assert_eq!(split.total_samples(), 100);
+        assert_eq!(split.unknown.len(), 20);
+        assert!(split.unknown.meta().iter().all(|m| m.unknown_app));
+        assert!(split.train.meta().iter().all(|m| !m.unknown_app));
+    }
+
+    #[test]
+    fn split_by_apps_moves_named_apps_to_unknown() {
+        let ds = corpus(100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let split = split_by_apps(&ds, &[AppId(0), AppId(1)], 0.25, &mut rng).unwrap();
+        assert_eq!(split.unknown.len(), 20);
+        let unknown_apps = split.unknown.app_ids();
+        assert_eq!(unknown_apps, vec![AppId(0), AppId(1)]);
+    }
+
+    #[test]
+    fn bootstrap_covers_about_two_thirds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (indices, oob) = bootstrap_indices(1000, &mut rng);
+        assert_eq!(indices.len(), 1000);
+        // Expected OOB fraction is (1 - 1/n)^n -> 1/e ~ 0.368.
+        let frac = oob.len() as f64 / 1000.0;
+        assert!((frac - 0.368).abs() < 0.05, "oob fraction {frac}");
+    }
+
+    #[test]
+    fn invalid_fraction_is_rejected() {
+        let ds = corpus(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(train_test_split(&ds, 0.0, &mut rng).is_err());
+        assert!(train_test_split(&ds, 1.0, &mut rng).is_err());
+        assert!(stratified_split(&ds, -0.2, &mut rng).is_err());
+    }
+}

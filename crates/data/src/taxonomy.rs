@@ -1,0 +1,127 @@
+//! Dataset taxonomy summaries (Table I of the paper).
+
+use crate::split::KnownUnknownSplit;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary of a corpus split into train / known-test / unknown buckets, i.e.
+/// one block of the paper's Table I.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetTaxonomy {
+    /// Human readable dataset name (e.g. "DVFS" or "HPC").
+    pub name: String,
+    /// Number of training samples.
+    pub train: usize,
+    /// Number of known (in-distribution) test samples.
+    pub test_known: usize,
+    /// Number of unknown (out-of-distribution) samples.
+    pub unknown: usize,
+    /// Number of benign training samples.
+    pub train_benign: usize,
+    /// Number of malware training samples.
+    pub train_malware: usize,
+    /// Number of distinct known applications.
+    pub known_apps: usize,
+    /// Number of distinct unknown applications.
+    pub unknown_apps: usize,
+}
+
+impl DatasetTaxonomy {
+    /// Builds the taxonomy from a three-way corpus split.
+    pub fn from_split(name: impl Into<String>, split: &KnownUnknownSplit) -> DatasetTaxonomy {
+        let counts = split.train.class_counts();
+        let mut known_apps = split.train.app_ids();
+        known_apps.extend(split.test_known.app_ids());
+        known_apps.sort_unstable();
+        known_apps.dedup();
+        DatasetTaxonomy {
+            name: name.into(),
+            train: split.train.len(),
+            test_known: split.test_known.len(),
+            unknown: split.unknown.len(),
+            train_benign: counts[0],
+            train_malware: counts[1],
+            known_apps: known_apps.len(),
+            unknown_apps: split.unknown.app_ids().len(),
+        }
+    }
+
+    /// Total number of samples in the corpus.
+    pub fn total(&self) -> usize {
+        self.train + self.test_known + self.unknown
+    }
+}
+
+impl fmt::Display for DatasetTaxonomy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.name)?;
+        writeln!(f, "  Train          {:>8}", self.train)?;
+        writeln!(f, "  Test (Known)   {:>8}", self.test_known)?;
+        writeln!(f, "  Unknown        {:>8}", self.unknown)?;
+        write!(
+            f,
+            "  apps: {} known / {} unknown, train classes: {} benign / {} malware",
+            self.known_apps, self.unknown_apps, self.train_benign, self.train_malware
+        )
+    }
+}
+
+/// The sample counts reported in the paper's Table I, kept as constants so the
+/// simulators and benches can target the same corpus scale.
+pub mod paper {
+    /// DVFS training samples.
+    pub const DVFS_TRAIN: usize = 2100;
+    /// DVFS known test samples.
+    pub const DVFS_TEST_KNOWN: usize = 700;
+    /// DVFS unknown samples.
+    pub const DVFS_UNKNOWN: usize = 284;
+    /// HPC training samples.
+    pub const HPC_TRAIN: usize = 44_605;
+    /// HPC known test samples.
+    pub const HPC_TEST_KNOWN: usize = 6372;
+    /// HPC unknown samples.
+    pub const HPC_UNKNOWN: usize = 12_727;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::known_unknown_split;
+    use crate::{AppId, Dataset, Label, Matrix, SampleMeta};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn taxonomy_counts_match_split() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let labels: Vec<Label> = (0..60).map(|i| Label::from(i % 2 == 0)).collect();
+        let meta: Vec<SampleMeta> = (0..60)
+            .map(|i| {
+                if i < 12 {
+                    SampleMeta::unknown(AppId(99))
+                } else {
+                    SampleMeta::known(AppId((i % 4) as u32))
+                }
+            })
+            .collect();
+        let corpus =
+            Dataset::with_meta(Matrix::from_rows(&rows).unwrap(), labels, meta).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let split = known_unknown_split(&corpus, 0.25, &mut rng).unwrap();
+        let tax = DatasetTaxonomy::from_split("toy", &split);
+        assert_eq!(tax.total(), 60);
+        assert_eq!(tax.unknown, 12);
+        assert_eq!(tax.unknown_apps, 1);
+        assert_eq!(tax.known_apps, 4);
+        assert_eq!(tax.train + tax.test_known, 48);
+        let text = tax.to_string();
+        assert!(text.contains("toy"));
+        assert!(text.contains("Unknown"));
+    }
+
+    #[test]
+    fn paper_constants_match_table_one() {
+        assert_eq!(paper::DVFS_TRAIN, 2100);
+        assert_eq!(paper::HPC_UNKNOWN, 12_727);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the data substrate.
+
+use hmd_data::scaler::{MinMaxScaler, StandardScaler};
+use hmd_data::split::{bootstrap_indices, stratified_split, train_test_split};
+use hmd_data::{Dataset, Label, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (2..=max_rows, 1..=max_cols).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(-1e3f64..1e3, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized buffer"))
+    })
+}
+
+fn dataset_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Dataset> {
+    matrix_strategy(max_rows, max_cols).prop_flat_map(|m| {
+        let rows = m.rows();
+        proptest::collection::vec(proptest::bool::ANY, rows).prop_map(move |flags| {
+            let labels: Vec<Label> = flags.iter().copied().map(Label::from).collect();
+            Dataset::new(m.clone(), labels).expect("consistent dataset")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in matrix_strategy(12, 6)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn column_mins_never_exceed_maxs(m in matrix_strategy(12, 6)) {
+        let mins = m.column_mins();
+        let maxs = m.column_maxs();
+        for (lo, hi) in mins.iter().zip(&maxs) {
+            prop_assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_round_trip(m in matrix_strategy(12, 6)) {
+        let scaler = StandardScaler::fit(&m);
+        let back = scaler.inverse_transform(&scaler.transform(&m).unwrap()).unwrap();
+        for (a, b) in back.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn minmax_output_is_bounded(m in matrix_strategy(12, 6)) {
+        let scaler = MinMaxScaler::fit(&m);
+        let out = scaler.transform(&m).unwrap();
+        for v in out.as_slice() {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(v));
+        }
+    }
+
+    #[test]
+    fn train_test_split_is_a_partition(ds in dataset_strategy(40, 4), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok((train, test)) = train_test_split(&ds, 0.3, &mut rng) {
+            prop_assert_eq!(train.len() + test.len(), ds.len());
+            prop_assert_eq!(train.num_features(), ds.num_features());
+        }
+    }
+
+    #[test]
+    fn stratified_split_preserves_totals_per_class(ds in dataset_strategy(60, 3), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok((train, test)) = stratified_split(&ds, 0.25, &mut rng) {
+            let total = ds.class_counts();
+            let got = [
+                train.class_counts()[0] + test.class_counts()[0],
+                train.class_counts()[1] + test.class_counts()[1],
+            ];
+            prop_assert_eq!(total, got);
+        }
+    }
+
+    #[test]
+    fn bootstrap_indices_stay_in_range(len in 1usize..500, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (indices, oob) = bootstrap_indices(len, &mut rng);
+        prop_assert_eq!(indices.len(), len);
+        prop_assert!(indices.iter().all(|&i| i < len));
+        prop_assert!(oob.iter().all(|&i| i < len));
+        // every index is either drawn or out-of-bag
+        for i in 0..len {
+            prop_assert!(indices.contains(&i) || oob.contains(&i));
+        }
+    }
+
+    #[test]
+    fn select_preserves_feature_width(ds in dataset_strategy(30, 5)) {
+        let picked = ds.select(&[0, ds.len() - 1, 0]);
+        prop_assert_eq!(picked.len(), 3);
+        prop_assert_eq!(picked.num_features(), ds.num_features());
+    }
+}

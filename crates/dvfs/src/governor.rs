@@ -1,0 +1,304 @@
+//! DVFS governors: the kernel policies that map observed CPU utilisation to a
+//! frequency state.
+//!
+//! Three governor families are modelled after their Linux cpufreq
+//! counterparts: `ondemand` (jump to max on high load, proportional
+//! otherwise), `conservative` (step up/down gradually) and a simplified
+//! `schedutil` (frequency proportional to utilisation with headroom).
+
+use crate::soc::SocConfig;
+use serde::{Deserialize, Serialize};
+
+/// A DVFS governor: consumes one utilisation observation per sampling period
+/// and returns the next frequency-state index.
+pub trait Governor: Send + Sync {
+    /// Chooses the next DVFS state given the utilisation (`0.0..=1.0`)
+    /// observed during the last sampling period.
+    fn next_state(&mut self, utilization: f64, soc: &SocConfig) -> usize;
+
+    /// Resets internal state (current frequency, hysteresis counters) for a
+    /// fresh trace.
+    fn reset(&mut self, soc: &SocConfig);
+
+    /// Human-readable governor name.
+    fn name(&self) -> &'static str;
+}
+
+/// Identifier for constructing governors by name (used by app profiles and
+/// experiment configs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GovernorKind {
+    /// Linux `ondemand`-style governor.
+    Ondemand,
+    /// Linux `conservative`-style governor.
+    Conservative,
+    /// Simplified `schedutil`-style governor.
+    Schedutil,
+}
+
+impl GovernorKind {
+    /// Builds a boxed governor of this kind with default parameters.
+    pub fn build(self) -> Box<dyn Governor> {
+        match self {
+            GovernorKind::Ondemand => Box::new(OndemandGovernor::new()),
+            GovernorKind::Conservative => Box::new(ConservativeGovernor::new()),
+            GovernorKind::Schedutil => Box::new(SchedutilGovernor::new()),
+        }
+    }
+}
+
+/// Linux `ondemand`-style governor.
+///
+/// When utilisation exceeds `up_threshold` the governor jumps straight to the
+/// highest OPP; otherwise it picks the lowest OPP whose capacity covers the
+/// observed utilisation, with a small down-hysteresis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OndemandGovernor {
+    /// Utilisation above which the governor jumps to the maximum frequency.
+    pub up_threshold: f64,
+    /// Number of consecutive low-utilisation samples required before scaling
+    /// down (sampling-down factor).
+    pub sampling_down_factor: u32,
+    current: usize,
+    low_streak: u32,
+}
+
+impl OndemandGovernor {
+    /// Creates the governor with the Linux defaults (`up_threshold` 0.8,
+    /// sampling-down factor 2).
+    pub fn new() -> OndemandGovernor {
+        OndemandGovernor {
+            up_threshold: 0.8,
+            sampling_down_factor: 2,
+            current: 0,
+            low_streak: 0,
+        }
+    }
+}
+
+impl Default for OndemandGovernor {
+    fn default() -> Self {
+        OndemandGovernor::new()
+    }
+}
+
+impl Governor for OndemandGovernor {
+    fn next_state(&mut self, utilization: f64, soc: &SocConfig) -> usize {
+        let utilization = utilization.clamp(0.0, 1.0);
+        if utilization >= self.up_threshold {
+            self.low_streak = 0;
+            self.current = soc.max_state();
+        } else {
+            let target = soc.state_for_capacity(utilization / self.up_threshold);
+            if target < self.current {
+                self.low_streak += 1;
+                if self.low_streak >= self.sampling_down_factor {
+                    self.current = target;
+                    self.low_streak = 0;
+                }
+            } else {
+                self.current = target;
+                self.low_streak = 0;
+            }
+        }
+        self.current
+    }
+
+    fn reset(&mut self, _soc: &SocConfig) {
+        self.current = 0;
+        self.low_streak = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "ondemand"
+    }
+}
+
+/// Linux `conservative`-style governor: frequency moves at most one OPP per
+/// sampling period, up when utilisation exceeds `up_threshold`, down when it
+/// falls below `down_threshold`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConservativeGovernor {
+    /// Utilisation above which the governor steps one OPP up.
+    pub up_threshold: f64,
+    /// Utilisation below which the governor steps one OPP down.
+    pub down_threshold: f64,
+    current: usize,
+}
+
+impl ConservativeGovernor {
+    /// Creates the governor with thresholds 0.75 / 0.35.
+    pub fn new() -> ConservativeGovernor {
+        ConservativeGovernor {
+            up_threshold: 0.75,
+            down_threshold: 0.35,
+            current: 0,
+        }
+    }
+}
+
+impl Default for ConservativeGovernor {
+    fn default() -> Self {
+        ConservativeGovernor::new()
+    }
+}
+
+impl Governor for ConservativeGovernor {
+    fn next_state(&mut self, utilization: f64, soc: &SocConfig) -> usize {
+        let utilization = utilization.clamp(0.0, 1.0);
+        if utilization > self.up_threshold && self.current < soc.max_state() {
+            self.current += 1;
+        } else if utilization < self.down_threshold && self.current > 0 {
+            self.current -= 1;
+        }
+        self.current
+    }
+
+    fn reset(&mut self, _soc: &SocConfig) {
+        self.current = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "conservative"
+    }
+}
+
+/// Simplified `schedutil` governor: target frequency is utilisation times the
+/// maximum capacity with 25 % headroom, smoothed with an exponential moving
+/// average of the utilisation signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedutilGovernor {
+    /// Headroom multiplier applied to the utilisation (Linux uses 1.25).
+    pub headroom: f64,
+    /// Exponential-moving-average coefficient of the utilisation filter.
+    pub smoothing: f64,
+    filtered: f64,
+    current: usize,
+}
+
+impl SchedutilGovernor {
+    /// Creates the governor with 1.25 headroom and 0.5 smoothing.
+    pub fn new() -> SchedutilGovernor {
+        SchedutilGovernor {
+            headroom: 1.25,
+            smoothing: 0.5,
+            filtered: 0.0,
+            current: 0,
+        }
+    }
+}
+
+impl Default for SchedutilGovernor {
+    fn default() -> Self {
+        SchedutilGovernor::new()
+    }
+}
+
+impl Governor for SchedutilGovernor {
+    fn next_state(&mut self, utilization: f64, soc: &SocConfig) -> usize {
+        let utilization = utilization.clamp(0.0, 1.0);
+        self.filtered = self.smoothing * utilization + (1.0 - self.smoothing) * self.filtered;
+        self.current = soc.state_for_capacity(self.filtered * self.headroom);
+        self.current
+    }
+
+    fn reset(&mut self, _soc: &SocConfig) {
+        self.filtered = 0.0;
+        self.current = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "schedutil"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soc() -> SocConfig {
+        SocConfig::snapdragon_like()
+    }
+
+    #[test]
+    fn ondemand_jumps_to_max_on_high_load() {
+        let soc = soc();
+        let mut gov = OndemandGovernor::new();
+        gov.reset(&soc);
+        assert_eq!(gov.next_state(0.95, &soc), soc.max_state());
+    }
+
+    #[test]
+    fn ondemand_scales_down_with_hysteresis() {
+        let soc = soc();
+        let mut gov = OndemandGovernor::new();
+        gov.reset(&soc);
+        gov.next_state(0.95, &soc);
+        // first low sample keeps the previous frequency
+        assert_eq!(gov.next_state(0.05, &soc), soc.max_state());
+        // second consecutive low sample finally scales down
+        assert!(gov.next_state(0.05, &soc) < soc.max_state());
+    }
+
+    #[test]
+    fn conservative_moves_one_step_at_a_time() {
+        let soc = soc();
+        let mut gov = ConservativeGovernor::new();
+        gov.reset(&soc);
+        assert_eq!(gov.next_state(1.0, &soc), 1);
+        assert_eq!(gov.next_state(1.0, &soc), 2);
+        assert_eq!(gov.next_state(0.1, &soc), 1);
+        assert_eq!(gov.next_state(0.5, &soc), 1, "mid load holds frequency");
+    }
+
+    #[test]
+    fn conservative_saturates_at_bounds() {
+        let soc = soc();
+        let mut gov = ConservativeGovernor::new();
+        gov.reset(&soc);
+        for _ in 0..20 {
+            gov.next_state(1.0, &soc);
+        }
+        assert_eq!(gov.next_state(1.0, &soc), soc.max_state());
+        for _ in 0..20 {
+            gov.next_state(0.0, &soc);
+        }
+        assert_eq!(gov.next_state(0.0, &soc), 0);
+    }
+
+    #[test]
+    fn schedutil_tracks_utilization_monotonically() {
+        let soc = soc();
+        let mut gov = SchedutilGovernor::new();
+        gov.reset(&soc);
+        let low = (0..10).map(|_| gov.next_state(0.2, &soc)).last().unwrap();
+        gov.reset(&soc);
+        let high = (0..10).map(|_| gov.next_state(0.9, &soc)).last().unwrap();
+        assert!(high > low, "high load ({high}) should exceed low load ({low})");
+    }
+
+    #[test]
+    fn reset_returns_to_lowest_state() {
+        let soc = soc();
+        for kind in [
+            GovernorKind::Ondemand,
+            GovernorKind::Conservative,
+            GovernorKind::Schedutil,
+        ] {
+            let mut gov = kind.build();
+            for _ in 0..5 {
+                gov.next_state(1.0, &soc);
+            }
+            gov.reset(&soc);
+            let state = gov.next_state(0.0, &soc);
+            assert!(state <= 1, "{} should rest near the bottom", gov.name());
+        }
+    }
+
+    #[test]
+    fn governor_kind_builds_named_governors() {
+        assert_eq!(GovernorKind::Ondemand.build().name(), "ondemand");
+        assert_eq!(GovernorKind::Conservative.build().name(), "conservative");
+        assert_eq!(GovernorKind::Schedutil.build().name(), "schedutil");
+    }
+}

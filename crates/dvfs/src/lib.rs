@@ -1,0 +1,57 @@
+//! DVFS (Dynamic Voltage and Frequency Scaling) power-management simulator
+//! and signature dataset generator.
+//!
+//! The paper's first HMD (Chawla et al., *Securing IoT Devices using Dynamic
+//! Power Management*) classifies Android workloads from the time series of
+//! DVFS states the power-management governor visits while the workload runs.
+//! The original dataset was collected on physical Snapdragon devices; this
+//! crate substitutes a behavioural simulator that preserves the properties
+//! the paper's analysis depends on:
+//!
+//! * each application family drives the governor through a *characteristic*
+//!   pattern of frequency states (disjoint benign/malware classes), and
+//! * applications held out as "unknown" have behaviour parameters outside the
+//!   training families' ranges, so their signatures are out-of-distribution.
+//!
+//! The pipeline mirrors Fig. 1 of the paper:
+//!
+//! ```text
+//! workload model → CPU utilisation trace → governor → DVFS state trace
+//!                → feature extraction → signature vector
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use hmd_dvfs::dataset::DvfsCorpusBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let split = DvfsCorpusBuilder::new()
+//!     .with_samples_per_app(6)
+//!     .with_trace_len(256)
+//!     .build_split(42)?;
+//! assert!(split.train.len() > 0);
+//! assert!(split.unknown.len() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod dataset;
+pub mod features;
+pub mod governor;
+pub mod soc;
+pub mod spectral;
+pub mod trace;
+pub mod workload;
+
+pub use apps::{AppCatalog, AppProfile};
+pub use dataset::DvfsCorpusBuilder;
+pub use features::FeatureExtractor;
+pub use governor::{ConservativeGovernor, Governor, GovernorKind, OndemandGovernor, SchedutilGovernor};
+pub use soc::SocConfig;
+pub use trace::DvfsTrace;
+pub use workload::{Phase, WorkloadModel};

@@ -1,0 +1,107 @@
+//! System-on-chip model: the frequency/voltage operating-performance-point
+//! (OPP) table the governor switches between.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated SoC's DVFS capabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocConfig {
+    /// Available CPU frequencies in MHz, ascending.
+    pub frequencies_mhz: Vec<u32>,
+    /// Governor sampling period in milliseconds (how often the governor
+    /// re-evaluates utilisation and picks an OPP).
+    pub sample_period_ms: u32,
+}
+
+impl SocConfig {
+    /// A Snapdragon-like big-core OPP table with 8 frequency states and a
+    /// 20 ms governor sampling period.
+    pub fn snapdragon_like() -> SocConfig {
+        SocConfig {
+            frequencies_mhz: vec![300, 650, 980, 1200, 1440, 1800, 2100, 2400],
+            sample_period_ms: 20,
+        }
+    }
+
+    /// A smaller IoT-class SoC with 5 frequency states.
+    pub fn iot_class() -> SocConfig {
+        SocConfig {
+            frequencies_mhz: vec![200, 400, 600, 800, 1000],
+            sample_period_ms: 50,
+        }
+    }
+
+    /// Number of DVFS states (OPPs).
+    pub fn num_states(&self) -> usize {
+        self.frequencies_mhz.len()
+    }
+
+    /// Index of the highest OPP.
+    pub fn max_state(&self) -> usize {
+        self.num_states().saturating_sub(1)
+    }
+
+    /// Frequency of state `index` normalised to the maximum frequency
+    /// (`1.0` for the top OPP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn relative_capacity(&self, index: usize) -> f64 {
+        let max = *self
+            .frequencies_mhz
+            .last()
+            .expect("OPP table must not be empty") as f64;
+        self.frequencies_mhz[index] as f64 / max
+    }
+
+    /// Lowest state whose capacity covers the requested utilisation of the
+    /// maximum frequency (used by schedutil-style governors).
+    pub fn state_for_capacity(&self, capacity: f64) -> usize {
+        let capacity = capacity.clamp(0.0, 1.0);
+        for (i, _) in self.frequencies_mhz.iter().enumerate() {
+            if self.relative_capacity(i) + 1e-9 >= capacity {
+                return i;
+            }
+        }
+        self.max_state()
+    }
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig::snapdragon_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapdragon_table_is_ascending() {
+        let soc = SocConfig::snapdragon_like();
+        assert!(soc.frequencies_mhz.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(soc.num_states(), 8);
+        assert_eq!(soc.max_state(), 7);
+    }
+
+    #[test]
+    fn relative_capacity_is_one_at_top_state() {
+        let soc = SocConfig::default();
+        assert!((soc.relative_capacity(soc.max_state()) - 1.0).abs() < 1e-12);
+        assert!(soc.relative_capacity(0) < 0.2);
+    }
+
+    #[test]
+    fn state_for_capacity_picks_lowest_sufficient_state() {
+        let soc = SocConfig::iot_class();
+        assert_eq!(soc.state_for_capacity(0.0), 0);
+        assert_eq!(soc.state_for_capacity(1.0), soc.max_state());
+        // 0.55 needs at least 600 MHz out of 1000 MHz
+        assert_eq!(soc.state_for_capacity(0.55), 2);
+        // out-of-range inputs are clamped
+        assert_eq!(soc.state_for_capacity(7.0), soc.max_state());
+        assert_eq!(soc.state_for_capacity(-3.0), 0);
+    }
+}

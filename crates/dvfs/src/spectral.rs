@@ -1,0 +1,116 @@
+//! Spectral features of DVFS state traces.
+//!
+//! The DVFS-based HMD of Chawla et al. derives part of its signature from the
+//! frequency content of the DVFS time series (periodic workloads such as
+//! video playback or repeated encryption bursts leave characteristic peaks).
+//! This module provides a naive discrete Fourier transform and band-energy
+//! summarisation — O(n·k) for `k` retained bins, which is ample for the
+//! trace lengths used here.
+
+/// Magnitude of the first `num_bins` DFT coefficients (excluding the DC term)
+/// of `signal`, normalised by the signal length.
+///
+/// Returns all zeros for signals shorter than 2 samples.
+pub fn dft_magnitudes(signal: &[f64], num_bins: usize) -> Vec<f64> {
+    let n = signal.len();
+    let mut magnitudes = vec![0.0; num_bins];
+    if n < 2 {
+        return magnitudes;
+    }
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    for (bin, magnitude) in magnitudes.iter_mut().enumerate() {
+        let k = bin + 1; // skip DC
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (t, &x) in signal.iter().enumerate() {
+            let angle = -2.0 * std::f64::consts::PI * (k as f64) * (t as f64) / (n as f64);
+            let centred = x - mean;
+            re += centred * angle.cos();
+            im += centred * angle.sin();
+        }
+        *magnitude = (re * re + im * im).sqrt() / n as f64;
+    }
+    magnitudes
+}
+
+/// Aggregates DFT magnitudes into `num_bands` equally wide energy bands
+/// (sum of squared magnitudes per band).
+pub fn band_energies(signal: &[f64], num_bins: usize, num_bands: usize) -> Vec<f64> {
+    let magnitudes = dft_magnitudes(signal, num_bins);
+    let mut bands = vec![0.0; num_bands];
+    if num_bands == 0 || magnitudes.is_empty() {
+        return bands;
+    }
+    let per_band = (magnitudes.len() as f64 / num_bands as f64).ceil() as usize;
+    for (i, m) in magnitudes.iter().enumerate() {
+        let band = (i / per_band.max(1)).min(num_bands - 1);
+        bands[band] += m * m;
+    }
+    bands
+}
+
+/// Index (1-based bin number) of the dominant non-DC frequency component.
+pub fn dominant_frequency_bin(signal: &[f64], num_bins: usize) -> usize {
+    let magnitudes = dft_magnitudes(signal, num_bins);
+    magnitudes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i + 1)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(freq_cycles: f64, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|t| (2.0 * std::f64::consts::PI * freq_cycles * t as f64 / len as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_its_bin() {
+        let signal = sine(5.0, 256);
+        let mags = dft_magnitudes(&signal, 20);
+        let peak_bin = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak_bin + 1, 5);
+        assert_eq!(dominant_frequency_bin(&signal, 20), 5);
+    }
+
+    #[test]
+    fn constant_signal_has_no_spectral_energy() {
+        let signal = vec![3.0; 128];
+        let mags = dft_magnitudes(&signal, 10);
+        assert!(mags.iter().all(|m| m.abs() < 1e-9));
+    }
+
+    #[test]
+    fn short_signals_return_zeros() {
+        assert_eq!(dft_magnitudes(&[1.0], 4), vec![0.0; 4]);
+        assert_eq!(band_energies(&[], 4, 2), vec![0.0; 2]);
+    }
+
+    #[test]
+    fn band_energies_follow_tone_location() {
+        let low_tone = sine(2.0, 256);
+        let high_tone = sine(18.0, 256);
+        let low_bands = band_energies(&low_tone, 20, 4);
+        let high_bands = band_energies(&high_tone, 20, 4);
+        assert!(low_bands[0] > low_bands[3]);
+        assert!(high_bands[3] > high_bands[0]);
+    }
+
+    #[test]
+    fn band_count_is_respected() {
+        let signal = sine(3.0, 64);
+        assert_eq!(band_energies(&signal, 16, 4).len(), 4);
+        assert_eq!(band_energies(&signal, 16, 0).len(), 0);
+    }
+}

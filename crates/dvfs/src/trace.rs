@@ -1,0 +1,193 @@
+//! DVFS state traces: the raw hardware signature of the DVFS-based HMD.
+
+use crate::governor::Governor;
+use crate::soc::SocConfig;
+use crate::workload::WorkloadModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A time series of DVFS state indices recorded at the governor's sampling
+/// period.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DvfsTrace {
+    states: Vec<usize>,
+    num_states: usize,
+}
+
+impl DvfsTrace {
+    /// Creates a trace from raw state indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state index is `>= num_states` or `num_states == 0`.
+    pub fn new(states: Vec<usize>, num_states: usize) -> DvfsTrace {
+        assert!(num_states > 0, "a trace needs at least one DVFS state");
+        assert!(
+            states.iter().all(|&s| s < num_states),
+            "state index out of range"
+        );
+        DvfsTrace { states, num_states }
+    }
+
+    /// Simulates a trace: runs the workload's utilisation trace through the
+    /// governor on the given SoC.
+    pub fn simulate<R: Rng>(
+        workload: &WorkloadModel,
+        governor: &mut dyn Governor,
+        soc: &SocConfig,
+        len: usize,
+        rng: &mut R,
+    ) -> DvfsTrace {
+        governor.reset(soc);
+        let utilization = workload.utilization_trace(len, rng);
+        let states = utilization
+            .iter()
+            .map(|&u| governor.next_state(u, soc))
+            .collect();
+        DvfsTrace::new(states, soc.num_states())
+    }
+
+    /// The state index sequence.
+    pub fn states(&self) -> &[usize] {
+        &self.states
+    }
+
+    /// Number of distinct DVFS states of the SoC that produced the trace.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Trace length in sampling periods.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Fraction of time spent in each DVFS state (the state-occupancy
+    /// histogram).
+    pub fn occupancy(&self) -> Vec<f64> {
+        let mut histogram = vec![0.0; self.num_states];
+        if self.states.is_empty() {
+            return histogram;
+        }
+        for &s in &self.states {
+            histogram[s] += 1.0;
+        }
+        for h in &mut histogram {
+            *h /= self.states.len() as f64;
+        }
+        histogram
+    }
+
+    /// Row-normalised state transition matrix (`num_states × num_states`,
+    /// flattened row-major). Rows that never occur are left all-zero.
+    pub fn transition_matrix(&self) -> Vec<f64> {
+        let n = self.num_states;
+        let mut counts = vec![0.0; n * n];
+        for w in self.states.windows(2) {
+            counts[w[0] * n + w[1]] += 1.0;
+        }
+        for row in 0..n {
+            let total: f64 = counts[row * n..(row + 1) * n].iter().sum();
+            if total > 0.0 {
+                for c in 0..n {
+                    counts[row * n + c] /= total;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Number of state changes divided by the trace length (switching
+    /// activity, a proxy for how often the governor re-targets).
+    pub fn switching_rate(&self) -> f64 {
+        if self.states.len() < 2 {
+            return 0.0;
+        }
+        let switches = self.states.windows(2).filter(|w| w[0] != w[1]).count();
+        switches as f64 / (self.states.len() - 1) as f64
+    }
+
+    /// Mean state index normalised to `[0, 1]`.
+    pub fn mean_level(&self) -> f64 {
+        if self.states.is_empty() || self.num_states <= 1 {
+            return 0.0;
+        }
+        let sum: usize = self.states.iter().sum();
+        sum as f64 / (self.states.len() as f64 * (self.num_states - 1) as f64)
+    }
+
+    /// State indices as `f64` values (used by spectral feature extraction).
+    pub fn as_signal(&self) -> Vec<f64> {
+        self.states.iter().map(|&s| s as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::OndemandGovernor;
+    use crate::workload::Phase;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn demo_trace() -> DvfsTrace {
+        DvfsTrace::new(vec![0, 0, 1, 2, 2, 2, 1, 0], 3)
+    }
+
+    #[test]
+    fn occupancy_sums_to_one() {
+        let occ = demo_trace().occupancy();
+        assert_eq!(occ.len(), 3);
+        assert!((occ.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((occ[2] - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_matrix_rows_are_normalised() {
+        let tm = demo_trace().transition_matrix();
+        for row in 0..3 {
+            let sum: f64 = tm[row * 3..(row + 1) * 3].iter().sum();
+            assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-12, "row {row} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn switching_rate_counts_changes() {
+        let trace = demo_trace();
+        // transitions: 0->0,0->1,1->2,2->2,2->2,2->1,1->0 => 4 changes / 7
+        assert!((trace.switching_rate() - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_level_is_normalised() {
+        let trace = demo_trace();
+        let level = trace.mean_level();
+        assert!((0.0..=1.0).contains(&level));
+    }
+
+    #[test]
+    #[should_panic(expected = "state index out of range")]
+    fn out_of_range_states_panic() {
+        let _ = DvfsTrace::new(vec![0, 5], 3);
+    }
+
+    #[test]
+    fn simulate_produces_full_length_trace() {
+        let soc = SocConfig::snapdragon_like();
+        let workload = WorkloadModel::new(vec![Phase::new(0.9, 10.0), Phase::new(0.1, 10.0)]);
+        let mut governor = OndemandGovernor::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let trace = DvfsTrace::simulate(&workload, &mut governor, &soc, 300, &mut rng);
+        assert_eq!(trace.len(), 300);
+        assert_eq!(trace.num_states(), soc.num_states());
+        // a bursty workload should visit both low and high states
+        let occ = trace.occupancy();
+        assert!(occ[soc.max_state()] > 0.05);
+        assert!(occ[0] + occ[1] > 0.05);
+    }
+}

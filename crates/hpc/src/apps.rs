@@ -1,0 +1,507 @@
+//! Program catalog: benign applications and malware families executed on the
+//! simulated core.
+//!
+//! The defining property of the HPC dataset — reported by Zhou et al. and
+//! confirmed by the paper's uncertainty analysis — is that benign and malware
+//! programs exercise the micro-architecture in *overlapping* ways: an
+//! encrypting ransomware looks like an archiver, a cryptominer looks like a
+//! numeric benchmark, a spyware process looks like a background sync service.
+//! The catalog therefore deliberately pairs every malware family with benign
+//! programs of near-identical instruction mix, so that the resulting counter
+//! distributions overlap heavily (high aleatoric / data uncertainty). The
+//! "unknown" programs also fall inside this overlap region, matching the
+//! paper's observation that HPC unknowns are *not* out-of-distribution.
+
+use crate::workload::ProgramModel;
+use hmd_data::{AppId, Label};
+use serde::{Deserialize, Serialize};
+
+/// A simulated program (benign application or malware family).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramProfile {
+    /// Stable identifier used in dataset metadata.
+    pub id: AppId,
+    /// Human-readable name.
+    pub name: String,
+    /// Ground-truth class.
+    pub label: Label,
+    /// Whether the program belongs to the known (trainable) bucket.
+    pub known: bool,
+    /// Micro-architectural behaviour model.
+    pub model: ProgramModel,
+    /// Relative magnitude of per-sample behaviour jitter (inputs, scheduling,
+    /// co-running background work). Higher jitter widens the class overlap.
+    pub behaviour_jitter: f64,
+}
+
+impl ProgramProfile {
+    fn new(
+        id: u32,
+        name: &str,
+        label: Label,
+        known: bool,
+        model: ProgramModel,
+        behaviour_jitter: f64,
+    ) -> ProgramProfile {
+        ProgramProfile {
+            id: AppId(id),
+            name: name.to_string(),
+            label,
+            known,
+            model,
+            behaviour_jitter,
+        }
+    }
+}
+
+/// The full catalog of simulated programs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramCatalog {
+    programs: Vec<ProgramProfile>,
+}
+
+impl ProgramCatalog {
+    /// The default catalog: 8 known benign programs, 6 known malware
+    /// families, 2 unknown benign programs and 2 unknown malware families,
+    /// all drawn from overlapping behavioural regimes.
+    pub fn standard() -> ProgramCatalog {
+        let mut programs = Vec::new();
+
+        // -------- known benign programs --------
+        programs.push(ProgramProfile::new(
+            101,
+            "file_archiver",
+            Label::Benign,
+            true,
+            ProgramModel {
+                load_fraction: 0.32,
+                store_fraction: 0.18,
+                branch_fraction: 0.12,
+                working_set_bytes: 512 * 1024,
+                random_access_fraction: 0.15,
+                random_region_bytes: 16 * 1024 * 1024,
+                branch_taken_bias: 0.80,
+                branch_sites: 128,
+                branch_noise: 0.10,
+            },
+            0.30,
+        ));
+        programs.push(ProgramProfile::new(
+            102,
+            "numeric_benchmark",
+            Label::Benign,
+            true,
+            ProgramModel {
+                load_fraction: 0.24,
+                store_fraction: 0.08,
+                branch_fraction: 0.10,
+                working_set_bytes: 64 * 1024,
+                random_access_fraction: 0.05,
+                random_region_bytes: 8 * 1024 * 1024,
+                branch_taken_bias: 0.90,
+                branch_sites: 32,
+                branch_noise: 0.05,
+            },
+            0.25,
+        ));
+        programs.push(ProgramProfile::new(
+            103,
+            "web_server",
+            Label::Benign,
+            true,
+            ProgramModel {
+                load_fraction: 0.30,
+                store_fraction: 0.12,
+                branch_fraction: 0.18,
+                working_set_bytes: 2 * 1024 * 1024,
+                random_access_fraction: 0.35,
+                random_region_bytes: 32 * 1024 * 1024,
+                branch_taken_bias: 0.72,
+                branch_sites: 512,
+                branch_noise: 0.20,
+            },
+            0.35,
+        ));
+        programs.push(ProgramProfile::new(
+            104,
+            "database_engine",
+            Label::Benign,
+            true,
+            ProgramModel {
+                load_fraction: 0.38,
+                store_fraction: 0.14,
+                branch_fraction: 0.14,
+                working_set_bytes: 6 * 1024 * 1024,
+                random_access_fraction: 0.50,
+                random_region_bytes: 64 * 1024 * 1024,
+                branch_taken_bias: 0.68,
+                branch_sites: 512,
+                branch_noise: 0.22,
+            },
+            0.35,
+        ));
+        programs.push(ProgramProfile::new(
+            105,
+            "video_codec",
+            Label::Benign,
+            true,
+            ProgramModel {
+                load_fraction: 0.30,
+                store_fraction: 0.16,
+                branch_fraction: 0.10,
+                working_set_bytes: 1024 * 1024,
+                random_access_fraction: 0.10,
+                random_region_bytes: 16 * 1024 * 1024,
+                branch_taken_bias: 0.85,
+                branch_sites: 64,
+                branch_noise: 0.08,
+            },
+            0.30,
+        ));
+        programs.push(ProgramProfile::new(
+            106,
+            "compiler",
+            Label::Benign,
+            true,
+            ProgramModel {
+                load_fraction: 0.33,
+                store_fraction: 0.13,
+                branch_fraction: 0.19,
+                working_set_bytes: 3 * 1024 * 1024,
+                random_access_fraction: 0.30,
+                random_region_bytes: 32 * 1024 * 1024,
+                branch_taken_bias: 0.74,
+                branch_sites: 1024,
+                branch_noise: 0.18,
+            },
+            0.30,
+        ));
+        programs.push(ProgramProfile::new(
+            107,
+            "image_editor",
+            Label::Benign,
+            true,
+            ProgramModel {
+                load_fraction: 0.28,
+                store_fraction: 0.17,
+                branch_fraction: 0.11,
+                working_set_bytes: 4 * 1024 * 1024,
+                random_access_fraction: 0.20,
+                random_region_bytes: 24 * 1024 * 1024,
+                branch_taken_bias: 0.82,
+                branch_sites: 96,
+                branch_noise: 0.10,
+            },
+            0.30,
+        ));
+        programs.push(ProgramProfile::new(
+            108,
+            "background_sync",
+            Label::Benign,
+            true,
+            ProgramModel {
+                load_fraction: 0.26,
+                store_fraction: 0.10,
+                branch_fraction: 0.16,
+                working_set_bytes: 256 * 1024,
+                random_access_fraction: 0.40,
+                random_region_bytes: 48 * 1024 * 1024,
+                branch_taken_bias: 0.70,
+                branch_sites: 256,
+                branch_noise: 0.25,
+            },
+            0.40,
+        ));
+
+        // -------- known malware families (each mirrors a benign profile) ----
+        programs.push(ProgramProfile::new(
+            121,
+            "ransomware_encryptor", // mirrors file_archiver / video_codec
+            Label::Malware,
+            true,
+            ProgramModel {
+                load_fraction: 0.31,
+                store_fraction: 0.18,
+                branch_fraction: 0.11,
+                working_set_bytes: 768 * 1024,
+                random_access_fraction: 0.18,
+                random_region_bytes: 16 * 1024 * 1024,
+                branch_taken_bias: 0.82,
+                branch_sites: 96,
+                branch_noise: 0.10,
+            },
+            0.35,
+        ));
+        programs.push(ProgramProfile::new(
+            122,
+            "cryptominer", // mirrors numeric_benchmark
+            Label::Malware,
+            true,
+            ProgramModel {
+                load_fraction: 0.23,
+                store_fraction: 0.09,
+                branch_fraction: 0.10,
+                working_set_bytes: 96 * 1024,
+                random_access_fraction: 0.06,
+                random_region_bytes: 8 * 1024 * 1024,
+                branch_taken_bias: 0.88,
+                branch_sites: 48,
+                branch_noise: 0.06,
+            },
+            0.25,
+        ));
+        programs.push(ProgramProfile::new(
+            123,
+            "botnet_client", // mirrors web_server / background_sync
+            Label::Malware,
+            true,
+            ProgramModel {
+                load_fraction: 0.29,
+                store_fraction: 0.11,
+                branch_fraction: 0.17,
+                working_set_bytes: 1536 * 1024,
+                random_access_fraction: 0.38,
+                random_region_bytes: 32 * 1024 * 1024,
+                branch_taken_bias: 0.71,
+                branch_sites: 384,
+                branch_noise: 0.22,
+            },
+            0.40,
+        ));
+        programs.push(ProgramProfile::new(
+            124,
+            "spyware_scanner", // mirrors database_engine
+            Label::Malware,
+            true,
+            ProgramModel {
+                load_fraction: 0.37,
+                store_fraction: 0.13,
+                branch_fraction: 0.15,
+                working_set_bytes: 5 * 1024 * 1024,
+                random_access_fraction: 0.48,
+                random_region_bytes: 64 * 1024 * 1024,
+                branch_taken_bias: 0.69,
+                branch_sites: 512,
+                branch_noise: 0.22,
+            },
+            0.35,
+        ));
+        programs.push(ProgramProfile::new(
+            125,
+            "rootkit_patcher", // mirrors compiler
+            Label::Malware,
+            true,
+            ProgramModel {
+                load_fraction: 0.32,
+                store_fraction: 0.14,
+                branch_fraction: 0.18,
+                working_set_bytes: 2 * 1024 * 1024,
+                random_access_fraction: 0.32,
+                random_region_bytes: 32 * 1024 * 1024,
+                branch_taken_bias: 0.73,
+                branch_sites: 768,
+                branch_noise: 0.20,
+            },
+            0.35,
+        ));
+        programs.push(ProgramProfile::new(
+            126,
+            "adware_injector", // mirrors image_editor / web_server
+            Label::Malware,
+            true,
+            ProgramModel {
+                load_fraction: 0.29,
+                store_fraction: 0.15,
+                branch_fraction: 0.14,
+                working_set_bytes: 3 * 1024 * 1024,
+                random_access_fraction: 0.26,
+                random_region_bytes: 24 * 1024 * 1024,
+                branch_taken_bias: 0.78,
+                branch_sites: 192,
+                branch_noise: 0.15,
+            },
+            0.35,
+        ));
+
+        // -------- unknown programs (held out, still inside the overlap) -----
+        programs.push(ProgramProfile::new(
+            141,
+            "unknown_media_transcoder",
+            Label::Benign,
+            false,
+            ProgramModel {
+                load_fraction: 0.30,
+                store_fraction: 0.16,
+                branch_fraction: 0.11,
+                working_set_bytes: 1280 * 1024,
+                random_access_fraction: 0.14,
+                random_region_bytes: 16 * 1024 * 1024,
+                branch_taken_bias: 0.84,
+                branch_sites: 80,
+                branch_noise: 0.09,
+            },
+            0.35,
+        ));
+        programs.push(ProgramProfile::new(
+            142,
+            "unknown_key_value_store",
+            Label::Benign,
+            false,
+            ProgramModel {
+                load_fraction: 0.36,
+                store_fraction: 0.13,
+                branch_fraction: 0.15,
+                working_set_bytes: 4 * 1024 * 1024,
+                random_access_fraction: 0.45,
+                random_region_bytes: 48 * 1024 * 1024,
+                branch_taken_bias: 0.70,
+                branch_sites: 448,
+                branch_noise: 0.20,
+            },
+            0.35,
+        ));
+        programs.push(ProgramProfile::new(
+            143,
+            "unknown_wiper_malware",
+            Label::Malware,
+            false,
+            ProgramModel {
+                load_fraction: 0.31,
+                store_fraction: 0.19,
+                branch_fraction: 0.12,
+                working_set_bytes: 896 * 1024,
+                random_access_fraction: 0.20,
+                random_region_bytes: 24 * 1024 * 1024,
+                branch_taken_bias: 0.80,
+                branch_sites: 112,
+                branch_noise: 0.12,
+            },
+            0.35,
+        ));
+        programs.push(ProgramProfile::new(
+            144,
+            "unknown_cryptojacker",
+            Label::Malware,
+            false,
+            ProgramModel {
+                load_fraction: 0.25,
+                store_fraction: 0.09,
+                branch_fraction: 0.11,
+                working_set_bytes: 128 * 1024,
+                random_access_fraction: 0.08,
+                random_region_bytes: 8 * 1024 * 1024,
+                branch_taken_bias: 0.87,
+                branch_sites: 56,
+                branch_noise: 0.07,
+            },
+            0.30,
+        ));
+
+        ProgramCatalog { programs }
+    }
+
+    /// All programs.
+    pub fn programs(&self) -> &[ProgramProfile] {
+        &self.programs
+    }
+
+    /// Programs in the known (trainable) bucket.
+    pub fn known_programs(&self) -> Vec<&ProgramProfile> {
+        self.programs.iter().filter(|p| p.known).collect()
+    }
+
+    /// Programs in the unknown (held-out) bucket.
+    pub fn unknown_programs(&self) -> Vec<&ProgramProfile> {
+        self.programs.iter().filter(|p| !p.known).collect()
+    }
+
+    /// Looks up a program by id.
+    pub fn get(&self, id: AppId) -> Option<&ProgramProfile> {
+        self.programs.iter().find(|p| p.id == id)
+    }
+
+    /// Number of programs in the catalog.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// `true` when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+}
+
+impl Default for ProgramCatalog {
+    fn default() -> Self {
+        ProgramCatalog::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_both_classes_in_both_buckets() {
+        let catalog = ProgramCatalog::standard();
+        let known = catalog.known_programs();
+        let unknown = catalog.unknown_programs();
+        assert!(known.iter().any(|p| p.label == Label::Benign));
+        assert!(known.iter().any(|p| p.label == Label::Malware));
+        assert!(unknown.iter().any(|p| p.label == Label::Benign));
+        assert!(unknown.iter().any(|p| p.label == Label::Malware));
+    }
+
+    #[test]
+    fn program_ids_are_unique_and_models_valid() {
+        let catalog = ProgramCatalog::standard();
+        let mut ids: Vec<u32> = catalog.programs().iter().map(|p| p.id.0).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+        for program in catalog.programs() {
+            program.model.validate();
+            assert!(program.behaviour_jitter >= 0.0);
+        }
+    }
+
+    #[test]
+    fn malware_profiles_mirror_benign_profiles() {
+        // The catalog is constructed so that each malware family has a benign
+        // counterpart with a near-identical instruction mix; verify the
+        // closest benign neighbour of every malware profile is close in
+        // parameter space (this is what creates the class overlap).
+        let catalog = ProgramCatalog::standard();
+        let benign: Vec<&ProgramProfile> = catalog
+            .programs()
+            .iter()
+            .filter(|p| p.label == Label::Benign)
+            .collect();
+        for malware in catalog.programs().iter().filter(|p| p.label == Label::Malware) {
+            let closest = benign
+                .iter()
+                .map(|b| {
+                    let m = &malware.model;
+                    let bm = &b.model;
+                    (m.load_fraction - bm.load_fraction).abs()
+                        + (m.store_fraction - bm.store_fraction).abs()
+                        + (m.branch_fraction - bm.branch_fraction).abs()
+                        + (m.random_access_fraction - bm.random_access_fraction).abs()
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                closest < 0.15,
+                "{} has no close benign counterpart (distance {closest})",
+                malware.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_id_works() {
+        let catalog = ProgramCatalog::standard();
+        assert_eq!(catalog.get(AppId(122)).unwrap().name, "cryptominer");
+        assert!(catalog.get(AppId(9999)).is_none());
+    }
+}

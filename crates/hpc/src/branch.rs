@@ -1,0 +1,158 @@
+//! Branch predictor model: a table of 2-bit saturating counters indexed by
+//! the branch address (a bimodal predictor).
+
+use serde::{Deserialize, Serialize};
+
+/// A bimodal branch predictor with 2-bit saturating counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchPredictor {
+    /// One 2-bit counter per table entry (0–1 predict not-taken, 2–3 taken).
+    counters: Vec<u8>,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with `table_size` entries (rounded up to a power
+    /// of two), initialised to weakly-not-taken.
+    pub fn new(table_size: usize) -> BranchPredictor {
+        let size = table_size.max(2).next_power_of_two();
+        BranchPredictor {
+            counters: vec![1; size],
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    /// Predictor with the default 4096-entry table.
+    pub fn default_table() -> BranchPredictor {
+        BranchPredictor::new(4096)
+    }
+
+    fn index(&self, branch_address: u64) -> usize {
+        (branch_address as usize >> 2) & (self.counters.len() - 1)
+    }
+
+    /// Predicts and then updates with the actual outcome; returns `true` when
+    /// the prediction was correct.
+    pub fn predict_and_update(&mut self, branch_address: u64, taken: bool) -> bool {
+        let index = self.index(branch_address);
+        let counter = self.counters[index];
+        let predicted_taken = counter >= 2;
+        let correct = predicted_taken == taken;
+        self.predictions += 1;
+        if !correct {
+            self.mispredictions += 1;
+        }
+        self.counters[index] = if taken {
+            (counter + 1).min(3)
+        } else {
+            counter.saturating_sub(1)
+        };
+        correct
+    }
+
+    /// Total number of predictions made.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Total number of mispredictions.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Misprediction rate; 0 when no predictions were made.
+    pub fn miss_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+
+    /// Resets the statistics, keeping the learned counter state.
+    pub fn reset_stats(&mut self) {
+        self.predictions = 0;
+        self.mispredictions = 0;
+    }
+}
+
+impl Default for BranchPredictor {
+    fn default() -> Self {
+        BranchPredictor::default_table()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn table_size_rounds_to_power_of_two() {
+        assert_eq!(BranchPredictor::new(1000).counters.len(), 1024);
+        assert_eq!(BranchPredictor::new(0).counters.len(), 2);
+    }
+
+    #[test]
+    fn always_taken_branch_is_learned() {
+        let mut bp = BranchPredictor::new(64);
+        let addr = 0x400;
+        for _ in 0..100 {
+            bp.predict_and_update(addr, true);
+        }
+        // After warm-up the branch should be predicted correctly; at most the
+        // first two predictions can miss while the counter saturates.
+        assert!(bp.mispredictions() <= 2, "mispredictions {}", bp.mispredictions());
+    }
+
+    #[test]
+    fn alternating_branch_defeats_bimodal_predictor() {
+        let mut bp = BranchPredictor::new(64);
+        let addr = 0x800;
+        for i in 0..200 {
+            bp.predict_and_update(addr, i % 2 == 0);
+        }
+        assert!(
+            bp.miss_rate() > 0.4,
+            "alternating pattern should be hard, rate {}",
+            bp.miss_rate()
+        );
+    }
+
+    #[test]
+    fn random_branches_miss_about_half_the_time() {
+        let mut bp = BranchPredictor::new(256);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5000 {
+            bp.predict_and_update(rng.gen_range(0..1024u64) * 4, rng.gen_bool(0.5));
+        }
+        let rate = bp.miss_rate();
+        assert!((0.35..=0.65).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn biased_branches_are_mostly_predicted() {
+        let mut bp = BranchPredictor::new(256);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5000 {
+            bp.predict_and_update(rng.gen_range(0..64u64) * 4, rng.gen_bool(0.95));
+        }
+        assert!(bp.miss_rate() < 0.15, "rate {}", bp.miss_rate());
+    }
+
+    #[test]
+    fn reset_stats_clears_counts_only() {
+        let mut bp = BranchPredictor::new(64);
+        for _ in 0..10 {
+            bp.predict_and_update(0x10, true);
+        }
+        bp.reset_stats();
+        assert_eq!(bp.predictions(), 0);
+        assert_eq!(bp.miss_rate(), 0.0);
+        // learned direction survives
+        assert!(bp.predict_and_update(0x10, true));
+    }
+}

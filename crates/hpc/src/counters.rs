@@ -1,0 +1,157 @@
+//! The set of hardware performance counters the simulated core exposes.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// One sampling interval's worth of hardware performance counter readings.
+///
+/// The counter selection follows Zhou et al.: retired instructions, cycles,
+/// branches and branch mispredictions, L1 data-cache and last-level-cache
+/// accesses and misses, plus load/store counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSet {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Elapsed core cycles.
+    pub cycles: u64,
+    /// Retired branch instructions.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub branch_misses: u64,
+    /// L1 data-cache accesses.
+    pub l1d_accesses: u64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// Last-level-cache accesses.
+    pub llc_accesses: u64,
+    /// Last-level-cache misses.
+    pub llc_misses: u64,
+    /// Retired load instructions.
+    pub loads: u64,
+    /// Retired store instructions.
+    pub stores: u64,
+}
+
+impl CounterSet {
+    /// An all-zero counter set.
+    pub fn new() -> CounterSet {
+        CounterSet::default()
+    }
+
+    /// Instructions per cycle; 0 when no cycles elapsed.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate; 0 when no branches retired.
+    pub fn branch_miss_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_misses as f64 / self.branches as f64
+        }
+    }
+
+    /// L1 data-cache miss rate; 0 when no accesses.
+    pub fn l1d_miss_rate(&self) -> f64 {
+        if self.l1d_accesses == 0 {
+            0.0
+        } else {
+            self.l1d_misses as f64 / self.l1d_accesses as f64
+        }
+    }
+
+    /// Last-level-cache miss rate; 0 when no accesses.
+    pub fn llc_miss_rate(&self) -> f64 {
+        if self.llc_accesses == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / self.llc_accesses as f64
+        }
+    }
+
+    /// Events per kilo-instruction, the normalisation used by the feature
+    /// extractor; 0 when no instructions retired.
+    pub fn per_kilo_instruction(&self, events: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            events as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+impl AddAssign for CounterSet {
+    fn add_assign(&mut self, rhs: CounterSet) {
+        self.instructions += rhs.instructions;
+        self.cycles += rhs.cycles;
+        self.branches += rhs.branches;
+        self.branch_misses += rhs.branch_misses;
+        self.l1d_accesses += rhs.l1d_accesses;
+        self.l1d_misses += rhs.l1d_misses;
+        self.llc_accesses += rhs.llc_accesses;
+        self.llc_misses += rhs.llc_misses;
+        self.loads += rhs.loads;
+        self.stores += rhs.stores;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let c = CounterSet::new();
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.branch_miss_rate(), 0.0);
+        assert_eq!(c.l1d_miss_rate(), 0.0);
+        assert_eq!(c.llc_miss_rate(), 0.0);
+        assert_eq!(c.per_kilo_instruction(5), 0.0);
+    }
+
+    #[test]
+    fn rates_match_hand_computation() {
+        let c = CounterSet {
+            instructions: 1000,
+            cycles: 2000,
+            branches: 100,
+            branch_misses: 10,
+            l1d_accesses: 400,
+            l1d_misses: 40,
+            llc_accesses: 40,
+            llc_misses: 8,
+            loads: 250,
+            stores: 150,
+        };
+        assert!((c.ipc() - 0.5).abs() < 1e-12);
+        assert!((c.branch_miss_rate() - 0.1).abs() < 1e-12);
+        assert!((c.l1d_miss_rate() - 0.1).abs() < 1e-12);
+        assert!((c.llc_miss_rate() - 0.2).abs() < 1e-12);
+        assert!((c.per_kilo_instruction(c.branches) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_accumulates_every_field() {
+        let mut a = CounterSet {
+            instructions: 1,
+            cycles: 2,
+            branches: 3,
+            branch_misses: 4,
+            l1d_accesses: 5,
+            l1d_misses: 6,
+            llc_accesses: 7,
+            llc_misses: 8,
+            loads: 9,
+            stores: 10,
+        };
+        a += a;
+        assert_eq!(a.instructions, 2);
+        assert_eq!(a.stores, 20);
+        assert_eq!(a.llc_misses, 16);
+    }
+}

@@ -1,0 +1,229 @@
+//! The simulated in-order core: executes abstract instruction streams and
+//! accumulates hardware performance counters.
+
+use crate::branch::BranchPredictor;
+use crate::cache::{Cache, CacheConfig};
+use crate::counters::CounterSet;
+use crate::workload::{Instruction, ProgramModel, ProgramState};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Latency and structure configuration of the simulated core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Cycles per ALU instruction.
+    pub alu_latency: u64,
+    /// Cycles for an L1 hit.
+    pub l1_hit_latency: u64,
+    /// Additional cycles for an LLC hit (L1 miss).
+    pub llc_hit_latency: u64,
+    /// Additional cycles for a memory access (LLC miss).
+    pub memory_latency: u64,
+    /// Pipeline-flush penalty of a mispredicted branch, in cycles.
+    pub branch_miss_penalty: u64,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Last-level cache geometry.
+    pub llc: CacheConfig,
+    /// Branch-predictor table entries.
+    pub branch_table: usize,
+}
+
+impl CpuConfig {
+    /// A small mobile-class core configuration.
+    pub fn mobile_core() -> CpuConfig {
+        CpuConfig {
+            alu_latency: 1,
+            l1_hit_latency: 3,
+            llc_hit_latency: 12,
+            memory_latency: 90,
+            branch_miss_penalty: 14,
+            l1d: CacheConfig::l1d(),
+            llc: CacheConfig::llc(),
+            branch_table: 4096,
+        }
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::mobile_core()
+    }
+}
+
+/// The simulated core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cpu {
+    config: CpuConfig,
+    l1d: Cache,
+    llc: Cache,
+    branch_predictor: BranchPredictor,
+    counters: CounterSet,
+}
+
+impl Cpu {
+    /// Creates a core with cold caches and an untrained predictor.
+    pub fn new(config: CpuConfig) -> Cpu {
+        Cpu {
+            l1d: Cache::new(config.l1d),
+            llc: Cache::new(config.llc),
+            branch_predictor: BranchPredictor::new(config.branch_table),
+            counters: CounterSet::new(),
+            config,
+        }
+    }
+
+    /// The core configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// Counters accumulated since the last [`Cpu::take_counters`].
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// Returns the accumulated counters and starts a new sampling interval
+    /// (micro-architectural state — caches, predictor — is preserved, exactly
+    /// like reading perf counters on real hardware).
+    pub fn take_counters(&mut self) -> CounterSet {
+        let snapshot = self.counters;
+        self.counters = CounterSet::new();
+        snapshot
+    }
+
+    /// Executes a single abstract instruction.
+    pub fn execute(&mut self, instruction: Instruction) {
+        self.counters.instructions += 1;
+        match instruction {
+            Instruction::Alu => {
+                self.counters.cycles += self.config.alu_latency;
+            }
+            Instruction::Load(address) | Instruction::Store(address) => {
+                if matches!(instruction, Instruction::Load(_)) {
+                    self.counters.loads += 1;
+                } else {
+                    self.counters.stores += 1;
+                }
+                self.counters.l1d_accesses += 1;
+                let mut latency = self.config.l1_hit_latency;
+                if !self.l1d.access(address) {
+                    self.counters.l1d_misses += 1;
+                    self.counters.llc_accesses += 1;
+                    latency += self.config.llc_hit_latency;
+                    if !self.llc.access(address) {
+                        self.counters.llc_misses += 1;
+                        latency += self.config.memory_latency;
+                    }
+                }
+                self.counters.cycles += latency;
+            }
+            Instruction::Branch { address, taken } => {
+                self.counters.branches += 1;
+                self.counters.cycles += self.config.alu_latency;
+                if !self.branch_predictor.predict_and_update(address, taken) {
+                    self.counters.branch_misses += 1;
+                    self.counters.cycles += self.config.branch_miss_penalty;
+                }
+            }
+        }
+    }
+
+    /// Runs `num_instructions` instructions of the given program model and
+    /// returns the counters of that interval.
+    pub fn run_interval<R: Rng>(
+        &mut self,
+        program: &ProgramModel,
+        state: &mut ProgramState,
+        num_instructions: u64,
+        rng: &mut R,
+    ) -> CounterSet {
+        for _ in 0..num_instructions {
+            let instruction = program.next_instruction(state, rng);
+            self.execute(instruction);
+        }
+        self.take_counters()
+    }
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Cpu::new(CpuConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counters_account_for_every_instruction() {
+        let mut cpu = Cpu::default();
+        let program = ProgramModel::compute_bound();
+        let mut state = ProgramState::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let counters = cpu.run_interval(&program, &mut state, 10_000, &mut rng);
+        assert_eq!(counters.instructions, 10_000);
+        assert_eq!(
+            counters.loads + counters.stores,
+            counters.l1d_accesses,
+            "every memory instruction accesses the L1"
+        );
+        assert!(counters.cycles >= counters.instructions);
+        assert!(counters.branch_misses <= counters.branches);
+        assert!(counters.l1d_misses <= counters.l1d_accesses);
+        assert!(counters.llc_misses <= counters.llc_accesses);
+        assert_eq!(counters.llc_accesses, counters.l1d_misses);
+    }
+
+    #[test]
+    fn memory_bound_program_misses_more_than_compute_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut run = |model: &ProgramModel| {
+            let mut cpu = Cpu::default();
+            let mut state = ProgramState::default();
+            // warm-up interval, then measure
+            cpu.run_interval(model, &mut state, 20_000, &mut rng);
+            cpu.run_interval(model, &mut state, 20_000, &mut rng)
+        };
+        let compute = run(&ProgramModel::compute_bound());
+        let memory = run(&ProgramModel::memory_bound());
+        assert!(
+            memory.l1d_miss_rate() > compute.l1d_miss_rate(),
+            "memory-bound L1 miss rate {} should exceed compute-bound {}",
+            memory.l1d_miss_rate(),
+            compute.l1d_miss_rate()
+        );
+        assert!(memory.ipc() < compute.ipc());
+    }
+
+    #[test]
+    fn take_counters_resets_interval_but_keeps_microarch_state() {
+        let mut cpu = Cpu::default();
+        let program = ProgramModel::compute_bound();
+        let mut state = ProgramState::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let first = cpu.run_interval(&program, &mut state, 5000, &mut rng);
+        let second = cpu.run_interval(&program, &mut state, 5000, &mut rng);
+        assert_eq!(first.instructions, second.instructions);
+        // The second interval benefits from warm caches and a trained
+        // predictor, so it should not be slower than the cold first interval.
+        assert!(second.cycles <= first.cycles);
+    }
+
+    #[test]
+    fn branch_heavy_noisy_program_accumulates_mispredictions() {
+        let model = ProgramModel {
+            branch_fraction: 0.4,
+            branch_noise: 1.0,
+            ..ProgramModel::compute_bound()
+        };
+        let mut cpu = Cpu::default();
+        let mut state = ProgramState::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let counters = cpu.run_interval(&model, &mut state, 20_000, &mut rng);
+        assert!(counters.branch_miss_rate() > 0.3, "rate {}", counters.branch_miss_rate());
+    }
+}

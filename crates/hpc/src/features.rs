@@ -1,0 +1,130 @@
+//! Feature extraction from hardware counter samples.
+//!
+//! Raw counters scale with the interval length, so — following Zhou et al. —
+//! every event count is normalised to events per kilo-instruction (PKI) and
+//! complemented with the standard derived rates (IPC, miss rates).
+
+use crate::counters::CounterSet;
+use serde::{Deserialize, Serialize};
+
+/// Converts counter samples into fixed-length feature vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HpcFeatureExtractor;
+
+impl HpcFeatureExtractor {
+    /// Creates the extractor.
+    pub fn new() -> HpcFeatureExtractor {
+        HpcFeatureExtractor
+    }
+
+    /// Names of the extracted features, in output order.
+    pub fn feature_names(&self) -> Vec<String> {
+        [
+            "ipc",
+            "cycles_pki",
+            "branches_pki",
+            "branch_miss_rate",
+            "branch_misses_pki",
+            "l1d_accesses_pki",
+            "l1d_miss_rate",
+            "l1d_misses_pki",
+            "llc_accesses_pki",
+            "llc_miss_rate",
+            "llc_misses_pki",
+            "loads_pki",
+            "stores_pki",
+            "load_store_ratio",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    /// Number of features per sample.
+    pub fn num_features(&self) -> usize {
+        self.feature_names().len()
+    }
+
+    /// Extracts the feature vector of one counter sample.
+    pub fn extract(&self, counters: &CounterSet) -> Vec<f64> {
+        let load_store_ratio = if counters.stores == 0 {
+            counters.loads as f64
+        } else {
+            counters.loads as f64 / counters.stores as f64
+        };
+        vec![
+            counters.ipc(),
+            counters.per_kilo_instruction(counters.cycles),
+            counters.per_kilo_instruction(counters.branches),
+            counters.branch_miss_rate(),
+            counters.per_kilo_instruction(counters.branch_misses),
+            counters.per_kilo_instruction(counters.l1d_accesses),
+            counters.l1d_miss_rate(),
+            counters.per_kilo_instruction(counters.l1d_misses),
+            counters.per_kilo_instruction(counters.llc_accesses),
+            counters.llc_miss_rate(),
+            counters.per_kilo_instruction(counters.llc_misses),
+            counters.per_kilo_instruction(counters.loads),
+            counters.per_kilo_instruction(counters.stores),
+            load_store_ratio,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_counters() -> CounterSet {
+        CounterSet {
+            instructions: 4000,
+            cycles: 9000,
+            branches: 600,
+            branch_misses: 60,
+            l1d_accesses: 1600,
+            l1d_misses: 200,
+            llc_accesses: 200,
+            llc_misses: 50,
+            loads: 1100,
+            stores: 500,
+        }
+    }
+
+    #[test]
+    fn feature_count_matches_names() {
+        let extractor = HpcFeatureExtractor::new();
+        let features = extractor.extract(&sample_counters());
+        assert_eq!(features.len(), extractor.num_features());
+        assert_eq!(features.len(), extractor.feature_names().len());
+    }
+
+    #[test]
+    fn features_are_finite_and_consistent() {
+        let extractor = HpcFeatureExtractor::new();
+        let c = sample_counters();
+        let features = extractor.extract(&c);
+        assert!(features.iter().all(|f| f.is_finite()));
+        // ipc
+        assert!((features[0] - 4000.0 / 9000.0).abs() < 1e-12);
+        // branches per kilo-instruction
+        assert!((features[2] - 150.0).abs() < 1e-12);
+        // load/store ratio
+        assert!((features[13] - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_counters_produce_zero_features() {
+        let extractor = HpcFeatureExtractor::new();
+        let features = extractor.extract(&CounterSet::new());
+        assert!(features.iter().all(|f| *f == 0.0));
+    }
+
+    #[test]
+    fn zero_stores_does_not_divide_by_zero() {
+        let extractor = HpcFeatureExtractor::new();
+        let mut c = sample_counters();
+        c.stores = 0;
+        let features = extractor.extract(&c);
+        assert!(features.iter().all(|f| f.is_finite()));
+    }
+}

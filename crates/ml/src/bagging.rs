@@ -1,0 +1,318 @@
+//! Breiman bagging over any [`Estimator`].
+//!
+//! This is the workspace's equivalent of scikit-learn's `BaggingClassifier`:
+//! each base classifier is trained on a bootstrap replicate of the training
+//! set, predictions are combined by majority vote, and — crucially for the
+//! paper — the trained base classifiers are accessible via
+//! [`BaggingEnsemble::estimators`], mirroring sklearn's `estimators_`
+//! attribute that the uncertainty estimator reads.
+
+use crate::{Classifier, Estimator, MlError};
+use hmd_data::split::bootstrap_indices;
+use hmd_data::{Dataset, Label};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a bagging ensemble built on base estimator `E`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaggingParams<E> {
+    /// The base estimator cloned and fitted on every bootstrap replicate.
+    pub base: E,
+    /// Number of base classifiers.
+    pub num_estimators: usize,
+    /// Fraction of the training set drawn (with replacement) for each
+    /// replicate. `1.0` reproduces classic bagging.
+    pub sample_fraction: f64,
+    /// When false, every base classifier sees the full training set and
+    /// diversity comes only from the base learner's own randomness. Used by
+    /// the diversity ablation.
+    pub bootstrap: bool,
+}
+
+impl<E: Estimator> BaggingParams<E> {
+    /// Creates a bagging configuration with the paper's default of 25 base
+    /// classifiers and full-size bootstrap replicates.
+    pub fn new(base: E) -> BaggingParams<E> {
+        BaggingParams {
+            base,
+            num_estimators: 25,
+            sample_fraction: 1.0,
+            bootstrap: true,
+        }
+    }
+
+    /// Sets the number of base classifiers.
+    pub fn with_num_estimators(mut self, n: usize) -> Self {
+        self.num_estimators = n;
+        self
+    }
+
+    /// Sets the bootstrap sample fraction.
+    pub fn with_sample_fraction(mut self, fraction: f64) -> Self {
+        self.sample_fraction = fraction;
+        self
+    }
+
+    /// Enables or disables bootstrap resampling.
+    pub fn with_bootstrap(mut self, bootstrap: bool) -> Self {
+        self.bootstrap = bootstrap;
+        self
+    }
+
+    fn validate(&self) -> Result<(), MlError> {
+        if self.num_estimators == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "num_estimators",
+                message: "an ensemble needs at least one base classifier".into(),
+            });
+        }
+        if !(self.sample_fraction > 0.0 && self.sample_fraction <= 1.0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "sample_fraction",
+                message: format!("must lie in (0, 1], got {}", self.sample_fraction),
+            });
+        }
+        Ok(())
+    }
+
+    /// Fits the ensemble on the training dataset.
+    ///
+    /// Base classifiers are trained in parallel with decorrelated seeds
+    /// derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors from [`BaggingParams::validate`] and
+    /// propagates the first base-training failure.
+    pub fn fit(&self, dataset: &Dataset, seed: u64) -> Result<BaggingEnsemble<E::Model>, MlError> {
+        self.validate()?;
+        let mut seeder = StdRng::seed_from_u64(seed);
+        let seeds: Vec<u64> = (0..self.num_estimators).map(|_| seeder.gen()).collect();
+        let replicate_len =
+            ((dataset.len() as f64) * self.sample_fraction).round().max(1.0) as usize;
+        let models: Result<Vec<E::Model>, MlError> = seeds
+            .par_iter()
+            .map(|&estimator_seed| {
+                let mut rng = StdRng::seed_from_u64(estimator_seed);
+                let training = if self.bootstrap {
+                    let (mut indices, _) = bootstrap_indices(dataset.len(), &mut rng);
+                    indices.truncate(replicate_len);
+                    dataset.select(&indices)
+                } else {
+                    dataset.clone()
+                };
+                self.base.fit(&training, estimator_seed)
+            })
+            .collect();
+        Ok(BaggingEnsemble {
+            estimators: models?,
+            base_name: self.base.name(),
+        })
+    }
+
+    /// Name of the base learner (e.g. `"random-forest"`).
+    pub fn base_name(&self) -> &'static str {
+        self.base.name()
+    }
+}
+
+/// A trained bagging ensemble of base classifiers.
+///
+/// # Example
+///
+/// ```
+/// use hmd_data::{Dataset, Label, Matrix};
+/// use hmd_ml::bagging::BaggingParams;
+/// use hmd_ml::logistic::LogisticRegressionParams;
+/// use hmd_ml::Classifier;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = Matrix::from_rows(&[vec![-1.0], vec![-0.9], vec![0.9], vec![1.0]])?;
+/// let y = vec![Label::Benign, Label::Benign, Label::Malware, Label::Malware];
+/// let train = Dataset::new(x, y)?;
+/// let ensemble = BaggingParams::new(LogisticRegressionParams::new())
+///     .with_num_estimators(7)
+///     .fit(&train, 42)?;
+/// assert_eq!(ensemble.num_estimators(), 7);
+/// assert_eq!(ensemble.predict_one(&[1.2]), Label::Malware);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaggingEnsemble<M> {
+    estimators: Vec<M>,
+    base_name: &'static str,
+}
+
+impl<M: Classifier> BaggingEnsemble<M> {
+    /// The trained base classifiers (sklearn's `estimators_`).
+    pub fn estimators(&self) -> &[M] {
+        &self.estimators
+    }
+
+    /// Number of base classifiers.
+    pub fn num_estimators(&self) -> usize {
+        self.estimators.len()
+    }
+
+    /// Name of the base learner.
+    pub fn base_name(&self) -> &'static str {
+        self.base_name
+    }
+
+    /// Individual hard votes of every base classifier on one input.
+    ///
+    /// This is the raw material of the paper's uncertainty estimator: the
+    /// frequency distribution of these votes approximates the predictive
+    /// posterior of Eq. 3.
+    pub fn votes(&self, features: &[f64]) -> Vec<Label> {
+        self.estimators
+            .iter()
+            .map(|m| m.predict_one(features))
+            .collect()
+    }
+
+    /// Counts of votes per class, indexed by [`Label::index`].
+    pub fn vote_counts(&self, features: &[f64]) -> [usize; Label::NUM_CLASSES] {
+        let mut counts = [0usize; Label::NUM_CLASSES];
+        for vote in self.votes(features) {
+            counts[vote.index()] += 1;
+        }
+        counts
+    }
+
+    /// Restricts the ensemble to its first `n` base classifiers (used by the
+    /// ensemble-size sweep of Fig. 9a). Returns `None` when `n` is zero or
+    /// exceeds the number of estimators.
+    pub fn truncated(&self, n: usize) -> Option<BaggingEnsemble<M>>
+    where
+        M: Clone,
+    {
+        if n == 0 || n > self.estimators.len() {
+            return None;
+        }
+        Some(BaggingEnsemble {
+            estimators: self.estimators[..n].to_vec(),
+            base_name: self.base_name,
+        })
+    }
+}
+
+impl<M: Classifier> Classifier for BaggingEnsemble<M> {
+    fn predict_one(&self, features: &[f64]) -> Label {
+        let counts = self.vote_counts(features);
+        Label::from(counts[1] >= counts[0])
+    }
+
+    fn predict_proba_one(&self, features: &[f64]) -> f64 {
+        let counts = self.vote_counts(features);
+        counts[1] as f64 / self.estimators.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::LogisticRegressionParams;
+    use crate::tree::DecisionTreeParams;
+    use hmd_data::Matrix;
+
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let malware = rng.gen_bool(0.5);
+            let c = if malware { 1.0 } else { -1.0 };
+            rows.push(vec![c + rng.gen_range(-0.5..0.5), c + rng.gen_range(-0.5..0.5)]);
+            labels.push(Label::from(malware));
+        }
+        Dataset::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    #[test]
+    fn bagged_trees_classify_blobs() {
+        let train = blobs(150, 1);
+        let test = blobs(60, 2);
+        let ensemble = BaggingParams::new(DecisionTreeParams::new())
+            .with_num_estimators(9)
+            .fit(&train, 3)
+            .unwrap();
+        let acc = ensemble
+            .predict(test.features())
+            .iter()
+            .zip(test.labels())
+            .filter(|(p, l)| p == l)
+            .count() as f64
+            / test.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn votes_sum_to_ensemble_size() {
+        let train = blobs(80, 4);
+        let ensemble = BaggingParams::new(LogisticRegressionParams::new().with_epochs(50))
+            .with_num_estimators(11)
+            .fit(&train, 5)
+            .unwrap();
+        let counts = ensemble.vote_counts(&[0.2, -0.1]);
+        assert_eq!(counts[0] + counts[1], 11);
+    }
+
+    #[test]
+    fn truncation_respects_bounds() {
+        let train = blobs(60, 6);
+        let ensemble = BaggingParams::new(DecisionTreeParams::new())
+            .with_num_estimators(8)
+            .fit(&train, 1)
+            .unwrap();
+        assert!(ensemble.truncated(0).is_none());
+        assert!(ensemble.truncated(9).is_none());
+        assert_eq!(ensemble.truncated(3).unwrap().num_estimators(), 3);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let train = blobs(30, 7);
+        assert!(BaggingParams::new(DecisionTreeParams::new())
+            .with_num_estimators(0)
+            .fit(&train, 0)
+            .is_err());
+        assert!(BaggingParams::new(DecisionTreeParams::new())
+            .with_sample_fraction(0.0)
+            .fit(&train, 0)
+            .is_err());
+        assert!(BaggingParams::new(DecisionTreeParams::new())
+            .with_sample_fraction(1.5)
+            .fit(&train, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = blobs(60, 8);
+        let a = BaggingParams::new(DecisionTreeParams::new())
+            .with_num_estimators(5)
+            .fit(&train, 77)
+            .unwrap();
+        let b = BaggingParams::new(DecisionTreeParams::new())
+            .with_num_estimators(5)
+            .fit(&train, 77)
+            .unwrap();
+        let x = [0.3, 0.4];
+        assert_eq!(a.votes(&x), b.votes(&x));
+    }
+
+    #[test]
+    fn sample_fraction_shrinks_replicates_without_breaking_fit() {
+        let train = blobs(100, 9);
+        let ensemble = BaggingParams::new(DecisionTreeParams::new())
+            .with_num_estimators(5)
+            .with_sample_fraction(0.5)
+            .fit(&train, 2)
+            .unwrap();
+        assert_eq!(ensemble.num_estimators(), 5);
+    }
+}

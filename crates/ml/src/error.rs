@@ -1,0 +1,90 @@
+use hmd_data::DataError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for model training and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// The underlying dataset operation failed.
+    Data(DataError),
+    /// A hyper-parameter was outside its valid range.
+    InvalidHyperparameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation of the valid range.
+        message: String,
+    },
+    /// Training could not proceed (e.g. single-class training set for a
+    /// learner that needs both classes).
+    TrainingFailed {
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The solver did not converge within its iteration budget.
+    DidNotConverge {
+        /// Name of the learner.
+        learner: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// A prediction was requested before (or without) training.
+    NotFitted,
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::Data(err) => write!(f, "data error: {err}"),
+            MlError::InvalidHyperparameter { name, message } => {
+                write!(f, "invalid hyper-parameter `{name}`: {message}")
+            }
+            MlError::TrainingFailed { message } => write!(f, "training failed: {message}"),
+            MlError::DidNotConverge { learner, iterations } => {
+                write!(f, "{learner} did not converge after {iterations} iterations")
+            }
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+        }
+    }
+}
+
+impl Error for MlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MlError::Data(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for MlError {
+    fn from(err: DataError) -> Self {
+        MlError::Data(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        let err = MlError::DidNotConverge {
+            learner: "svm",
+            iterations: 10,
+        };
+        assert!(err.to_string().contains("svm"));
+    }
+
+    #[test]
+    fn data_errors_convert() {
+        let err: MlError = DataError::Empty { context: "x" }.into();
+        assert!(matches!(err, MlError::Data(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MlError>();
+    }
+}

@@ -1,0 +1,252 @@
+//! Small linear-algebra helpers: covariance matrices and a Jacobi
+//! eigensolver for symmetric matrices (used by [`crate::pca::Pca`]).
+
+use crate::MlError;
+use hmd_data::Matrix;
+
+/// Sample covariance matrix of the rows of `data` (columns are variables).
+///
+/// Uses the `1/(n-1)` normalisation; a single-row matrix yields all zeros.
+pub fn covariance_matrix(data: &Matrix) -> Matrix {
+    let n = data.rows();
+    let d = data.cols();
+    let means = data.column_means();
+    let mut cov = Matrix::zeros(d, d);
+    if n < 2 {
+        return cov;
+    }
+    for row in data.iter_rows() {
+        for i in 0..d {
+            let di = row[i] - means[i];
+            for j in i..d {
+                let dj = row[j] - means[j];
+                cov[(i, j)] += di * dj;
+            }
+        }
+    }
+    let norm = 1.0 / (n as f64 - 1.0);
+    for i in 0..d {
+        for j in i..d {
+            let v = cov[(i, j)] * norm;
+            cov[(i, j)] = v;
+            cov[(j, i)] = v;
+        }
+    }
+    cov
+}
+
+/// Eigen-decomposition of a symmetric matrix, sorted by descending eigenvalue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Eigenvectors stored as matrix columns, aligned with `eigenvalues`.
+    pub eigenvectors: Matrix,
+}
+
+/// Cyclic Jacobi eigen-decomposition of a symmetric matrix.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidHyperparameter`] when the matrix is not square
+/// and [`MlError::DidNotConverge`] when off-diagonal mass remains after the
+/// sweep budget (does not happen for well-conditioned covariance matrices).
+pub fn jacobi_eigen(matrix: &Matrix, max_sweeps: usize) -> Result<SymmetricEigen, MlError> {
+    let n = matrix.rows();
+    if matrix.cols() != n {
+        return Err(MlError::InvalidHyperparameter {
+            name: "matrix",
+            message: format!(
+                "eigendecomposition requires a square matrix, got {}x{}",
+                matrix.rows(),
+                matrix.cols()
+            ),
+        });
+    }
+    let mut a = matrix.clone();
+    let mut v = Matrix::zeros(n, n);
+    for i in 0..n {
+        v[(i, i)] = 1.0;
+    }
+
+    let off_diagonal_norm = |a: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += a[(i, j)] * a[(i, j)];
+                }
+            }
+        }
+        s.sqrt()
+    };
+
+    let tolerance = 1e-12 * (1.0 + off_diagonal_norm(&a));
+    let mut converged = false;
+    for _ in 0..max_sweeps {
+        if off_diagonal_norm(&a) < tolerance {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if !converged && off_diagonal_norm(&a) >= tolerance {
+        return Err(MlError::DidNotConverge {
+            learner: "jacobi-eigen",
+            iterations: max_sweeps,
+        });
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        a[(j, j)]
+            .partial_cmp(&a[(i, i)])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            eigenvectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    Ok(SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    })
+}
+
+/// Squared Euclidean distance between two equally sized vectors.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Pairwise squared Euclidean distances between the rows of `data`.
+pub fn pairwise_squared_distances(data: &Matrix) -> Matrix {
+    let n = data.rows();
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = squared_distance(data.row(i), data.row(j));
+            out[(i, j)] = d;
+            out[(j, i)] = d;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_of_independent_columns_is_diagonal() {
+        let data = Matrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![2.0, 10.0],
+            vec![3.0, 10.0],
+            vec![4.0, 10.0],
+        ])
+        .unwrap();
+        let cov = covariance_matrix(&data);
+        assert!((cov[(0, 0)] - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cov[(1, 1)], 0.0);
+        assert_eq!(cov[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn jacobi_recovers_known_eigenvalues() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let eig = jacobi_eigen(&m, 50).unwrap();
+        assert!((eig.eigenvalues[0] - 3.0).abs() < 1e-9);
+        assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-9);
+        // eigenvector for lambda=3 is (1,1)/sqrt(2)
+        let v0 = eig.eigenvectors.column(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+        assert!((v0[0] - v0[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_are_orthonormal() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 1.0],
+        ])
+        .unwrap();
+        let eig = jacobi_eigen(&m, 100).unwrap();
+        let vt_v = eig
+            .eigenvectors
+            .transpose()
+            .matmul(&eig.eigenvectors)
+            .unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((vt_v[(i, j)] - expected).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_rejects_non_square_input() {
+        let m = Matrix::zeros(2, 3);
+        assert!(jacobi_eigen(&m, 10).is_err());
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let m = Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, 4.0, 0.0],
+            vec![1.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let eig = jacobi_eigen(&m, 100).unwrap();
+        let trace = 5.0 + 4.0 + 3.0;
+        let sum: f64 = eig.eigenvalues.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairwise_distances_are_symmetric_with_zero_diagonal() {
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![1.0, 1.0]]).unwrap();
+        let d = pairwise_squared_distances(&data);
+        assert_eq!(d[(0, 1)], 25.0);
+        assert_eq!(d[(1, 0)], 25.0);
+        assert_eq!(d[(2, 2)], 0.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Classification metrics: confusion matrix, accuracy, precision, recall, F1
+//! and ROC-AUC.
+//!
+//! Malware is the positive class throughout, matching the paper's F1
+//! reporting.
+
+use hmd_data::Label;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// 2×2 confusion matrix for the benign/malware task.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Malware predicted as malware.
+    pub true_positives: usize,
+    /// Benign predicted as benign.
+    pub true_negatives: usize,
+    /// Benign predicted as malware.
+    pub false_positives: usize,
+    /// Malware predicted as benign.
+    pub false_negatives: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the confusion matrix from parallel slices of ground truth and
+    /// predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(truth: &[Label], predicted: &[Label]) -> ConfusionMatrix {
+        assert_eq!(
+            truth.len(),
+            predicted.len(),
+            "truth and prediction lengths differ"
+        );
+        let mut cm = ConfusionMatrix::default();
+        for (&t, &p) in truth.iter().zip(predicted) {
+            match (t, p) {
+                (Label::Malware, Label::Malware) => cm.true_positives += 1,
+                (Label::Benign, Label::Benign) => cm.true_negatives += 1,
+                (Label::Benign, Label::Malware) => cm.false_positives += 1,
+                (Label::Malware, Label::Benign) => cm.false_negatives += 1,
+            }
+        }
+        cm
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.true_negatives + self.false_positives + self.false_negatives
+    }
+
+    /// Fraction of correct predictions. Returns 0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+    }
+
+    /// Precision of the malware class. Returns 0 when nothing was predicted
+    /// malware.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Recall of the malware class. Returns 0 when there are no malware
+    /// samples.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1_score(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// False-positive rate (benign flagged as malware).
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.false_positives + self.true_negatives;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.false_positives as f64 / denom as f64
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "              pred benign  pred malware")?;
+        writeln!(
+            f,
+            "true benign   {:>11}  {:>12}",
+            self.true_negatives, self.false_positives
+        )?;
+        write!(
+            f,
+            "true malware  {:>11}  {:>12}",
+            self.false_negatives, self.true_positives
+        )
+    }
+}
+
+/// Convenience wrapper: accuracy of predictions against ground truth.
+pub fn accuracy(truth: &[Label], predicted: &[Label]) -> f64 {
+    ConfusionMatrix::from_predictions(truth, predicted).accuracy()
+}
+
+/// Convenience wrapper: malware-class F1 of predictions against ground truth.
+pub fn f1_score(truth: &[Label], predicted: &[Label]) -> f64 {
+    ConfusionMatrix::from_predictions(truth, predicted).f1_score()
+}
+
+/// Convenience wrapper: malware-class precision.
+pub fn precision(truth: &[Label], predicted: &[Label]) -> f64 {
+    ConfusionMatrix::from_predictions(truth, predicted).precision()
+}
+
+/// Convenience wrapper: malware-class recall.
+pub fn recall(truth: &[Label], predicted: &[Label]) -> f64 {
+    ConfusionMatrix::from_predictions(truth, predicted).recall()
+}
+
+/// Area under the ROC curve computed with the rank statistic
+/// (Mann–Whitney U). Ties receive half credit. Returns 0.5 when either class
+/// is absent.
+pub fn roc_auc(truth: &[Label], scores: &[f64]) -> f64 {
+    assert_eq!(truth.len(), scores.len(), "truth and score lengths differ");
+    let positives: Vec<f64> = truth
+        .iter()
+        .zip(scores)
+        .filter(|(t, _)| t.is_malware())
+        .map(|(_, &s)| s)
+        .collect();
+    let negatives: Vec<f64> = truth
+        .iter()
+        .zip(scores)
+        .filter(|(t, _)| !t.is_malware())
+        .map(|(_, &s)| s)
+        .collect();
+    if positives.is_empty() || negatives.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0;
+    for &p in &positives {
+        for &n in &negatives {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (positives.len() * negatives.len()) as f64
+}
+
+/// Full classification report for a model evaluated on one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationReport {
+    /// The confusion matrix.
+    pub confusion: ConfusionMatrix,
+    /// Accuracy.
+    pub accuracy: f64,
+    /// Malware-class precision.
+    pub precision: f64,
+    /// Malware-class recall.
+    pub recall: f64,
+    /// Malware-class F1.
+    pub f1: f64,
+}
+
+impl ClassificationReport {
+    /// Builds a report from ground truth and predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(truth: &[Label], predicted: &[Label]) -> ClassificationReport {
+        let confusion = ConfusionMatrix::from_predictions(truth, predicted);
+        ClassificationReport {
+            accuracy: confusion.accuracy(),
+            precision: confusion.precision(),
+            recall: confusion.recall(),
+            f1: confusion.f1_score(),
+            confusion,
+        }
+    }
+}
+
+impl fmt::Display for ClassificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "accuracy {:.4}  precision {:.4}  recall {:.4}  f1 {:.4}",
+            self.accuracy, self.precision, self.recall, self.f1
+        )?;
+        write!(f, "{}", self.confusion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: Label = Label::Benign;
+    const M: Label = Label::Malware;
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let truth = [M, M, B, B, M];
+        let pred = [M, B, B, M, M];
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred);
+        assert_eq!(cm.true_positives, 2);
+        assert_eq!(cm.false_negatives, 1);
+        assert_eq!(cm.false_positives, 1);
+        assert_eq!(cm.true_negatives, 1);
+        assert_eq!(cm.total(), 5);
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let truth = [M, B, M, B];
+        assert_eq!(accuracy(&truth, &truth), 1.0);
+        assert_eq!(f1_score(&truth, &truth), 1.0);
+        assert_eq!(precision(&truth, &truth), 1.0);
+        assert_eq!(recall(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases_return_zero_not_nan() {
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.f1_score(), 0.0);
+        assert_eq!(cm.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn f1_matches_hand_computation() {
+        let truth = [M, M, M, B, B];
+        let pred = [M, M, B, M, B];
+        // precision 2/3, recall 2/3 => f1 = 2/3
+        assert!((f1_score(&truth, &pred) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_auc_perfect_and_random() {
+        let truth = [M, M, B, B];
+        assert_eq!(roc_auc(&truth, &[0.9, 0.8, 0.2, 0.1]), 1.0);
+        assert_eq!(roc_auc(&truth, &[0.1, 0.2, 0.8, 0.9]), 0.0);
+        assert_eq!(roc_auc(&truth, &[0.5, 0.5, 0.5, 0.5]), 0.5);
+        // single-class degenerate case
+        assert_eq!(roc_auc(&[M, M], &[0.1, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn report_aggregates_all_metrics() {
+        let truth = [M, M, B, B];
+        let pred = [M, B, B, B];
+        let report = ClassificationReport::from_predictions(&truth, &pred);
+        assert_eq!(report.accuracy, 0.75);
+        assert_eq!(report.precision, 1.0);
+        assert_eq!(report.recall, 0.5);
+        let text = report.to_string();
+        assert!(text.contains("f1"));
+        assert!(text.contains("true malware"));
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        let _ = ConfusionMatrix::from_predictions(&[M], &[M, B]);
+    }
+}

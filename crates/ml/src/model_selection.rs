@@ -1,0 +1,136 @@
+//! Cross-validation utilities.
+
+use crate::metrics::f1_score;
+use crate::{Classifier, Estimator, MlError};
+use hmd_data::{DataError, Dataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// K-fold cross-validation splitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KFold {
+    /// Number of folds.
+    pub folds: usize,
+    /// Whether indices are shuffled before folding.
+    pub shuffle: bool,
+}
+
+impl KFold {
+    /// Creates a splitter with the given number of folds (shuffled).
+    pub fn new(folds: usize) -> KFold {
+        KFold {
+            folds,
+            shuffle: true,
+        }
+    }
+
+    /// Returns `(train_indices, validation_indices)` pairs for every fold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] when there are fewer samples
+    /// than folds or fewer than two folds.
+    pub fn split(&self, len: usize, seed: u64) -> Result<Vec<(Vec<usize>, Vec<usize>)>, DataError> {
+        if self.folds < 2 {
+            return Err(DataError::InvalidParameter {
+                name: "folds",
+                message: format!("need at least 2 folds, got {}", self.folds),
+            });
+        }
+        if len < self.folds {
+            return Err(DataError::InvalidParameter {
+                name: "folds",
+                message: format!("cannot split {len} samples into {} folds", self.folds),
+            });
+        }
+        let mut indices: Vec<usize> = (0..len).collect();
+        if self.shuffle {
+            let mut rng = StdRng::seed_from_u64(seed);
+            indices.shuffle(&mut rng);
+        }
+        let mut folds = Vec::with_capacity(self.folds);
+        let base = len / self.folds;
+        let remainder = len % self.folds;
+        let mut start = 0;
+        for f in 0..self.folds {
+            let size = base + usize::from(f < remainder);
+            let validation: Vec<usize> = indices[start..start + size].to_vec();
+            let train: Vec<usize> = indices[..start]
+                .iter()
+                .chain(&indices[start + size..])
+                .copied()
+                .collect();
+            folds.push((train, validation));
+            start += size;
+        }
+        Ok(folds)
+    }
+}
+
+/// Cross-validated F1 scores of an estimator (one score per fold).
+///
+/// # Errors
+///
+/// Propagates splitting and training errors.
+pub fn cross_val_f1<E: Estimator>(
+    estimator: &E,
+    dataset: &Dataset,
+    folds: usize,
+    seed: u64,
+) -> Result<Vec<f64>, MlError> {
+    let splitter = KFold::new(folds);
+    let mut scores = Vec::with_capacity(folds);
+    for (fold_index, (train_idx, val_idx)) in
+        splitter.split(dataset.len(), seed)?.into_iter().enumerate()
+    {
+        let train = dataset.select(&train_idx);
+        let validation = dataset.select(&val_idx);
+        let model = estimator.fit(&train, seed.wrapping_add(fold_index as u64))?;
+        let predictions = model.predict(validation.features());
+        scores.push(f1_score(validation.labels(), &predictions));
+    }
+    Ok(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DecisionTreeParams;
+    use hmd_data::{Label, Matrix};
+    use rand::Rng;
+
+    #[test]
+    fn kfold_partitions_every_index_exactly_once() {
+        let folds = KFold::new(4).split(22, 3).unwrap();
+        assert_eq!(folds.len(), 4);
+        let mut seen = vec![0usize; 22];
+        for (train, validation) in &folds {
+            assert_eq!(train.len() + validation.len(), 22);
+            for &i in validation {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn kfold_rejects_bad_configurations() {
+        assert!(KFold::new(1).split(10, 0).is_err());
+        assert!(KFold::new(11).split(10, 0).is_err());
+    }
+
+    #[test]
+    fn cross_val_f1_is_high_on_separable_data() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|_| vec![rng.gen_range(-1.0..1.0f64), rng.gen_range(-1.0..1.0f64)])
+            .collect();
+        let labels: Vec<Label> = rows.iter().map(|r| Label::from(r[0] > 0.0)).collect();
+        let ds = Dataset::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap();
+        let scores = cross_val_f1(&DecisionTreeParams::new(), &ds, 5, 1).unwrap();
+        assert_eq!(scores.len(), 5);
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!(mean > 0.85, "mean f1 {mean}");
+    }
+}

@@ -1,0 +1,109 @@
+use crate::MlError;
+use hmd_data::{Dataset, Label, Matrix};
+
+/// A trained binary classifier.
+///
+/// Every learner in this crate predicts the benign/malware [`Label`] of a
+/// feature vector and can also report a score interpretable as the
+/// probability of the malware class (used by the Platt-scaling baseline and
+/// by soft-voting ensembles).
+pub trait Classifier: Send + Sync {
+    /// Predicts the label of a single feature vector.
+    fn predict_one(&self, features: &[f64]) -> Label;
+
+    /// Score in `[0, 1]` interpretable as `P(malware | features)`.
+    ///
+    /// Learners without a native probabilistic output return a calibrated or
+    /// squashed decision value; the default implementation returns `1.0` or
+    /// `0.0` from the hard prediction.
+    fn predict_proba_one(&self, features: &[f64]) -> f64 {
+        if self.predict_one(features).is_malware() {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Predicts the labels of every row of a feature matrix.
+    fn predict(&self, features: &Matrix) -> Vec<Label> {
+        features.iter_rows().map(|row| self.predict_one(row)).collect()
+    }
+
+    /// Malware probabilities for every row of a feature matrix.
+    fn predict_proba(&self, features: &Matrix) -> Vec<f64> {
+        features
+            .iter_rows()
+            .map(|row| self.predict_proba_one(row))
+            .collect()
+    }
+}
+
+/// A learner configuration that can be fitted on a dataset to produce a
+/// trained [`Classifier`].
+///
+/// Estimators are cheap, cloneable parameter bundles; the trained model is a
+/// separate type. The `seed` argument makes training deterministic, which the
+/// bagging ensemble exploits to fit base classifiers in parallel with
+/// decorrelated randomness.
+pub trait Estimator: Send + Sync + Clone {
+    /// The trained model type this estimator produces.
+    type Model: Classifier;
+
+    /// Fits the estimator on the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MlError`] when the hyper-parameters are invalid or the
+    /// training data cannot be learned from (e.g. empty dataset).
+    fn fit(&self, dataset: &Dataset, seed: u64) -> Result<Self::Model, MlError>;
+
+    /// Short human-readable name of the learner (used in reports and figures).
+    fn name(&self) -> &'static str;
+}
+
+/// Blanket implementation so boxed classifiers can be used wherever a
+/// classifier is expected (the bagging ensemble stores base models directly,
+/// but downstream code occasionally needs trait objects).
+impl Classifier for Box<dyn Classifier> {
+    fn predict_one(&self, features: &[f64]) -> Label {
+        self.as_ref().predict_one(features)
+    }
+
+    fn predict_proba_one(&self, features: &[f64]) -> f64 {
+        self.as_ref().predict_proba_one(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_data::Matrix;
+
+    struct Constant(Label);
+
+    impl Classifier for Constant {
+        fn predict_one(&self, _: &[f64]) -> Label {
+            self.0
+        }
+    }
+
+    #[test]
+    fn default_proba_follows_hard_label() {
+        assert_eq!(Constant(Label::Malware).predict_proba_one(&[0.0]), 1.0);
+        assert_eq!(Constant(Label::Benign).predict_proba_one(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn predict_maps_over_rows() {
+        let m = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let preds = Constant(Label::Benign).predict(&m);
+        assert_eq!(preds, vec![Label::Benign; 3]);
+    }
+
+    #[test]
+    fn boxed_classifier_delegates() {
+        let boxed: Box<dyn Classifier> = Box::new(Constant(Label::Malware));
+        assert_eq!(boxed.predict_one(&[1.0]), Label::Malware);
+        assert_eq!(boxed.predict_proba_one(&[1.0]), 1.0);
+    }
+}

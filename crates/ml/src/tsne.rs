@@ -1,0 +1,360 @@
+//! Exact t-SNE (t-distributed Stochastic Neighbour Embedding).
+//!
+//! Used to reproduce Fig. 8 of the paper: the 2-D visualisation of the DVFS
+//! and HPC training data that shows disjoint classes for DVFS and heavily
+//! overlapping classes for HPC. The implementation follows van der Maaten &
+//! Hinton (2008): Gaussian input affinities with per-point perplexity
+//! calibration, Student-t output affinities, gradient descent with momentum
+//! and early exaggeration. Complexity is O(n²), which is ample for the
+//! (sub)sampled corpora the figure uses.
+
+use crate::linalg::pairwise_squared_distances;
+use crate::MlError;
+use hmd_data::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TsneParams {
+    /// Output dimensionality (2 for the paper's plots).
+    pub output_dims: usize,
+    /// Target perplexity of the Gaussian input neighbourhoods.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the
+    /// iterations.
+    pub early_exaggeration: f64,
+    /// Momentum after the early-exaggeration phase.
+    pub momentum: f64,
+}
+
+impl TsneParams {
+    /// Defaults matching common practice: 2-D output, perplexity 30,
+    /// 500 iterations, learning rate 100.
+    pub fn new() -> TsneParams {
+        TsneParams {
+            output_dims: 2,
+            perplexity: 30.0,
+            iterations: 500,
+            learning_rate: 100.0,
+            early_exaggeration: 4.0,
+            momentum: 0.8,
+        }
+    }
+
+    /// Sets the perplexity.
+    pub fn with_perplexity(mut self, perplexity: f64) -> Self {
+        self.perplexity = perplexity;
+        self
+    }
+
+    /// Sets the number of iterations.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the learning rate.
+    pub fn with_learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    fn validate(&self, n: usize) -> Result<(), MlError> {
+        if self.output_dims == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "output_dims",
+                message: "must be at least 1".into(),
+            });
+        }
+        if !(self.perplexity > 1.0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "perplexity",
+                message: format!("must exceed 1, got {}", self.perplexity),
+            });
+        }
+        if n < 4 {
+            return Err(MlError::TrainingFailed {
+                message: format!("t-SNE needs at least 4 points, got {n}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for TsneParams {
+    fn default() -> Self {
+        TsneParams::new()
+    }
+}
+
+/// Exact t-SNE embedder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tsne {
+    params: TsneParams,
+}
+
+impl Tsne {
+    /// Creates an embedder with the given parameters.
+    pub fn new(params: TsneParams) -> Tsne {
+        Tsne { params }
+    }
+
+    /// Embeds the rows of `data` into `output_dims` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] / [`MlError::TrainingFailed`]
+    /// for invalid parameters or too few points.
+    pub fn embed(&self, data: &Matrix, seed: u64) -> Result<Matrix, MlError> {
+        let n = data.rows();
+        self.params.validate(n)?;
+        let p = self.joint_probabilities(data);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims = self.params.output_dims;
+
+        let mut y = Matrix::zeros(n, dims);
+        for r in 0..n {
+            for c in 0..dims {
+                y[(r, c)] = rng.gen_range(-1e-4..1e-4);
+            }
+        }
+        let mut velocity = Matrix::zeros(n, dims);
+        let exaggeration_cutoff = self.params.iterations / 4;
+
+        for iter in 0..self.params.iterations {
+            let exaggeration = if iter < exaggeration_cutoff {
+                self.params.early_exaggeration
+            } else {
+                1.0
+            };
+            let momentum = if iter < exaggeration_cutoff {
+                0.5
+            } else {
+                self.params.momentum
+            };
+
+            // Student-t output affinities q_ij (unnormalised in `num`).
+            let dist = pairwise_squared_distances(&y);
+            let mut num = Matrix::zeros(n, n);
+            let mut q_sum = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let v = 1.0 / (1.0 + dist[(i, j)]);
+                    num[(i, j)] = v;
+                    q_sum += v;
+                }
+            }
+            let q_sum = q_sum.max(1e-12);
+
+            // Gradient: 4 * sum_j (exagg*p_ij - q_ij) * num_ij * (y_i - y_j)
+            let mut grad = Matrix::zeros(n, dims);
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let q = num[(i, j)] / q_sum;
+                    let coeff = 4.0 * (exaggeration * p[(i, j)] - q) * num[(i, j)];
+                    for c in 0..dims {
+                        grad[(i, c)] += coeff * (y[(i, c)] - y[(j, c)]);
+                    }
+                }
+            }
+
+            for r in 0..n {
+                for c in 0..dims {
+                    velocity[(r, c)] =
+                        momentum * velocity[(r, c)] - self.params.learning_rate * grad[(r, c)];
+                    y[(r, c)] += velocity[(r, c)];
+                }
+            }
+
+            // Re-centre to keep the embedding from drifting.
+            let means = y.column_means();
+            for r in 0..n {
+                for c in 0..dims {
+                    y[(r, c)] -= means[c];
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// Symmetrised joint probabilities `p_ij` with per-point perplexity
+    /// calibration.
+    fn joint_probabilities(&self, data: &Matrix) -> Matrix {
+        let n = data.rows();
+        let dist = pairwise_squared_distances(data);
+        let target_entropy = self.params.perplexity.ln();
+        let mut p_conditional = Matrix::zeros(n, n);
+
+        for i in 0..n {
+            // Binary search the Gaussian precision beta so that the row's
+            // perplexity matches the target.
+            let mut beta = 1.0;
+            let mut beta_min = f64::NEG_INFINITY;
+            let mut beta_max = f64::INFINITY;
+            let mut row = vec![0.0; n];
+            for _ in 0..50 {
+                let mut sum = 0.0;
+                for j in 0..n {
+                    if i == j {
+                        row[j] = 0.0;
+                        continue;
+                    }
+                    let v = (-dist[(i, j)] * beta).exp();
+                    row[j] = v;
+                    sum += v;
+                }
+                let sum = sum.max(1e-300);
+                let mut entropy = 0.0;
+                for (j, value) in row.iter().enumerate() {
+                    if i == j || *value <= 0.0 {
+                        continue;
+                    }
+                    let p = value / sum;
+                    entropy -= p * p.ln();
+                }
+                let diff = entropy - target_entropy;
+                if diff.abs() < 1e-5 {
+                    break;
+                }
+                if diff > 0.0 {
+                    beta_min = beta;
+                    beta = if beta_max.is_infinite() {
+                        beta * 2.0
+                    } else {
+                        (beta + beta_max) / 2.0
+                    };
+                } else {
+                    beta_max = beta;
+                    beta = if beta_min.is_infinite() {
+                        beta / 2.0
+                    } else {
+                        (beta + beta_min) / 2.0
+                    };
+                }
+            }
+            let sum: f64 = row.iter().sum::<f64>().max(1e-300);
+            for j in 0..n {
+                if i != j {
+                    p_conditional[(i, j)] = row[j] / sum;
+                }
+            }
+        }
+
+        // Symmetrise and normalise.
+        let mut p = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                p[(i, j)] = ((p_conditional[(i, j)] + p_conditional[(j, i)]) / (2.0 * n as f64))
+                    .max(1e-12);
+            }
+        }
+        p
+    }
+}
+
+impl Default for Tsne {
+    fn default() -> Self {
+        Tsne::new(TsneParams::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::squared_distance;
+
+    /// Two well separated Gaussian blobs in 5-D.
+    fn two_blobs(per_cluster: usize) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rows = Vec::new();
+        let mut cluster = Vec::new();
+        for c in 0..2 {
+            let centre = if c == 0 { -5.0 } else { 5.0 };
+            for _ in 0..per_cluster {
+                rows.push((0..5).map(|_| centre + rng.gen_range(-0.5..0.5)).collect());
+                cluster.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), cluster)
+    }
+
+    #[test]
+    fn embedding_has_requested_shape() {
+        let (data, _) = two_blobs(15);
+        let tsne = Tsne::new(TsneParams::new().with_perplexity(5.0).with_iterations(100));
+        let y = tsne.embed(&data, 0).unwrap();
+        assert_eq!(y.shape(), (30, 2));
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated() {
+        let (data, cluster) = two_blobs(15);
+        let tsne = Tsne::new(TsneParams::new().with_perplexity(5.0).with_iterations(250));
+        let y = tsne.embed(&data, 1).unwrap();
+        // Mean intra-cluster distance should be well below inter-cluster distance.
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for i in 0..y.rows() {
+            for j in (i + 1)..y.rows() {
+                let d = squared_distance(y.row(i), y.row(j)).sqrt();
+                if cluster[i] == cluster[j] {
+                    intra.push(d);
+                } else {
+                    inter.push(d);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&inter) > 1.5 * mean(&intra),
+            "inter {} vs intra {}",
+            mean(&inter),
+            mean(&intra)
+        );
+    }
+
+    #[test]
+    fn too_few_points_is_an_error() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert!(Tsne::default().embed(&data, 0).is_err());
+    }
+
+    #[test]
+    fn invalid_perplexity_is_rejected() {
+        let (data, _) = two_blobs(5);
+        let tsne = Tsne::new(TsneParams::new().with_perplexity(0.5));
+        assert!(tsne.embed(&data, 0).is_err());
+    }
+
+    #[test]
+    fn joint_probabilities_are_symmetric_and_normalised() {
+        let (data, _) = two_blobs(8);
+        let tsne = Tsne::new(TsneParams::new().with_perplexity(4.0));
+        let p = tsne.joint_probabilities(&data);
+        let n = p.rows();
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                assert!((p[(i, j)] - p[(j, i)]).abs() < 1e-9);
+                total += p[(i, j)];
+            }
+        }
+        assert!((total - 1.0).abs() < 0.05, "total probability {total}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Tuning the rejection threshold of a trusted HMD.
+//!
+//! The entropy threshold trades analyst workload (how much gets escalated)
+//! against detection quality (F1 of the accepted predictions). This example
+//! sweeps the threshold on a validation split, picks the smallest threshold
+//! whose known-data rejection stays under a budget, and deploys the detector
+//! with the tuned policy.
+//!
+//! ```text
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use hmd::core::rejection::RejectionPolicy;
+use hmd::prelude::*;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let split = DvfsCorpusBuilder::new()
+        .with_samples_per_app(24)
+        .with_trace_len(384)
+        .build_split(33)?;
+
+    // Train on the training split.
+    let mut hmd = TrustedHmdBuilder::new(DecisionTreeParams::new())
+        .with_num_estimators(25)
+        .fit(&split.train, 9)?;
+
+    // Sweep thresholds on the known test split (acts as validation here).
+    let known = hmd.predict_dataset(&split.test_known)?;
+    let unknown = hmd.predict_dataset(&split.unknown)?;
+    let thresholds = threshold_grid(0.0, 1.0, 0.05);
+    let curve = RejectionCurve::sweep("RF", &known, &unknown, &thresholds);
+
+    println!("{:>9} {:>12} {:>14}", "threshold", "known rej %", "unknown rej %");
+    for p in &curve.points {
+        println!(
+            "{:>9.2} {:>12.1} {:>14.1}",
+            p.threshold, p.known_rejected_pct, p.unknown_rejected_pct
+        );
+    }
+
+    // Budget: escalate at most 5% of known workloads.
+    let budget_pct = 5.0;
+    let operating_point = curve
+        .operating_point(budget_pct)
+        .expect("a feasible threshold exists for this corpus");
+    println!(
+        "\nchosen threshold {:.2}: escalates {:.1}% of known and {:.1}% of unknown workloads",
+        operating_point.threshold,
+        operating_point.known_rejected_pct,
+        operating_point.unknown_rejected_pct
+    );
+
+    // Deploy the tuned policy and measure the accepted-F1 on known + unknown.
+    hmd.set_policy(RejectionPolicy::new(operating_point.threshold));
+    let combined = split.test_known.concat(&split.unknown)?;
+    let predictions = hmd.predict_dataset(&combined)?;
+    let f1_curve = F1Curve::sweep(
+        "tuned",
+        &predictions,
+        combined.labels(),
+        &[operating_point.threshold, 10.0],
+    );
+    println!(
+        "accepted-F1 with tuned policy: {:.3}   (accept-everything: {:.3})",
+        f1_curve.points[0].f1, f1_curve.points[1].f1
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Facade crate for the HMD uncertainty workspace.
+//!
+//! This reproduction of *"Towards Improving the Trustworthiness of Hardware
+//! based Malware Detector using Online Uncertainty Estimation"* (DAC 2021) is
+//! split into focused crates; `hmd` re-exports them so applications and the
+//! runnable examples only need a single dependency:
+//!
+//! * [`data`] ([`hmd_data`]) — datasets, matrices, splits, scalers.
+//! * [`ml`] ([`hmd_ml`]) — hand-rolled learners, bagging, metrics, PCA, t-SNE.
+//! * [`dvfs`] ([`hmd_dvfs`]) — the DVFS power-management HMD substrate.
+//! * [`hpc`] ([`hmd_hpc`]) — the hardware-performance-counter HMD substrate.
+//! * [`core`] ([`hmd_core`]) — the paper's contribution: online ensemble
+//!   uncertainty estimation, rejection policies and the trusted HMD pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hmd::core::trusted::TrustedHmdBuilder;
+//! use hmd::dvfs::dataset::DvfsCorpusBuilder;
+//! use hmd::ml::tree::DecisionTreeParams;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Simulate a small DVFS corpus and train a trusted HMD on it.
+//! let split = DvfsCorpusBuilder::new()
+//!     .with_samples_per_app(8)
+//!     .with_trace_len(128)
+//!     .build_split(1)?;
+//! let hmd = TrustedHmdBuilder::new(DecisionTreeParams::new())
+//!     .with_num_estimators(15)
+//!     .fit(&split.train, 7)?;
+//! let report = hmd.detect(split.unknown.features().row(0))?;
+//! println!("decision: {:?}, entropy {:.3}", report.decision, report.prediction.entropy);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hmd_core as core;
+pub use hmd_data as data;
+pub use hmd_dvfs as dvfs;
+pub use hmd_hpc as hpc;
+pub use hmd_ml as ml;
+
+/// Commonly used items, re-exported for convenient glob imports in examples
+/// and applications.
+pub mod prelude {
+    pub use hmd_core::analysis::{EntropySummary, KnownUnknownEntropy};
+    pub use hmd_core::estimator::{EnsembleUncertaintyEstimator, UncertainPrediction};
+    pub use hmd_core::rejection::{threshold_grid, F1Curve, RejectionCurve, RejectionPolicy};
+    pub use hmd_core::trusted::{Decision, TrustedHmd, TrustedHmdBuilder, UntrustedHmd};
+    pub use hmd_data::{Dataset, Label, Matrix};
+    pub use hmd_dvfs::dataset::DvfsCorpusBuilder;
+    pub use hmd_hpc::dataset::HpcCorpusBuilder;
+    pub use hmd_ml::bagging::BaggingParams;
+    pub use hmd_ml::forest::RandomForestParams;
+    pub use hmd_ml::logistic::LogisticRegressionParams;
+    pub use hmd_ml::metrics::{f1_score, ClassificationReport};
+    pub use hmd_ml::svm::LinearSvmParams;
+    pub use hmd_ml::tree::DecisionTreeParams;
+    pub use hmd_ml::{Classifier, Estimator};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exports_are_usable() {
+        use crate::prelude::*;
+        let policy = RejectionPolicy::new(0.4);
+        assert!((policy.entropy_threshold - 0.4).abs() < 1e-12);
+        assert_eq!(Label::Malware.index(), 1);
+    }
+}

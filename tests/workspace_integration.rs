@@ -1,0 +1,173 @@
+//! Cross-crate integration tests exercised through the facade crate: the full
+//! pipeline from simulated hardware signatures to accept/escalate decisions.
+
+use hmd::core::trusted::Decision;
+use hmd::dvfs::apps::AppCatalog;
+use hmd::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn dvfs_pipeline_classifies_known_apps_and_flags_zero_days() {
+    let builder = DvfsCorpusBuilder::new()
+        .with_samples_per_app(18)
+        .with_trace_len(320);
+    let split = builder.build_split(101).expect("corpus");
+    let hmd = TrustedHmdBuilder::new(DecisionTreeParams::new())
+        .with_num_estimators(21)
+        .with_entropy_threshold(0.45)
+        .fit(&split.train, 17)
+        .expect("training");
+
+    // Known test set: good F1 and mostly accepted.
+    let known = hmd.predict_dataset(&split.test_known).expect("known predictions");
+    let labels: Vec<Label> = known.iter().map(|p| p.label).collect();
+    assert!(
+        f1_score(split.test_known.labels(), &labels) > 0.85,
+        "known-test F1 too low"
+    );
+    let accepted = known
+        .iter()
+        .filter(|p| !hmd.policy().rejects(p))
+        .count() as f64
+        / known.len() as f64;
+    assert!(accepted > 0.75, "only {accepted:.2} of known data accepted");
+
+    // Fresh online signatures from an unknown app should mostly escalate.
+    let catalog = AppCatalog::standard();
+    let zero_day = catalog.unknown_apps()[0].clone();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut escalated = 0;
+    let trials = 20;
+    for _ in 0..trials {
+        let signature = builder.simulate_signature(&zero_day, &mut rng);
+        let report = hmd.detect(&signature).expect("detection");
+        if matches!(report.decision, Decision::Escalate) {
+            escalated += 1;
+        }
+    }
+    assert!(
+        escalated * 2 >= trials,
+        "zero-day app escalated only {escalated}/{trials} times"
+    );
+}
+
+#[test]
+fn hpc_pipeline_reports_high_data_uncertainty() {
+    let split = HpcCorpusBuilder::new()
+        .with_samples_per_app(30)
+        .build_split(103)
+        .expect("corpus");
+    let hmd = TrustedHmdBuilder::new(DecisionTreeParams::new())
+        .with_num_estimators(21)
+        .fit(&split.train, 19)
+        .expect("training");
+
+    let known = hmd.predict_dataset(&split.test_known).expect("known predictions");
+    let unknown = hmd.predict_dataset(&split.unknown).expect("unknown predictions");
+    let pair = KnownUnknownEntropy::new(
+        &known.iter().map(|p| p.entropy).collect::<Vec<_>>(),
+        &unknown.iter().map(|p| p.entropy).collect::<Vec<_>>(),
+    );
+    // The class overlap makes even known data uncertain, and the unknowns do
+    // not separate the way they do on DVFS.
+    assert!(pair.known.mean > 0.05, "known mean entropy {:.3}", pair.known.mean);
+    assert!(
+        pair.median_gap() < 0.5,
+        "HPC known/unknown gap unexpectedly large: {:.3}",
+        pair.median_gap()
+    );
+}
+
+#[test]
+fn bagging_works_across_all_three_base_learners_on_dvfs() {
+    let split = DvfsCorpusBuilder::new()
+        .with_samples_per_app(12)
+        .with_trace_len(256)
+        .build_split(105)
+        .expect("corpus");
+
+    let rf = TrustedHmdBuilder::new(RandomForestParams::new().with_num_trees(7))
+        .with_num_estimators(9)
+        .fit(&split.train, 1)
+        .expect("RF ensemble");
+    let lr = TrustedHmdBuilder::new(LogisticRegressionParams::new().with_epochs(120))
+        .with_num_estimators(9)
+        .fit(&split.train, 2)
+        .expect("LR ensemble");
+    let svm = TrustedHmdBuilder::new(LinearSvmParams::new().with_epochs(30))
+        .with_num_estimators(9)
+        .fit(&split.train, 3)
+        .expect("SVM ensemble");
+
+    for (name, hmd_f1) in [
+        ("RF", pipeline_f1(&rf, &split.test_known)),
+        ("LR", pipeline_f1(&lr, &split.test_known)),
+        ("SVM", pipeline_f1(&svm, &split.test_known)),
+    ] {
+        assert!(hmd_f1 > 0.6, "{name} known-test F1 {hmd_f1:.3} too low");
+    }
+}
+
+fn pipeline_f1<M: Classifier>(hmd: &TrustedHmd<M>, test: &Dataset) -> f64 {
+    let predictions = hmd.predict_dataset(test).expect("predictions");
+    let labels: Vec<Label> = predictions.iter().map(|p| p.label).collect();
+    f1_score(test.labels(), &labels)
+}
+
+#[test]
+fn pca_front_end_preserves_detection_quality_on_dvfs() {
+    let split = DvfsCorpusBuilder::new()
+        .with_samples_per_app(15)
+        .with_trace_len(256)
+        .build_split(107)
+        .expect("corpus");
+    let plain = TrustedHmdBuilder::new(DecisionTreeParams::new())
+        .with_num_estimators(11)
+        .fit(&split.train, 5)
+        .expect("plain pipeline");
+    let reduced = TrustedHmdBuilder::new(DecisionTreeParams::new())
+        .with_num_estimators(11)
+        .with_pca(8)
+        .fit(&split.train, 5)
+        .expect("PCA pipeline");
+    let f1_plain = pipeline_f1(&plain, &split.test_known);
+    let f1_pca = pipeline_f1(&reduced, &split.test_known);
+    assert!(f1_plain > 0.8, "plain F1 {f1_plain:.3}");
+    assert!(
+        f1_pca > f1_plain - 0.2,
+        "PCA front end degrades F1 too much: {f1_pca:.3} vs {f1_plain:.3}"
+    );
+}
+
+#[test]
+fn untrusted_baseline_matches_trusted_labels_on_known_data() {
+    let split = DvfsCorpusBuilder::new()
+        .with_samples_per_app(12)
+        .with_trace_len(256)
+        .build_split(109)
+        .expect("corpus");
+    let builder = TrustedHmdBuilder::new(DecisionTreeParams::new()).with_num_estimators(15);
+    let trusted = builder.fit(&split.train, 23).expect("trusted");
+    let untrusted = builder.fit_untrusted(&split.train, 23).expect("untrusted");
+
+    let trusted_labels: Vec<Label> = trusted
+        .predict_dataset(&split.test_known)
+        .expect("trusted predictions")
+        .iter()
+        .map(|p| p.label)
+        .collect();
+    let untrusted_labels = untrusted
+        .predict_dataset(&split.test_known)
+        .expect("untrusted predictions");
+    let agreement = trusted_labels
+        .iter()
+        .zip(&untrusted_labels)
+        .filter(|(a, b)| a == b)
+        .count() as f64
+        / trusted_labels.len() as f64;
+    assert!(
+        agreement > 0.8,
+        "trusted and untrusted pipelines should mostly agree on known data, agreement {agreement:.2}"
+    );
+}
