@@ -1,0 +1,63 @@
+//! Throughput of the batch-first inference hot path.
+//!
+//! Measures `Detector::detect_batch` in samples/second at batch sizes 1, 64
+//! and 4096 on the trusted random-forest DVFS pipeline, so future PRs can
+//! track regressions of the serving path. Batch 1 is the degenerate
+//! per-window case; 4096 exercises the parallel row-scoring path.
+//!
+//! ```text
+//! cargo bench -p hmd_bench --bench detect_batch_throughput
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmd_bench::pipelines::{detector_config, BaseModel};
+use hmd_bench::ExperimentScale;
+use hmd_data::Matrix;
+use std::time::Instant;
+
+/// Builds a batch of the requested size by cycling the unknown set's rows.
+fn batch_of(source: &Matrix, size: usize) -> Matrix {
+    let rows: Vec<Vec<f64>> = (0..size)
+        .map(|i| source.row(i % source.rows()).to_vec())
+        .collect();
+    Matrix::from_rows(&rows).expect("uniform rows")
+}
+
+fn bench_detect_batch(c: &mut Criterion) {
+    let scale = ExperimentScale::Smoke;
+    let split = scale
+        .dvfs_builder()
+        .build_split(2021)
+        .expect("DVFS corpus generation");
+    let detector = detector_config(BaseModel::RandomForest, scale.num_estimators(), false)
+        .fit(&split.train, 7)
+        .expect("RF pipeline trains");
+
+    println!("\ndetect_batch throughput — {}", detector.name());
+    for &size in &[1usize, 64, 4096] {
+        let batch = batch_of(split.unknown.features(), size);
+
+        // Headline number: explicit samples/sec over a fixed wall-clock
+        // budget, independent of the harness.
+        let mut iterations = 0usize;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 300 {
+            let reports = detector.detect_batch(&batch).expect("batch inference");
+            assert_eq!(reports.len(), size);
+            iterations += 1;
+        }
+        let per_sec = (iterations * size) as f64 / start.elapsed().as_secs_f64();
+        println!("  batch {size:>5}: {per_sec:>12.0} samples/sec");
+
+        c.bench_function(&format!("detect_batch_{size}"), |b| {
+            b.iter(|| detector.detect_batch(&batch).expect("batch inference"))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_detect_batch
+}
+criterion_main!(benches);

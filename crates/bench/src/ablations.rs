@@ -10,15 +10,14 @@
 //!    the ensemble entropy; its rejection curves separate unknown from known
 //!    data far less cleanly.
 
-use crate::pipelines::logistic_params;
+use crate::pipelines::{detector_config, logistic_params, BaseModel};
 use crate::scale::ExperimentScale;
-use hmd_core::platt_baseline::PlattConfidenceBaseline;
+use hmd_core::detector::{DetectorBackend, DetectorConfig};
+use hmd_core::platt_baseline::{ConfidencePrediction, PlattConfidenceBaseline};
 use hmd_core::rejection::{threshold_grid, RejectionCurve};
-use hmd_core::trusted::TrustedHmdBuilder;
 use hmd_data::scaler::StandardScaler;
 use hmd_ml::bagging::BaggingParams;
 use hmd_ml::tree::{DecisionTreeParams, MaxFeatures};
-use hmd_ml::Estimator;
 use serde::{Deserialize, Serialize};
 
 /// Result of the bootstrap-diversity ablation.
@@ -50,8 +49,12 @@ pub fn bootstrap_diversity(scale: ExperimentScale, seed: u64) -> DiversityAblati
 
     let scaler = StandardScaler::fit(split.train.features());
     let train = scaler.transform_dataset(&split.train).expect("same width");
-    let known = scaler.transform_dataset(&split.test_known).expect("same width");
-    let unknown = scaler.transform_dataset(&split.unknown).expect("same width");
+    let known = scaler
+        .transform_dataset(&split.test_known)
+        .expect("same width");
+    let unknown = scaler
+        .transform_dataset(&split.unknown)
+        .expect("same width");
 
     let mut curves = Vec::new();
     for bootstrap in [true, false] {
@@ -63,8 +66,17 @@ pub fn bootstrap_diversity(scale: ExperimentScale, seed: u64) -> DiversityAblati
         let estimator = hmd_core::estimator::EnsembleUncertaintyEstimator::new(ensemble);
         let known_preds = estimator.predict_dataset(&known);
         let unknown_preds = estimator.predict_dataset(&unknown);
-        let name = if bootstrap { "bootstrap" } else { "no-bootstrap" };
-        curves.push(RejectionCurve::sweep(name, &known_preds, &unknown_preds, &thresholds));
+        let name = if bootstrap {
+            "bootstrap"
+        } else {
+            "no-bootstrap"
+        };
+        curves.push(RejectionCurve::sweep(
+            name,
+            &known_preds,
+            &unknown_preds,
+            &thresholds,
+        ));
     }
     let without_bootstrap = curves.pop().expect("two curves");
     let with_bootstrap = curves.pop().expect("two curves");
@@ -98,13 +110,18 @@ pub fn platt_vs_entropy(scale: ExperimentScale, seed: u64) -> PlattAblation {
         .build_split(seed)
         .expect("DVFS corpus generation");
 
-    // Entropy-based estimator: trusted RF pipeline.
-    let hmd = TrustedHmdBuilder::new(crate::pipelines::forest_params())
-        .with_num_estimators(scale.num_estimators())
+    // Entropy-based estimator: trusted RF pipeline behind the Detector API.
+    let hmd = detector_config(BaseModel::RandomForest, scale.num_estimators(), false)
         .fit(&split.train, seed ^ 0x99)
         .expect("RF pipeline trains");
-    let known_preds = hmd.predict_dataset(&split.test_known).expect("known predictions");
-    let unknown_preds = hmd.predict_dataset(&split.unknown).expect("unknown predictions");
+    let known_preds = hmd_core::detector::predictions(
+        hmd.detect_batch(split.test_known.features())
+            .expect("known predictions"),
+    );
+    let unknown_preds = hmd_core::detector::predictions(
+        hmd.detect_batch(split.unknown.features())
+            .expect("unknown predictions"),
+    );
     let entropy_curve = RejectionCurve::sweep(
         "entropy-RF",
         &known_preds,
@@ -113,14 +130,35 @@ pub fn platt_vs_entropy(scale: ExperimentScale, seed: u64) -> PlattAblation {
     );
 
     // Platt-style baseline: single logistic regression, confidence threshold.
-    let scaler = StandardScaler::fit(split.train.features());
-    let train = scaler.transform_dataset(&split.train).expect("same width");
-    let known = scaler.transform_dataset(&split.test_known).expect("same width");
-    let unknown = scaler.transform_dataset(&split.unknown).expect("same width");
-    let model = logistic_params().fit(&train, seed ^ 0x11).expect("LR trains");
-    let baseline = PlattConfidenceBaseline::new(model);
-    let known_conf = baseline.predict_dataset(&known);
-    let unknown_conf = baseline.predict_dataset(&unknown);
+    // The pipeline trains and serves through the same Detector API; its
+    // reported malware probability is turned back into the baseline's
+    // confidence value max(p, 1 - p) for the confidence-threshold sweep.
+    let platt = DetectorConfig::platt(DetectorBackend::LogisticRegression(logistic_params()))
+        .fit(&split.train, seed ^ 0x11)
+        .expect("LR trains");
+    let confidences = |reports: Vec<hmd_core::trusted::DetectionReport>| {
+        reports
+            .into_iter()
+            .map(|r| {
+                let p = r.prediction.malware_vote_fraction;
+                ConfidencePrediction {
+                    label: r.prediction.label,
+                    malware_probability: p,
+                    confidence: p.max(1.0 - p),
+                }
+            })
+            .collect::<Vec<_>>()
+    };
+    let known_conf = confidences(
+        platt
+            .detect_batch(split.test_known.features())
+            .expect("known confidences"),
+    );
+    let unknown_conf = confidences(
+        platt
+            .detect_batch(split.unknown.features())
+            .expect("unknown confidences"),
+    );
     let platt_curve =
         PlattConfidenceBaseline::<hmd_ml::logistic::LogisticRegression>::rejection_curve(
             "platt-LR",
@@ -178,10 +216,7 @@ mod tests {
             ablation.entropy_curve.separation() > 0.0,
             "entropy separation should be positive"
         );
-        let text = render(
-            &bootstrap_diversity(ExperimentScale::Smoke, 31),
-            &ablation,
-        );
+        let text = render(&bootstrap_diversity(ExperimentScale::Smoke, 31), &ablation);
         assert!(text.contains("Ablation"));
     }
 }

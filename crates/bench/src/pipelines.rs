@@ -1,10 +1,15 @@
 //! Shared model pipelines used by every experiment: the three ensembles the
 //! paper evaluates (Random Forest, Logistic Regression, SVM base classifiers)
 //! trained behind the standard scaling front end.
+//!
+//! Every experiment goes through the unified [`Detector`] API: a
+//! [`DetectorConfig`] describes the pipeline, [`DetectorConfig::fit`] compiles
+//! it into a `Box<dyn Detector>`, and the batch hot path
+//! [`Detector::detect_batch`] produces the predictions behind every figure.
 
 use crate::scale::ExperimentScale;
+use hmd_core::detector::{Detector, DetectorBackend, DetectorConfig};
 use hmd_core::estimator::UncertainPrediction;
-use hmd_core::trusted::{TrustedHmd, TrustedHmdBuilder};
 use hmd_data::split::KnownUnknownSplit;
 use hmd_ml::forest::RandomForestParams;
 use hmd_ml::logistic::LogisticRegressionParams;
@@ -61,8 +66,29 @@ pub struct EvaluatedEnsemble {
     pub unknown_truth: Vec<hmd_data::Label>,
 }
 
+/// The [`DetectorBackend`] (with the experiments' hyper-parameters) behind a
+/// paper base model.
+pub fn backend_for(model: BaseModel, convergence_check: bool) -> DetectorBackend {
+    match model {
+        BaseModel::RandomForest => DetectorBackend::RandomForest(forest_params()),
+        BaseModel::LogisticRegression => DetectorBackend::LogisticRegression(logistic_params()),
+        BaseModel::Svm => DetectorBackend::LinearSvm(svm_params(convergence_check)),
+    }
+}
+
+/// The trusted-pipeline [`DetectorConfig`] every experiment trains for the
+/// given base model.
+pub fn detector_config(
+    model: BaseModel,
+    num_estimators: usize,
+    convergence_check: bool,
+) -> DetectorConfig {
+    DetectorConfig::trusted(backend_for(model, convergence_check))
+        .with_num_estimators(num_estimators)
+}
+
 /// Trains the requested ensemble on a split and evaluates it on the known
-/// test and unknown sets.
+/// test and unknown sets, going through the unified [`Detector`] API.
 ///
 /// # Errors
 ///
@@ -76,26 +102,9 @@ pub fn evaluate_ensemble(
     convergence_check: bool,
     seed: u64,
 ) -> Result<EvaluatedEnsemble, MlError> {
-    let (known, unknown) = match model {
-        BaseModel::RandomForest => {
-            let hmd = TrustedHmdBuilder::new(forest_params())
-                .with_num_estimators(num_estimators)
-                .fit(&split.train, seed)?;
-            predictions(&hmd, split)?
-        }
-        BaseModel::LogisticRegression => {
-            let hmd = TrustedHmdBuilder::new(logistic_params())
-                .with_num_estimators(num_estimators)
-                .fit(&split.train, seed)?;
-            predictions(&hmd, split)?
-        }
-        BaseModel::Svm => {
-            let hmd = TrustedHmdBuilder::new(svm_params(convergence_check))
-                .with_num_estimators(num_estimators)
-                .fit(&split.train, seed)?;
-            predictions(&hmd, split)?
-        }
-    };
+    let detector =
+        detector_config(model, num_estimators, convergence_check).fit(&split.train, seed)?;
+    let (known, unknown) = predictions(detector.as_ref(), split)?;
     Ok(EvaluatedEnsemble {
         model,
         known,
@@ -105,13 +114,13 @@ pub fn evaluate_ensemble(
     })
 }
 
-fn predictions<M: hmd_ml::Classifier>(
-    hmd: &TrustedHmd<M>,
+fn predictions(
+    detector: &dyn Detector,
     split: &KnownUnknownSplit,
 ) -> Result<(Vec<UncertainPrediction>, Vec<UncertainPrediction>), MlError> {
     Ok((
-        hmd.predict_dataset(&split.test_known)?,
-        hmd.predict_dataset(&split.unknown)?,
+        hmd_core::detector::predictions(detector.detect_batch(split.test_known.features())?),
+        hmd_core::detector::predictions(detector.detect_batch(split.unknown.features())?),
     ))
 }
 

@@ -110,7 +110,11 @@ pub fn render(figure: &RejectionFigure) -> String {
         figure
             .curves
             .iter()
-            .map(|c| format!(" {:>9} {:>9}", format!("{}-unk%", c.model_name), format!("{}-kn%", c.model_name)))
+            .map(|c| format!(
+                " {:>9} {:>9}",
+                format!("{}-unk%", c.model_name),
+                format!("{}-kn%", c.model_name)
+            ))
             .collect::<String>()
     ));
     if let Some(first) = figure.curves.first() {
@@ -118,7 +122,10 @@ pub fn render(figure: &RejectionFigure) -> String {
             out.push_str(&format!("{:>9.2} |", point.threshold));
             for curve in &figure.curves {
                 let p = &curve.points[i];
-                out.push_str(&format!(" {:>9.1} {:>9.1}", p.unknown_rejected_pct, p.known_rejected_pct));
+                out.push_str(&format!(
+                    " {:>9.1} {:>9.1}",
+                    p.unknown_rejected_pct, p.known_rejected_pct
+                ));
             }
             out.push('\n');
         }
@@ -139,7 +146,10 @@ mod tests {
         assert!(!figure.curves.is_empty());
         let rf = figure.curves.iter().find(|c| c.model_name == "RF").unwrap();
         assert_eq!(rf.points.len(), threshold_grid(0.0, 0.75, 0.05).len());
-        assert!(rf.separation() > 0.0, "RF should separate unknown from known");
+        assert!(
+            rf.separation() > 0.0,
+            "RF should separate unknown from known"
+        );
         let text = render(&figure);
         assert!(text.contains("threshold"));
     }

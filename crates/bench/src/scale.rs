@@ -9,11 +9,12 @@ use hmd_hpc::dataset::HpcCorpusBuilder;
 use serde::{Deserialize, Serialize};
 
 /// How large a corpus the experiments generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ExperimentScale {
     /// Tiny corpora for Criterion iterations and CI smoke runs.
     Smoke,
     /// Mid-sized corpora with the paper's qualitative behaviour (default).
+    #[default]
     Bench,
     /// The sample counts of the paper's Table I.
     Paper,
@@ -77,21 +78,24 @@ impl ExperimentScale {
     }
 }
 
-impl Default for ExperimentScale {
-    fn default() -> Self {
-        ExperimentScale::Bench
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn parse_accepts_known_names_only() {
-        assert_eq!(ExperimentScale::parse("paper"), Some(ExperimentScale::Paper));
-        assert_eq!(ExperimentScale::parse("BENCH"), Some(ExperimentScale::Bench));
-        assert_eq!(ExperimentScale::parse("smoke"), Some(ExperimentScale::Smoke));
+        assert_eq!(
+            ExperimentScale::parse("paper"),
+            Some(ExperimentScale::Paper)
+        );
+        assert_eq!(
+            ExperimentScale::parse("BENCH"),
+            Some(ExperimentScale::Bench)
+        );
+        assert_eq!(
+            ExperimentScale::parse("smoke"),
+            Some(ExperimentScale::Smoke)
+        );
         assert_eq!(ExperimentScale::parse("huge"), None);
     }
 
@@ -102,9 +106,7 @@ mod tests {
         let paper = ExperimentScale::Paper.dvfs_builder();
         assert!(smoke.samples_per_known_app < bench.samples_per_known_app);
         assert!(bench.samples_per_known_app < paper.samples_per_known_app);
-        assert!(
-            ExperimentScale::Smoke.tsne_points() < ExperimentScale::Paper.tsne_points()
-        );
+        assert!(ExperimentScale::Smoke.tsne_points() < ExperimentScale::Paper.tsne_points());
     }
 
     #[test]

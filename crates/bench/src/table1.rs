@@ -32,7 +32,11 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Table1 {
     Table1 {
         dvfs: DatasetTaxonomy::from_split("DVFS", &dvfs_split),
         hpc: DatasetTaxonomy::from_split("HPC", &hpc_split),
-        paper_dvfs: (paper::DVFS_TRAIN, paper::DVFS_TEST_KNOWN, paper::DVFS_UNKNOWN),
+        paper_dvfs: (
+            paper::DVFS_TRAIN,
+            paper::DVFS_TEST_KNOWN,
+            paper::DVFS_UNKNOWN,
+        ),
         paper_hpc: (paper::HPC_TRAIN, paper::HPC_TEST_KNOWN, paper::HPC_UNKNOWN),
     }
 }
@@ -45,7 +49,10 @@ pub fn render(table: &Table1) -> String {
         "{:<8} {:<14} {:>10} {:>10}\n",
         "Dataset", "Split", "measured", "paper"
     ));
-    for (tax, paper) in [(&table.dvfs, table.paper_dvfs), (&table.hpc, table.paper_hpc)] {
+    for (tax, paper) in [
+        (&table.dvfs, table.paper_dvfs),
+        (&table.hpc, table.paper_hpc),
+    ] {
         out.push_str(&format!(
             "{:<8} {:<14} {:>10} {:>10}\n",
             tax.name, "Train", tax.train, paper.0

@@ -105,7 +105,7 @@ fn embed_panel(
     for u in train_count..embedding.rows() {
         let mut best = f64::INFINITY;
         let mut best_label = labels[u];
-        for t in 0..train_count {
+        for (t, label) in labels.iter().enumerate().take(train_count) {
             let d: f64 = embedding
                 .row(u)
                 .iter()
@@ -114,7 +114,7 @@ fn embed_panel(
                 .sum();
             if d < best {
                 best = d;
-                best_label = labels[t];
+                best_label = *label;
             }
         }
         if best_label != labels[u] {
@@ -176,7 +176,10 @@ mod tests {
         for panel in [&figure.dvfs, &figure.hpc] {
             assert_eq!(panel.embedding.len(), panel.labels.len());
             assert_eq!(panel.embedding.len(), panel.unknown.len());
-            assert!(panel.embedding.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
+            assert!(panel
+                .embedding
+                .iter()
+                .all(|p| p[0].is_finite() && p[1].is_finite()));
             assert!((0.0..=1.0).contains(&panel.benign_malware_overlap));
             assert!((0.0..=1.0).contains(&panel.unknown_inside_overlap));
         }

@@ -1,0 +1,737 @@
+//! Dependency-free JSON codec used to persist fitted HMD pipelines.
+//!
+//! The build environment has no crates.io access, so model persistence
+//! (`hmd_core::detector`'s `save`/`load`) cannot lean on `serde_json` or
+//! `bincode`. This crate provides the substitute: a small [`Json`] value
+//! type, a strict parser, a writer, and the [`JsonCodec`] trait that fitted
+//! models across the workspace implement field by field.
+//!
+//! Exactness matters more than prettiness here: a saved detector must
+//! reproduce **bit-identical** reports after a load. Finite `f64` values are
+//! written with Rust's shortest round-trip formatting (guaranteed to parse
+//! back to the same bits) and non-finite values are encoded as tagged
+//! strings, so every `f64` survives the trip exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use hmd_codec::{Json, JsonCodec};
+//!
+//! let value = Json::Object(vec![
+//!     ("threshold".to_string(), 0.4f64.to_json()),
+//!     ("votes".to_string(), vec![3u64, 22].to_json()),
+//! ]);
+//! let text = value.to_string();
+//! let back = Json::parse(&text).unwrap();
+//! assert_eq!(value, back);
+//! assert_eq!(f64::from_json(back.get("threshold").unwrap()).unwrap(), 0.4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Error produced by parsing or by typed decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Human-readable description including the failing context.
+    pub message: String,
+}
+
+impl CodecError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> CodecError {
+        CodecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A JSON value.
+///
+/// Objects preserve insertion order (persisted models have a handful of
+/// fields; a sorted map would buy nothing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number that parsed as an integer.
+    Int(i64),
+    /// A number with a fractional part or exponent, or too large for `i64`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn object(fields: Vec<(&str, Json)>) -> Json {
+        Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up a field of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `self` is not an object or the key is absent.
+    pub fn get(&self, key: &str) -> Result<&Json, CodecError> {
+        match self {
+            Json::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| CodecError::new(format!("missing field `{key}`"))),
+            other => Err(CodecError::new(format!(
+                "expected object with field `{key}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) => "int",
+            Json::Float(_) => "float",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+
+    /// The value as an `f64` (accepts both number encodings plus the tagged
+    /// non-finite strings `"NaN"`, `"inf"`, `"-inf"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-numeric values.
+    pub fn as_f64(&self) -> Result<f64, CodecError> {
+        match self {
+            Json::Int(i) => Ok(*i as f64),
+            Json::Float(f) => Ok(*f),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                _ => Err(CodecError::new(format!(
+                    "expected number, found string {s:?}"
+                ))),
+            },
+            other => Err(CodecError::new(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-integer values.
+    pub fn as_i64(&self) -> Result<i64, CodecError> {
+        match self {
+            Json::Int(i) => Ok(*i),
+            other => Err(CodecError::new(format!(
+                "expected integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-integers and negative integers.
+    pub fn as_usize(&self) -> Result<usize, CodecError> {
+        let i = self.as_i64()?;
+        usize::try_from(i).map_err(|_| CodecError::new(format!("expected usize, found {i}")))
+    }
+
+    /// The value as a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-boolean values.
+    pub fn as_bool(&self) -> Result<bool, CodecError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(CodecError::new(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-string values.
+    pub fn as_str(&self) -> Result<&str, CodecError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(CodecError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-array values.
+    pub fn as_array(&self) -> Result<&[Json], CodecError> {
+        match self {
+            Json::Array(items) => Ok(items),
+            other => Err(CodecError::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the first syntax problem, with its byte
+    /// offset.
+    pub fn parse(text: &str) -> Result<Json, CodecError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                out.push_str(&i.to_string());
+            }
+            Json::Float(f) => write_f64(*f, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_f64(value: f64, out: &mut String) {
+    if value.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if value == f64::INFINITY {
+        out.push_str("\"inf\"");
+    } else if value == f64::NEG_INFINITY {
+        out.push_str("\"-inf\"");
+    } else {
+        // Rust's float Display is the shortest representation that parses
+        // back to the identical bits — exactly what persistence needs.
+        let text = value.to_string();
+        out.push_str(&text);
+        if !text.contains(['.', 'e', 'E']) {
+            // Keep the token recognisable as a float ("2" → "2.0") so the
+            // Int/Float distinction survives a round trip.
+            out.push_str(".0");
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum container nesting the parser accepts. The parser recurses per
+/// nesting level, so this bounds stack use; persisted detector documents
+/// nest no more than a handful of levels, while a crafted or corrupted
+/// document of thousands of `[`s would otherwise overflow the stack instead
+/// of returning an error.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> CodecError {
+        CodecError::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), CodecError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, CodecError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.error(&format!("unexpected character `{}`", b as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Json) -> Result<Json, CodecError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("invalid literal, expected `{literal}`")))
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), CodecError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("document nests deeper than the supported limit"));
+        }
+        Ok(())
+    }
+
+    fn parse_object(&mut self) -> Result<Json, CodecError> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, CodecError> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, CodecError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for model files;
+                            // reject them instead of mis-decoding.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.error("unsupported \\u code point"))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(self.error(&format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => return Err(self.error("control character in string")),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, CodecError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.error(&format!("invalid number `{text}`")))
+    }
+}
+
+/// Types that can persist themselves as JSON and be restored exactly.
+pub trait JsonCodec: Sized {
+    /// Encodes the value.
+    fn to_json(&self) -> Json;
+
+    /// Decodes a value previously produced by [`JsonCodec::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] describing the first structural or type
+    /// mismatch.
+    fn from_json(json: &Json) -> Result<Self, CodecError>;
+}
+
+impl JsonCodec for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+
+    fn from_json(json: &Json) -> Result<f64, CodecError> {
+        json.as_f64()
+    }
+}
+
+impl JsonCodec for u64 {
+    fn to_json(&self) -> Json {
+        // Seeds can exceed i64::MAX; persist those as decimal strings.
+        match i64::try_from(*self) {
+            Ok(i) => Json::Int(i),
+            Err(_) => Json::Str(self.to_string()),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<u64, CodecError> {
+        match json {
+            Json::Int(i) => {
+                u64::try_from(*i).map_err(|_| CodecError::new(format!("expected u64, found {i}")))
+            }
+            Json::Str(s) => s
+                .parse::<u64>()
+                .map_err(|_| CodecError::new(format!("expected u64, found {s:?}"))),
+            other => Err(CodecError::new(format!(
+                "expected u64, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl JsonCodec for usize {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
+    }
+
+    fn from_json(json: &Json) -> Result<usize, CodecError> {
+        json.as_usize()
+    }
+}
+
+impl JsonCodec for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+
+    fn from_json(json: &Json) -> Result<bool, CodecError> {
+        json.as_bool()
+    }
+}
+
+impl JsonCodec for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+
+    fn from_json(json: &Json) -> Result<String, CodecError> {
+        Ok(json.as_str()?.to_string())
+    }
+}
+
+impl<T: JsonCodec> JsonCodec for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(JsonCodec::to_json).collect())
+    }
+
+    fn from_json(json: &Json) -> Result<Vec<T>, CodecError> {
+        json.as_array()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: JsonCodec> JsonCodec for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(value) => value.to_json(),
+            None => Json::Null,
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<Option<T>, CodecError> {
+        match json {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#" { "a": [1, -2.5, true, null, "x\ny"], "b": { "c": 1e-3 } } "#;
+        let value = Json::parse(doc).unwrap();
+        assert_eq!(value.get("a").unwrap().as_array().unwrap().len(), 5);
+        assert_eq!(
+            value.get("b").unwrap().get("c").unwrap().as_f64().unwrap(),
+            1e-3
+        );
+    }
+
+    #[test]
+    fn deeply_nested_documents_error_instead_of_overflowing() {
+        let bomb = "[".repeat(100_000);
+        let err = Json::parse(&bomb).unwrap_err();
+        assert!(err.message.contains("nests deeper"), "{err}");
+        // Legitimate nesting well under the limit still parses.
+        let nested = format!("{}1{}", "[".repeat(50), "]".repeat(50));
+        assert!(Json::parse(&nested).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{]",
+        ] {
+            assert!(Json::parse(bad).is_err(), "parsed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        let values = [
+            0.1,
+            -1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1e-300,
+            std::f64::consts::PI,
+            -0.0,
+            2.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ];
+        for &v in &values {
+            let text = v.to_json().to_string();
+            let back = f64::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "value {v} → {text}");
+        }
+    }
+
+    #[test]
+    fn integers_and_strings_round_trip() {
+        let seed: u64 = u64::MAX - 3;
+        let text = seed.to_json().to_string();
+        assert_eq!(u64::from_json(&Json::parse(&text).unwrap()).unwrap(), seed);
+
+        let s = "quotes \" backslash \\ newline \n tab \t unicode ☂".to_string();
+        let text = s.to_json().to_string();
+        assert_eq!(String::from_json(&Json::parse(&text).unwrap()).unwrap(), s);
+    }
+
+    #[test]
+    fn options_and_vectors_compose() {
+        let v: Vec<Option<f64>> = vec![Some(1.5), None, Some(-2.25)];
+        let text = v.to_json().to_string();
+        let back: Vec<Option<f64>> = Vec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn typed_errors_name_the_problem() {
+        let doc = Json::parse(r#"{"a": 1}"#).unwrap();
+        assert!(doc.get("missing").unwrap_err().message.contains("missing"));
+        assert!(doc.get("a").unwrap().as_str().is_err());
+        assert!(Json::Int(-1).as_usize().is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! The online monitoring loop: stream signatures through a detector and keep
+//! running statistics.
+
+use super::Detector;
+use crate::trusted::DetectionReport;
+use hmd_data::Matrix;
+use hmd_ml::MlError;
+
+/// Running statistics of a [`MonitorSession`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorStats {
+    /// Total signatures observed.
+    pub windows: usize,
+    /// Signatures whose prediction was accepted.
+    pub accepted: usize,
+    /// Signatures escalated for forensics.
+    pub escalated: usize,
+    /// Accepted signatures classified malware.
+    pub accepted_malware: usize,
+    /// Accepted signatures classified benign.
+    pub accepted_benign: usize,
+    /// Highest entropy seen so far (0 when nothing was observed).
+    pub max_entropy: f64,
+    /// Lowest entropy seen so far (0 when nothing was observed).
+    pub min_entropy: f64,
+    entropy_sum: f64,
+}
+
+impl Default for MonitorStats {
+    fn default() -> MonitorStats {
+        MonitorStats {
+            windows: 0,
+            accepted: 0,
+            escalated: 0,
+            accepted_malware: 0,
+            accepted_benign: 0,
+            max_entropy: 0.0,
+            min_entropy: 0.0,
+            entropy_sum: 0.0,
+        }
+    }
+}
+
+impl MonitorStats {
+    fn record(&mut self, report: &DetectionReport) {
+        let entropy = report.prediction.entropy;
+        if self.windows == 0 {
+            self.max_entropy = entropy;
+            self.min_entropy = entropy;
+        } else {
+            self.max_entropy = self.max_entropy.max(entropy);
+            self.min_entropy = self.min_entropy.min(entropy);
+        }
+        self.windows += 1;
+        self.entropy_sum += entropy;
+        match report.decision.label() {
+            Some(label) => {
+                self.accepted += 1;
+                if label.is_malware() {
+                    self.accepted_malware += 1;
+                } else {
+                    self.accepted_benign += 1;
+                }
+            }
+            None => self.escalated += 1,
+        }
+    }
+
+    /// Mean entropy over every observed window (0 when none).
+    pub fn mean_entropy(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.entropy_sum / self.windows as f64
+        }
+    }
+
+    /// Fraction of windows escalated (0 when none observed).
+    pub fn escalation_rate(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.escalated as f64 / self.windows as f64
+        }
+    }
+
+    /// Fraction of windows accepted (0 when none observed).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.windows as f64
+        }
+    }
+}
+
+/// An online monitoring session around any [`Detector`].
+///
+/// This is the deployment scenario the paper motivates: a detector trained
+/// offline watches a stream of fresh signatures. The session consumes one
+/// window (or one batch) at a time and maintains running
+/// accept/escalate/entropy statistics, so operational code does not
+/// re-implement the counting loop.
+///
+/// # Example
+///
+/// ```
+/// use hmd_core::detector::{DetectorBackend, DetectorConfig, MonitorSession};
+/// use hmd_data::{Dataset, Label, Matrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = Matrix::from_rows(&[
+///     vec![0.0, 0.1], vec![0.1, 0.0], vec![1.0, 0.9], vec![0.9, 1.0],
+/// ])?;
+/// let y = vec![Label::Benign, Label::Benign, Label::Malware, Label::Malware];
+/// let detector = DetectorConfig::trusted(DetectorBackend::decision_tree())
+///     .with_num_estimators(9)
+///     .fit(&Dataset::new(x, y)?, 3)?;
+///
+/// let mut session = MonitorSession::new(detector.as_ref());
+/// session.observe(&[0.05, 0.05])?;
+/// session.observe(&[0.95, 0.95])?;
+/// assert_eq!(session.stats().windows, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct MonitorSession<'d> {
+    detector: &'d dyn Detector,
+    stats: MonitorStats,
+}
+
+impl<'d> MonitorSession<'d> {
+    /// Starts a session around the detector.
+    pub fn new(detector: &'d dyn Detector) -> MonitorSession<'d> {
+        MonitorSession {
+            detector,
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// The monitored detector.
+    pub fn detector(&self) -> &dyn Detector {
+        self.detector
+    }
+
+    /// Feeds one signature through the detector and folds the outcome into
+    /// the running statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the feature vector has the wrong length; the
+    /// statistics are unchanged in that case.
+    pub fn observe(&mut self, features: &[f64]) -> Result<DetectionReport, MlError> {
+        let report = self.detector.detect(features)?;
+        self.stats.record(&report);
+        Ok(report)
+    }
+
+    /// Feeds a whole batch of signatures through the detector's batch hot
+    /// path, recording every outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the batch's feature count does not match the
+    /// training data; the statistics are unchanged in that case.
+    pub fn observe_batch(&mut self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
+        let reports = self.detector.detect_batch(batch)?;
+        for report in &reports {
+            self.stats.record(report);
+        }
+        Ok(reports)
+    }
+
+    /// The running statistics.
+    pub fn stats(&self) -> &MonitorStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (e.g. at an epoch boundary) without touching the
+    /// detector.
+    pub fn reset(&mut self) {
+        self.stats = MonitorStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::UncertainPrediction;
+    use crate::trusted::Decision;
+    use hmd_data::Label;
+
+    /// A deterministic fake detector: entropy = first feature, escalates
+    /// above 0.5.
+    struct Fake;
+
+    impl Detector for Fake {
+        fn name(&self) -> String {
+            "fake".to_string()
+        }
+
+        fn entropy_threshold(&self) -> f64 {
+            0.5
+        }
+
+        fn detect(&self, features: &[f64]) -> Result<DetectionReport, MlError> {
+            let entropy = features[0];
+            let label = Label::from(features.get(1).copied().unwrap_or(0.0) >= 0.5);
+            let decision = if entropy > 0.5 {
+                Decision::Escalate
+            } else {
+                Decision::Accept(label)
+            };
+            Ok(DetectionReport {
+                prediction: UncertainPrediction {
+                    label,
+                    malware_vote_fraction: 0.0,
+                    entropy,
+                    num_estimators: 1,
+                },
+                decision,
+            })
+        }
+
+        fn detect_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
+            batch.iter_rows().map(|row| self.detect(row)).collect()
+        }
+    }
+
+    #[test]
+    fn stats_track_accepts_escalations_and_entropy() {
+        let detector = Fake;
+        let mut session = MonitorSession::new(&detector);
+        session.observe(&[0.1, 1.0]).unwrap(); // accept malware
+        session.observe(&[0.2, 0.0]).unwrap(); // accept benign
+        session.observe(&[0.9, 1.0]).unwrap(); // escalate
+        let stats = session.stats();
+        assert_eq!(stats.windows, 3);
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.escalated, 1);
+        assert_eq!(stats.accepted_malware, 1);
+        assert_eq!(stats.accepted_benign, 1);
+        assert!((stats.mean_entropy() - 0.4).abs() < 1e-12);
+        assert_eq!(stats.max_entropy, 0.9);
+        assert_eq!(stats.min_entropy, 0.1);
+        assert!((stats.escalation_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((stats.acceptance_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_observation_equals_sequential_observation() {
+        let detector = Fake;
+        let rows = vec![vec![0.1, 1.0], vec![0.6, 0.0], vec![0.3, 1.0]];
+        let batch = Matrix::from_rows(&rows).unwrap();
+
+        let mut sequential = MonitorSession::new(&detector);
+        for row in &rows {
+            sequential.observe(row).unwrap();
+        }
+        let mut batched = MonitorSession::new(&detector);
+        batched.observe_batch(&batch).unwrap();
+        assert_eq!(sequential.stats(), batched.stats());
+    }
+
+    #[test]
+    fn empty_session_reports_zeroes_and_reset_clears() {
+        let detector = Fake;
+        let mut session = MonitorSession::new(&detector);
+        assert_eq!(session.stats().windows, 0);
+        assert_eq!(session.stats().mean_entropy(), 0.0);
+        assert_eq!(session.stats().escalation_rate(), 0.0);
+        session.observe(&[0.2, 0.0]).unwrap();
+        assert_eq!(session.stats().windows, 1);
+        session.reset();
+        assert_eq!(session.stats(), &MonitorStats::default());
+        assert_eq!(session.detector().name(), "fake");
+    }
+}

@@ -18,7 +18,7 @@ pub struct UncertainPrediction {
     /// predictive-uncertainty estimate.
     pub entropy: f64,
     /// Number of base classifiers that produced the votes.
-    pub ensemble_size: usize,
+    pub num_estimators: usize,
 }
 
 impl UncertainPrediction {
@@ -54,7 +54,7 @@ impl<M: Classifier> EnsembleUncertaintyEstimator<M> {
     }
 
     /// Number of base classifiers.
-    pub fn ensemble_size(&self) -> usize {
+    pub fn num_estimators(&self) -> usize {
         self.ensemble.num_estimators()
     }
 
@@ -70,7 +70,7 @@ impl<M: Classifier> EnsembleUncertaintyEstimator<M> {
                 counts[1] as f64 / total as f64
             },
             entropy: vote_entropy(&counts),
-            ensemble_size: total,
+            num_estimators: total,
         }
     }
 
@@ -124,7 +124,8 @@ impl<M: Classifier> Classifier for EnsembleUncertaintyEstimator<M> {
     }
 
     fn predict_proba_one(&self, features: &[f64]) -> f64 {
-        self.predict_with_uncertainty(features).malware_vote_fraction
+        self.predict_with_uncertainty(features)
+            .malware_vote_fraction
     }
 }
 
@@ -144,7 +145,10 @@ mod tests {
         for _ in 0..n {
             let malware = rng.gen_bool(0.5);
             let c = if malware { 2.0 } else { -2.0 };
-            rows.push(vec![c + rng.gen_range(-0.5..0.5), c + rng.gen_range(-0.5..0.5)]);
+            rows.push(vec![
+                c + rng.gen_range(-0.5..0.5),
+                c + rng.gen_range(-0.5..0.5),
+            ]);
             labels.push(Label::from(malware));
         }
         Dataset::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
@@ -166,7 +170,7 @@ mod tests {
         assert_eq!(prediction.label, Label::Malware);
         assert!(prediction.entropy < 0.3, "entropy {}", prediction.entropy);
         assert!(prediction.is_confident(0.4));
-        assert_eq!(prediction.ensemble_size, 25);
+        assert_eq!(prediction.num_estimators, 25);
     }
 
     #[test]

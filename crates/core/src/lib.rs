@@ -10,27 +10,33 @@
 //! how much the model actually knows about the input. Predictions whose
 //! entropy exceeds a threshold are *rejected* instead of trusted.
 //!
-//! The crate provides:
+//! The crate's public surface is organised around the unified [`detector`]
+//! subsystem — one polymorphic, batch-first API that every deployable
+//! pipeline serves behind:
 //!
-//! * [`entropy`] — entropy of vote distributions,
-//! * [`estimator::EnsembleUncertaintyEstimator`] — the uncertainty estimator
-//!   wrapped around any [`hmd_ml::bagging::BaggingEnsemble`],
-//! * [`rejection`] — rejection policies, threshold sweeps (Fig. 7a/9b) and
-//!   accepted-F1 curves (Fig. 7b),
-//! * [`analysis`] — entropy-distribution summaries (the boxplots of
-//!   Figs. 4–5) and latent-space overlap scores (Fig. 8),
+//! * [`detector`] — the object-safe [`detector::Detector`] trait
+//!   (`detect` / parallel `detect_batch`), the serialisable
+//!   [`detector::DetectorConfig`] factory (pipeline kind × base learner),
+//!   model persistence ([`detector::save`] / [`detector::load`]) and the
+//!   [`detector::MonitorSession`] streaming API,
 //! * [`trusted`] — the end-to-end [`trusted::TrustedHmd`] pipeline and its
 //!   [`trusted::UntrustedHmd`] baseline,
 //! * [`platt_baseline`] — the Platt-scaling confidence baseline the paper
-//!   argues against.
+//!   argues against, including its deployable
+//!   [`platt_baseline::PlattHmd`] pipeline,
+//! * [`estimator::EnsembleUncertaintyEstimator`] — the uncertainty estimator
+//!   wrapped around any [`hmd_ml::bagging::BaggingEnsemble`],
+//! * [`entropy`] — entropy of vote distributions,
+//! * [`rejection`] — rejection policies, threshold sweeps (Fig. 7a/9b) and
+//!   accepted-F1 curves (Fig. 7b),
+//! * [`analysis`] — entropy-distribution summaries (the boxplots of
+//!   Figs. 4–5) and latent-space overlap scores (Fig. 8).
 //!
-//! # Example
+//! # Example: config → fit → save → load → batch detect
 //!
 //! ```
-//! use hmd_core::estimator::EnsembleUncertaintyEstimator;
+//! use hmd_core::detector::{load, save, DetectorBackend, DetectorConfig};
 //! use hmd_data::{Dataset, Label, Matrix};
-//! use hmd_ml::bagging::BaggingParams;
-//! use hmd_ml::tree::DecisionTreeParams;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let x = Matrix::from_rows(&[
@@ -38,16 +44,23 @@
 //! ])?;
 //! let y = vec![Label::Benign, Label::Benign, Label::Malware, Label::Malware];
 //! let train = Dataset::new(x, y)?;
-//! let ensemble = BaggingParams::new(DecisionTreeParams::new())
-//!     .with_num_estimators(15)
-//!     .fit(&train, 7)?;
-//! let estimator = EnsembleUncertaintyEstimator::new(ensemble);
 //!
-//! // In-distribution input: confident (low entropy).
-//! let confident = estimator.predict_with_uncertainty(&[0.15, 0.2]);
-//! // Far-away input: the base classifiers disagree more.
-//! let uncertain = estimator.predict_with_uncertainty(&[0.5, 0.55]);
-//! assert!(confident.entropy <= uncertain.entropy + 1e-9);
+//! // Describe the pipeline, compile the description into a detector.
+//! let config = DetectorConfig::trusted(DetectorBackend::decision_tree())
+//!     .with_num_estimators(15)
+//!     .with_entropy_threshold(0.4);
+//! let detector = config.fit(&train, 7)?;
+//!
+//! // Train once, serve many times: persist and restore the fitted model.
+//! let restored = load(&save(detector.as_ref())?)?;
+//!
+//! // Batch-first inference: one front-end pass, rows scored in parallel.
+//! let batch = Matrix::from_rows(&[vec![0.15, 0.2], vec![0.5, 0.55]])?;
+//! let reports = restored.detect_batch(&batch)?;
+//! // In-distribution input: confident (low entropy). Far-away input: the
+//! // base classifiers disagree more.
+//! assert!(reports[0].prediction.entropy <= reports[1].prediction.entropy + 1e-9);
+//! assert_eq!(reports, detector.detect_batch(&batch)?);
 //! # Ok(())
 //! # }
 //! ```
@@ -56,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod detector;
 pub mod entropy;
 pub mod estimator;
 pub mod platt_baseline;
@@ -63,6 +77,8 @@ pub mod rejection;
 pub mod trusted;
 
 pub use analysis::EntropySummary;
+pub use detector::{Detector, DetectorBackend, DetectorConfig, DetectorKind, MonitorSession};
 pub use estimator::{EnsembleUncertaintyEstimator, UncertainPrediction};
+pub use platt_baseline::PlattHmd;
 pub use rejection::{F1Curve, RejectionCurve, RejectionPolicy};
-pub use trusted::{TrustedHmd, TrustedHmdBuilder, UntrustedHmd};
+pub use trusted::{DetectionReport, TrustedHmd, TrustedHmdBuilder, UntrustedHmd};

@@ -8,9 +8,15 @@
 //! implements the baseline so the ablation benchmarks can compare it against
 //! the ensemble-entropy estimator.
 
+use crate::entropy::binary_entropy;
+use crate::estimator::UncertainPrediction;
 use crate::rejection::{RejectionCurve, RejectionPoint};
-use hmd_data::{Dataset, Label};
-use hmd_ml::Classifier;
+use crate::trusted::{batch_reports, preprocess_row, validate_widths, Decision, DetectionReport};
+use hmd_codec::{CodecError, Json, JsonCodec};
+use hmd_data::scaler::StandardScaler;
+use hmd_data::{Dataset, Label, Matrix};
+use hmd_ml::pca::Pca;
+use hmd_ml::{Classifier, MlError};
 use serde::{Deserialize, Serialize};
 
 /// A single prediction of the confidence baseline.
@@ -101,10 +107,125 @@ impl<M: Classifier> PlattConfidenceBaseline<M> {
     }
 }
 
+/// The confidence baseline as a full end-to-end pipeline: scaling → optional
+/// PCA → one probabilistic classifier → confidence-driven accept/escalate
+/// decision.
+///
+/// This is the deployable counterpart of [`PlattConfidenceBaseline`], shaped
+/// like [`crate::trusted::TrustedHmd`] so all three detector families serve
+/// behind the unified [`crate::detector::Detector`] API. The reported
+/// "entropy" is the binary entropy `H(p)` of the model's malware
+/// probability — monotone in the classical confidence `max(p, 1-p)`, so an
+/// entropy threshold is exactly equivalent to a confidence threshold while
+/// staying comparable with the ensemble estimator's numbers.
+///
+/// Calibration lives in the base learner: the linear SVM Platt-scales its
+/// decision values by default, logistic regression is inherently
+/// probabilistic, and tree learners emit near-binary leaf fractions (making
+/// them a deliberately poor confidence baseline — the paper's criticism).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlattHmd<M> {
+    scaler: StandardScaler,
+    pca: Option<Pca>,
+    model: M,
+    entropy_threshold: f64,
+}
+
+impl<M: Classifier> PlattHmd<M> {
+    pub(crate) fn from_parts(
+        scaler: StandardScaler,
+        pca: Option<Pca>,
+        model: M,
+        entropy_threshold: f64,
+    ) -> PlattHmd<M> {
+        PlattHmd {
+            scaler,
+            pca,
+            model,
+            entropy_threshold,
+        }
+    }
+
+    /// The wrapped classifier.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The entropy threshold above which predictions escalate.
+    pub fn entropy_threshold(&self) -> f64 {
+        self.entropy_threshold
+    }
+
+    fn report_for_processed(&self, processed: &[f64]) -> DetectionReport {
+        let p = self.model.predict_proba_one(processed).clamp(0.0, 1.0);
+        let prediction = UncertainPrediction {
+            label: Label::from(p >= 0.5),
+            malware_vote_fraction: p,
+            entropy: binary_entropy(p),
+            num_estimators: 1,
+        };
+        let decision = if prediction.entropy > self.entropy_threshold {
+            Decision::Escalate
+        } else {
+            Decision::Accept(prediction.label)
+        };
+        DetectionReport {
+            prediction,
+            decision,
+        }
+    }
+
+    /// Runs one raw (unscaled) signature through the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the feature vector has the wrong length.
+    pub fn detect(&self, features: &[f64]) -> Result<DetectionReport, MlError> {
+        let processed = preprocess_row(&self.scaler, &self.pca, features)?;
+        Ok(self.report_for_processed(&processed))
+    }
+
+    /// Runs a whole matrix of raw signatures through the pipeline (batch
+    /// front end + parallel scoring).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the batch's feature count does not match the
+    /// training data.
+    pub fn detect_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
+        batch_reports(&self.scaler, &self.pca, batch, |row| {
+            self.report_for_processed(row)
+        })
+    }
+}
+
+impl<M: Classifier + JsonCodec> JsonCodec for PlattHmd<M> {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("scaler", self.scaler.to_json()),
+            ("pca", self.pca.to_json()),
+            ("model", self.model.to_json()),
+            ("entropy_threshold", self.entropy_threshold.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<PlattHmd<M>, CodecError> {
+        let scaler = StandardScaler::from_json(json.get("scaler")?)?;
+        let pca = Option::<Pca>::from_json(json.get("pca")?)?;
+        let model = M::from_json(json.get("model")?)?;
+        validate_widths(&scaler, &pca, model.input_width(), "platt pipeline")?;
+        Ok(PlattHmd {
+            scaler,
+            pca,
+            model,
+            entropy_threshold: f64::from_json(json.get("entropy_threshold")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hmd_data::Matrix;
     use hmd_ml::logistic::LogisticRegressionParams;
     use hmd_ml::Estimator;
 
@@ -154,7 +275,10 @@ mod tests {
         let baseline = trained_baseline();
         let near = baseline.predict_with_confidence(&[2.0]).confidence;
         let far = baseline.predict_with_confidence(&[50.0]).confidence;
-        assert!(far >= near, "far-away confidence {far} should not drop below {near}");
+        assert!(
+            far >= near,
+            "far-away confidence {far} should not drop below {near}"
+        );
         assert!(far > 0.95);
     }
 
@@ -188,9 +312,13 @@ mod tests {
         .unwrap();
         let known = baseline.predict_dataset(&known_ds);
         let unknown = baseline.predict_dataset(&known_ds);
-        let curve = PlattConfidenceBaseline::<hmd_ml::logistic::LogisticRegression>::rejection_curve(
-            "platt", &known, &unknown, &[0.5, 0.7, 0.9, 0.99],
-        );
+        let curve =
+            PlattConfidenceBaseline::<hmd_ml::logistic::LogisticRegression>::rejection_curve(
+                "platt",
+                &known,
+                &unknown,
+                &[0.5, 0.7, 0.9, 0.99],
+            );
         assert_eq!(curve.points.len(), 4);
         assert_eq!(curve.model_name, "platt");
     }

@@ -224,7 +224,7 @@ mod tests {
             label,
             malware_vote_fraction: if label.is_malware() { 0.9 } else { 0.1 },
             entropy,
-            ensemble_size: 25,
+            num_estimators: 25,
         }
     }
 

@@ -8,12 +8,15 @@
 //! instead of trusting them.
 
 use crate::estimator::{EnsembleUncertaintyEstimator, UncertainPrediction};
+use crate::platt_baseline::PlattHmd;
 use crate::rejection::RejectionPolicy;
+use hmd_codec::{CodecError, Json, JsonCodec};
 use hmd_data::scaler::StandardScaler;
-use hmd_data::{Dataset, Label};
+use hmd_data::{Dataset, Label, Matrix};
 use hmd_ml::bagging::BaggingParams;
 use hmd_ml::pca::Pca;
 use hmd_ml::{Classifier, Estimator, MlError};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The decision a trusted HMD takes for one input.
@@ -72,29 +75,33 @@ impl<E: Estimator> TrustedHmdBuilder<E> {
     }
 
     /// Sets the number of base classifiers in the bagging ensemble.
+    #[must_use]
     pub fn with_num_estimators(mut self, n: usize) -> Self {
         self.num_estimators = n;
         self
     }
 
     /// Enables PCA dimensionality reduction to `components` dimensions.
+    #[must_use]
     pub fn with_pca(mut self, components: usize) -> Self {
         self.pca_components = Some(components);
         self
     }
 
     /// Sets the entropy threshold of the rejection policy.
+    #[must_use]
     pub fn with_entropy_threshold(mut self, threshold: f64) -> Self {
         self.entropy_threshold = threshold;
         self
     }
 
-    /// Fits the trusted pipeline on a training dataset.
-    ///
-    /// # Errors
-    ///
-    /// Propagates scaling, PCA and ensemble-training errors.
-    pub fn fit(&self, train: &Dataset, seed: u64) -> Result<TrustedHmd<E::Model>, MlError> {
+    /// Fits the shared preprocessing front end (scaler, optional PCA) and
+    /// returns it with the transformed training set. Every pipeline family
+    /// trains through this one code path.
+    fn fit_front_end(
+        &self,
+        train: &Dataset,
+    ) -> Result<(StandardScaler, Option<Pca>, Dataset), MlError> {
         let scaler = StandardScaler::fit(train.features());
         let scaled = scaler.transform_dataset(train)?;
         let (pca, reduced) = match self.pca_components {
@@ -106,6 +113,16 @@ impl<E: Estimator> TrustedHmdBuilder<E> {
             }
             None => (None, scaled),
         };
+        Ok((scaler, pca, reduced))
+    }
+
+    /// Fits the trusted pipeline on a training dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaling, PCA and ensemble-training errors.
+    pub fn fit(&self, train: &Dataset, seed: u64) -> Result<TrustedHmd<E::Model>, MlError> {
+        let (scaler, pca, reduced) = self.fit_front_end(train)?;
         let ensemble = BaggingParams::new(self.base.clone())
             .with_num_estimators(self.num_estimators)
             .fit(&reduced, seed)?;
@@ -123,26 +140,126 @@ impl<E: Estimator> TrustedHmdBuilder<E> {
     /// # Errors
     ///
     /// Propagates scaling, PCA and training errors.
-    pub fn fit_untrusted(&self, train: &Dataset, seed: u64) -> Result<UntrustedHmd<E::Model>, MlError> {
-        let scaler = StandardScaler::fit(train.features());
-        let scaled = scaler.transform_dataset(train)?;
-        let (pca, reduced) = match self.pca_components {
-            Some(components) => {
-                let pca = Pca::fit(scaled.features(), components)?;
-                let projected = pca.transform(scaled.features())?;
-                let reduced = rebuild_dataset(&scaled, projected)?;
-                (Some(pca), reduced)
-            }
-            None => (None, scaled),
-        };
+    pub fn fit_untrusted(
+        &self,
+        train: &Dataset,
+        seed: u64,
+    ) -> Result<UntrustedHmd<E::Model>, MlError> {
+        let (scaler, pca, reduced) = self.fit_front_end(train)?;
         let model = self.base.fit(&reduced, seed)?;
         Ok(UntrustedHmd { scaler, pca, model })
     }
+
+    /// Fits the confidence baseline: the same front end with a single
+    /// probabilistic classifier whose output probability drives the
+    /// accept/escalate decision (see [`crate::platt_baseline`]).
+    ///
+    /// Platt scaling happens inside the base learner where the backend
+    /// supports it — the linear SVM calibrates by default; logistic
+    /// regression is already a probabilistic model. Tree backends emit
+    /// near-binary leaf probabilities and make a degenerate confidence
+    /// baseline (entropy ≈ 0 everywhere), which is itself the paper's point
+    /// about trusting point-estimate confidences.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaling, PCA and training errors.
+    pub fn fit_platt(&self, train: &Dataset, seed: u64) -> Result<PlattHmd<E::Model>, MlError> {
+        let (scaler, pca, reduced) = self.fit_front_end(train)?;
+        let model = self.base.fit(&reduced, seed)?;
+        Ok(PlattHmd::from_parts(
+            scaler,
+            pca,
+            model,
+            self.entropy_threshold,
+        ))
+    }
+}
+
+/// Applies a fitted front end (scaling, optional PCA) to a whole matrix of
+/// raw signatures at once — the entry point of every batch inference path.
+pub(crate) fn preprocess_matrix(
+    scaler: &StandardScaler,
+    pca: &Option<Pca>,
+    batch: &Matrix,
+) -> Result<Matrix, MlError> {
+    let scaled = scaler.transform(batch)?;
+    match pca {
+        Some(pca) => pca.transform(&scaled),
+        None => Ok(scaled),
+    }
+}
+
+/// Applies a fitted front end to one raw signature — the single-row
+/// counterpart of [`preprocess_matrix`], shared by every per-window path.
+pub(crate) fn preprocess_row(
+    scaler: &StandardScaler,
+    pca: &Option<Pca>,
+    features: &[f64],
+) -> Result<Vec<f64>, MlError> {
+    let mut row = features.to_vec();
+    scaler.transform_row(&mut row)?;
+    match pca {
+        Some(pca) => pca.transform_one(&row),
+        None => Ok(row),
+    }
+}
+
+/// The expected raw-signature width of a fitted front end, and the width the
+/// model behind it must accept. Used by the persistence layer to reject
+/// saved documents whose parts disagree on dimensionality (a mismatch would
+/// panic or silently misclassify at detect time).
+pub(crate) fn validate_widths(
+    scaler: &StandardScaler,
+    pca: &Option<Pca>,
+    model_width: Option<usize>,
+    context: &str,
+) -> Result<(), CodecError> {
+    let raw_width = scaler.means().len();
+    let model_input = match pca {
+        Some(pca) => {
+            let (pca_in, pca_out) = (pca.input_width(), pca.num_components());
+            if pca_in != raw_width {
+                return Err(CodecError::new(format!(
+                    "{context}: scaler expects {raw_width} features but PCA expects {pca_in}"
+                )));
+            }
+            pca_out
+        }
+        None => raw_width,
+    };
+    match model_width {
+        Some(width) if width != model_input => Err(CodecError::new(format!(
+            "{context}: front end produces {model_input} features but model expects {width}"
+        ))),
+        _ => Ok(()),
+    }
+}
+
+/// The shared batch hot path: one front-end pass over the matrix, then rows
+/// scored in parallel by the pipeline-specific `report` closure. All three
+/// pipeline families funnel their `detect_batch` through here.
+pub(crate) fn batch_reports<F>(
+    scaler: &StandardScaler,
+    pca: &Option<Pca>,
+    batch: &Matrix,
+    report: F,
+) -> Result<Vec<DetectionReport>, MlError>
+where
+    F: Fn(&[f64]) -> DetectionReport + Sync,
+{
+    let processed = preprocess_matrix(scaler, pca, batch)?;
+    let rows: Vec<&[f64]> = processed.iter_rows().collect();
+    Ok(rows.par_iter().map(|row| report(row)).collect())
 }
 
 fn rebuild_dataset(original: &Dataset, features: hmd_data::Matrix) -> Result<Dataset, MlError> {
     let dataset = if original.meta().len() == original.len() {
-        Dataset::with_meta(features, original.labels().to_vec(), original.meta().to_vec())
+        Dataset::with_meta(
+            features,
+            original.labels().to_vec(),
+            original.meta().to_vec(),
+        )
     } else {
         Dataset::new(features, original.labels().to_vec())
     };
@@ -177,11 +294,19 @@ impl<M: Classifier> TrustedHmd<M> {
     }
 
     fn preprocess(&self, features: &[f64]) -> Result<Vec<f64>, MlError> {
-        let mut row = features.to_vec();
-        self.scaler.transform_row(&mut row)?;
-        match &self.pca {
-            Some(pca) => pca.transform_one(&row),
-            None => Ok(row),
+        preprocess_row(&self.scaler, &self.pca, features)
+    }
+
+    fn report_for_processed(&self, processed: &[f64]) -> DetectionReport {
+        let prediction = self.estimator.predict_with_uncertainty(processed);
+        let decision = if self.policy.rejects(&prediction) {
+            Decision::Escalate
+        } else {
+            Decision::Accept(prediction.label)
+        };
+        DetectionReport {
+            prediction,
+            decision,
         }
     }
 
@@ -192,15 +317,24 @@ impl<M: Classifier> TrustedHmd<M> {
     /// Returns an error when the feature vector has the wrong length.
     pub fn detect(&self, features: &[f64]) -> Result<DetectionReport, MlError> {
         let processed = self.preprocess(features)?;
-        let prediction = self.estimator.predict_with_uncertainty(&processed);
-        let decision = if self.policy.rejects(&prediction) {
-            Decision::Escalate
-        } else {
-            Decision::Accept(prediction.label)
-        };
-        Ok(DetectionReport {
-            prediction,
-            decision,
+        Ok(self.report_for_processed(&processed))
+    }
+
+    /// Runs a whole matrix of raw signatures through the pipeline — the
+    /// batch-first hot path.
+    ///
+    /// The front end (scaling, optional PCA) is applied to the matrix in one
+    /// pass, then the ensemble scores rows in parallel. Per-sample
+    /// [`TrustedHmd::detect`] is the degenerate single-row case of this
+    /// method.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the batch's feature count does not match the
+    /// training data.
+    pub fn detect_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
+        batch_reports(&self.scaler, &self.pca, batch, |row| {
+            self.report_for_processed(row)
         })
     }
 
@@ -211,14 +345,11 @@ impl<M: Classifier> TrustedHmd<M> {
     /// Returns an error when the dataset's feature count does not match the
     /// training data.
     pub fn predict_dataset(&self, dataset: &Dataset) -> Result<Vec<UncertainPrediction>, MlError> {
-        dataset
-            .features()
-            .iter_rows()
-            .map(|row| {
-                let processed = self.preprocess(row)?;
-                Ok(self.estimator.predict_with_uncertainty(&processed))
-            })
-            .collect()
+        Ok(self
+            .detect_batch(dataset.features())?
+            .into_iter()
+            .map(|report| report.prediction)
+            .collect())
     }
 
     /// Entropy values for every sample of a raw dataset.
@@ -277,13 +408,65 @@ impl<M: Classifier> UntrustedHmd<M> {
     ///
     /// Returns an error when the feature vector has the wrong length.
     pub fn detect(&self, features: &[f64]) -> Result<Label, MlError> {
-        let mut row = features.to_vec();
-        self.scaler.transform_row(&mut row)?;
-        let processed = match &self.pca {
-            Some(pca) => pca.transform_one(&row)?,
-            None => row,
-        };
+        let processed = preprocess_row(&self.scaler, &self.pca, features)?;
         Ok(self.model.predict_one(&processed))
+    }
+
+    /// Classifies a whole matrix of raw signatures in one pass (batch front
+    /// end + parallel scoring). Named differently from the trait's
+    /// report-producing `detect_batch` so concrete and `dyn Detector` callers
+    /// never resolve the same spelling to different return types.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the batch's feature count does not match the
+    /// training data.
+    pub fn predict_batch(&self, batch: &Matrix) -> Result<Vec<Label>, MlError> {
+        Ok(self
+            .report_batch(batch)?
+            .into_iter()
+            .map(|report| report.prediction.label)
+            .collect())
+    }
+
+    fn report_for_processed(&self, processed: &[f64]) -> DetectionReport {
+        let (label, malware_vote_fraction) = self.model.predict_with_proba_one(processed);
+        DetectionReport {
+            prediction: UncertainPrediction {
+                label,
+                malware_vote_fraction,
+                // A single black-box classifier reports no predictive
+                // uncertainty — that is exactly the paper's criticism.
+                entropy: 0.0,
+                num_estimators: 1,
+            },
+            decision: Decision::Accept(label),
+        }
+    }
+
+    /// Runs one raw signature through the pipeline, shaped as a
+    /// [`DetectionReport`] so the conventional detector can serve behind the
+    /// unified [`crate::detector::Detector`] API. The report always accepts
+    /// (this pipeline cannot escalate) and carries zero entropy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the feature vector has the wrong length.
+    pub fn report(&self, features: &[f64]) -> Result<DetectionReport, MlError> {
+        let processed = preprocess_row(&self.scaler, &self.pca, features)?;
+        Ok(self.report_for_processed(&processed))
+    }
+
+    /// Batch variant of [`UntrustedHmd::report`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the batch's feature count does not match the
+    /// training data.
+    pub fn report_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
+        batch_reports(&self.scaler, &self.pca, batch, |row| {
+            self.report_for_processed(row)
+        })
     }
 
     /// Classifies every sample of a raw dataset.
@@ -293,11 +476,51 @@ impl<M: Classifier> UntrustedHmd<M> {
     /// Returns an error when the dataset's feature count does not match the
     /// training data.
     pub fn predict_dataset(&self, dataset: &Dataset) -> Result<Vec<Label>, MlError> {
-        dataset
-            .features()
-            .iter_rows()
-            .map(|row| self.detect(row))
-            .collect()
+        self.predict_batch(dataset.features())
+    }
+}
+
+impl<M: Classifier + JsonCodec> JsonCodec for TrustedHmd<M> {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("scaler", self.scaler.to_json()),
+            ("pca", self.pca.to_json()),
+            ("ensemble", self.estimator.ensemble().to_json()),
+            ("entropy_threshold", self.policy.entropy_threshold.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<TrustedHmd<M>, CodecError> {
+        let scaler = StandardScaler::from_json(json.get("scaler")?)?;
+        let pca = Option::<Pca>::from_json(json.get("pca")?)?;
+        let ensemble = hmd_ml::bagging::BaggingEnsemble::<M>::from_json(json.get("ensemble")?)?;
+        for estimator in ensemble.estimators() {
+            validate_widths(&scaler, &pca, estimator.input_width(), "trusted pipeline")?;
+        }
+        Ok(TrustedHmd {
+            scaler,
+            pca,
+            estimator: EnsembleUncertaintyEstimator::new(ensemble),
+            policy: RejectionPolicy::new(f64::from_json(json.get("entropy_threshold")?)?),
+        })
+    }
+}
+
+impl<M: Classifier + JsonCodec> JsonCodec for UntrustedHmd<M> {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("scaler", self.scaler.to_json()),
+            ("pca", self.pca.to_json()),
+            ("model", self.model.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<UntrustedHmd<M>, CodecError> {
+        let scaler = StandardScaler::from_json(json.get("scaler")?)?;
+        let pca = Option::<Pca>::from_json(json.get("pca")?)?;
+        let model = M::from_json(json.get("model")?)?;
+        validate_widths(&scaler, &pca, model.input_width(), "untrusted pipeline")?;
+        Ok(UntrustedHmd { scaler, pca, model })
     }
 }
 
@@ -372,7 +595,7 @@ mod tests {
             .fit(&train, 7)
             .unwrap();
         let report = hmd.detect(&[3.0, 3.0, 0.0]).unwrap();
-        assert_eq!(report.prediction.ensemble_size, 9);
+        assert_eq!(report.prediction.num_estimators, 9);
         // wrong width is rejected
         assert!(hmd.detect(&[1.0]).is_err());
     }
@@ -408,7 +631,10 @@ mod tests {
 
     #[test]
     fn decision_helpers_expose_label() {
-        assert_eq!(Decision::Accept(Label::Malware).label(), Some(Label::Malware));
+        assert_eq!(
+            Decision::Accept(Label::Malware).label(),
+            Some(Label::Malware)
+        );
         assert!(Decision::Escalate.is_escalation());
         assert!(!Decision::Accept(Label::Benign).is_escalation());
     }

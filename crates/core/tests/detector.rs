@@ -1,0 +1,236 @@
+//! Integration tests of the unified `Detector` API: trait-object usage,
+//! batch/serial equivalence, and persistence round trips.
+
+use hmd_codec::JsonCodec;
+use hmd_core::detector::{
+    load, save, save_to_file, Detector, DetectorBackend, DetectorConfig, DetectorKind,
+    MonitorSession,
+};
+use hmd_data::{Dataset, Label, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two well-separated Gaussian-ish blobs, the workhorse training set.
+fn blobs(n: usize, features: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for _ in 0..n {
+        let malware = rng.gen_bool(0.5);
+        let c = if malware { 2.0 } else { -2.0 };
+        rows.push(
+            (0..features)
+                .map(|f| {
+                    if f < 2 {
+                        c + rng.gen_range(-0.8..0.8)
+                    } else {
+                        rng.gen_range(-1.0..1.0)
+                    }
+                })
+                .collect(),
+        );
+        labels.push(Label::from(malware));
+    }
+    Dataset::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+}
+
+fn all_kind_configs(backend: DetectorBackend) -> [DetectorConfig; 3] {
+    [
+        DetectorConfig::trusted(backend.clone()).with_num_estimators(9),
+        DetectorConfig::untrusted(backend.clone()),
+        DetectorConfig::platt(backend).with_entropy_threshold(0.8),
+    ]
+}
+
+#[test]
+fn all_three_pipeline_kinds_serve_through_a_trait_object() {
+    let train = blobs(150, 3, 1);
+    let test = blobs(40, 3, 2);
+
+    let detectors: Vec<Box<dyn Detector>> = all_kind_configs(DetectorBackend::decision_tree())
+        .into_iter()
+        .map(|config| config.fit(&train, 7).expect("training succeeds"))
+        .collect();
+    assert_eq!(detectors.len(), 3);
+
+    for detector in &detectors {
+        // The trait surface works uniformly for every kind.
+        assert!(!detector.name().is_empty());
+        assert!(detector.entropy_threshold() > 0.0);
+        let reports = detector.detect_batch(test.features()).expect("batch path");
+        assert_eq!(reports.len(), test.len());
+        let labels: Vec<Label> = reports.iter().map(|r| r.prediction.label).collect();
+        let correct = labels
+            .iter()
+            .zip(test.labels())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            correct as f64 / test.len() as f64 > 0.85,
+            "{}: accuracy {correct}/{}",
+            detector.name(),
+            test.len()
+        );
+        // Wrong feature width errors instead of panicking.
+        assert!(detector.detect(&[1.0]).is_err());
+    }
+
+    // The three kinds are distinguishable through their names.
+    let names: Vec<String> = detectors.iter().map(|d| d.name()).collect();
+    assert!(names[0].starts_with("trusted["), "{names:?}");
+    assert!(names[1].starts_with("untrusted["), "{names:?}");
+    assert!(names[2].starts_with("platt["), "{names:?}");
+}
+
+#[test]
+fn detect_batch_equals_mapping_detect_over_rows() {
+    // Property test over random batches: for every pipeline kind and several
+    // random matrices, the parallel batch path must return exactly what the
+    // serial per-row path returns.
+    let train = blobs(120, 4, 3);
+    for (i, config) in all_kind_configs(DetectorBackend::random_forest())
+        .into_iter()
+        .enumerate()
+    {
+        let detector = config.fit(&train, 11).expect("training succeeds");
+        for case in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(case * 31 + i as u64);
+            let rows = rng.gen_range(1..40usize);
+            let data: Vec<f64> = (0..rows * 4).map(|_| rng.gen_range(-4.0..4.0)).collect();
+            let batch = Matrix::from_vec(rows, 4, data).unwrap();
+
+            let batched = detector.detect_batch(&batch).expect("batch path");
+            let mapped: Vec<_> = batch
+                .iter_rows()
+                .map(|row| detector.detect(row).expect("serial path"))
+                .collect();
+            assert_eq!(batched, mapped, "{} case {case}", detector.name());
+        }
+    }
+}
+
+#[test]
+fn save_load_round_trip_reproduces_bit_identical_reports() {
+    let train = blobs(150, 3, 5);
+    let test = blobs(64, 3, 6);
+
+    for backend in [
+        DetectorBackend::decision_tree(),
+        DetectorBackend::random_forest(),
+        DetectorBackend::logistic_regression(),
+        DetectorBackend::linear_svm(),
+    ] {
+        for config in all_kind_configs(backend) {
+            let detector = config.fit(&train, 17).expect("training succeeds");
+            let document = save(detector.as_ref()).expect("persistable");
+            let restored = load(&document).expect("document loads");
+
+            assert_eq!(restored.name(), detector.name());
+            let original = detector.detect_batch(test.features()).expect("batch");
+            let roundtrip = restored.detect_batch(test.features()).expect("batch");
+            for (a, b) in original.iter().zip(&roundtrip) {
+                // Bit-level equality, stricter than PartialEq (e.g. -0.0/0.0).
+                assert_eq!(
+                    a.prediction.entropy.to_bits(),
+                    b.prediction.entropy.to_bits(),
+                    "{}",
+                    detector.name()
+                );
+                assert_eq!(
+                    a.prediction.malware_vote_fraction.to_bits(),
+                    b.prediction.malware_vote_fraction.to_bits(),
+                    "{}",
+                    detector.name()
+                );
+                assert_eq!(a, b, "{}", detector.name());
+            }
+
+            // Saving the restored detector reproduces the document exactly.
+            assert_eq!(save(restored.as_ref()).expect("persistable"), document);
+        }
+    }
+}
+
+#[test]
+fn trusted_forest_with_pca_survives_file_round_trip() {
+    let train = blobs(150, 5, 7);
+    let test = blobs(32, 5, 8);
+    let detector = DetectorConfig::trusted(DetectorBackend::random_forest())
+        .with_num_estimators(9)
+        .with_pca(3)
+        .with_entropy_threshold(0.35)
+        .fit(&train, 23)
+        .expect("training succeeds");
+
+    let path = std::env::temp_dir().join(format!("hmd-detector-{}.json", std::process::id()));
+    save_to_file(detector.as_ref(), &path).expect("file written");
+    let restored = load_from_file_and_cleanup(&path);
+
+    assert_eq!(restored.entropy_threshold(), 0.35);
+    assert_eq!(
+        restored.detect_batch(test.features()).expect("batch"),
+        detector.detect_batch(test.features()).expect("batch"),
+    );
+}
+
+fn load_from_file_and_cleanup(path: &std::path::Path) -> Box<dyn Detector> {
+    let restored = hmd_core::detector::load_from_file(path).expect("file loads");
+    let _ = std::fs::remove_file(path);
+    restored
+}
+
+#[test]
+fn malformed_documents_are_rejected_with_errors() {
+    assert!(load("not json").is_err());
+    assert!(load("{}").is_err());
+    assert!(load(r#"{"format":"something-else","version":1}"#).is_err());
+    assert!(
+        load(r#"{"format":"hmd-detector","version":99,"kind":"trusted","backend":"decision-tree","model":{}}"#)
+            .is_err()
+    );
+    assert!(load(
+        r#"{"format":"hmd-detector","version":1,"kind":"trusted","backend":"quantum","model":{}}"#
+    )
+    .is_err());
+    assert!(
+        load(r#"{"format":"hmd-detector","version":1,"kind":"trusted","backend":"decision-tree","model":{}}"#)
+            .is_err()
+    );
+}
+
+#[test]
+fn detector_config_round_trips_through_json() {
+    let config = DetectorConfig::trusted(DetectorBackend::random_forest())
+        .with_num_estimators(40)
+        .with_pca(6)
+        .with_entropy_threshold(0.25);
+    let text = config.to_json().to_string();
+    let back = DetectorConfig::from_json(&hmd_codec::Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back, config);
+    assert_eq!(back.kind, DetectorKind::Trusted);
+    assert_eq!(back.pca_components, Some(6));
+}
+
+#[test]
+fn monitor_session_statistics_match_batch_reports() {
+    let train = blobs(120, 3, 9);
+    let known = blobs(30, 3, 10);
+    let detector = DetectorConfig::trusted(DetectorBackend::decision_tree())
+        .with_num_estimators(15)
+        .fit(&train, 3)
+        .expect("training succeeds");
+
+    let mut session = MonitorSession::new(detector.as_ref());
+    let reports = session.observe_batch(known.features()).expect("batch");
+    let stats = session.stats();
+    assert_eq!(stats.windows, known.len());
+    let escalated = reports
+        .iter()
+        .filter(|r| r.decision.is_escalation())
+        .count();
+    assert_eq!(stats.escalated, escalated);
+    assert_eq!(stats.accepted, known.len() - escalated);
+    let mean: f64 =
+        reports.iter().map(|r| r.prediction.entropy).sum::<f64>() / reports.len() as f64;
+    assert!((stats.mean_entropy() - mean).abs() < 1e-12);
+}

@@ -32,8 +32,12 @@ fn dvfs_unknown_workloads_have_higher_entropy_and_are_rejectable() {
         .fit(&split.train, 3)
         .expect("training");
 
-    let known = hmd.predict_dataset(&split.test_known).expect("known predictions");
-    let unknown = hmd.predict_dataset(&split.unknown).expect("unknown predictions");
+    let known = hmd
+        .predict_dataset(&split.test_known)
+        .expect("known predictions");
+    let unknown = hmd
+        .predict_dataset(&split.unknown)
+        .expect("unknown predictions");
 
     let known_entropy: Vec<f64> = known.iter().map(|p| p.entropy).collect();
     let unknown_entropy: Vec<f64> = unknown.iter().map(|p| p.entropy).collect();
@@ -72,7 +76,10 @@ fn dvfs_rejection_improves_accepted_f1() {
     // Score over known test plus unknown data, as in Fig. 7b: rejecting the
     // uncertain unknowns should not hurt (and typically helps) the F1 of what
     // remains.
-    let combined = split.test_known.concat(&split.unknown).expect("same feature space");
+    let combined = split
+        .test_known
+        .concat(&split.unknown)
+        .expect("same feature space");
     let predictions = hmd.predict_dataset(&combined).expect("predictions");
     let curve = F1Curve::sweep(
         "RF-DVFS",
@@ -106,8 +113,12 @@ fn hpc_known_and_unknown_entropies_overlap() {
         .fit(&split.train, 7)
         .expect("training");
 
-    let known = hmd.predict_dataset(&split.test_known).expect("known predictions");
-    let unknown = hmd.predict_dataset(&split.unknown).expect("unknown predictions");
+    let known = hmd
+        .predict_dataset(&split.test_known)
+        .expect("known predictions");
+    let unknown = hmd
+        .predict_dataset(&split.unknown)
+        .expect("unknown predictions");
 
     let known_entropy: Vec<f64> = known.iter().map(|p| p.entropy).collect();
     let unknown_entropy: Vec<f64> = unknown.iter().map(|p| p.entropy).collect();

@@ -1,96 +1,135 @@
-//! Property-based tests for the uncertainty framework.
+//! Randomised property tests for the uncertainty framework.
+//!
+//! The offline toolchain has no `proptest`, so these run the same properties
+//! over a fixed number of seeded random cases.
 
 use hmd_core::analysis::EntropySummary;
 use hmd_core::entropy::{binary_entropy, max_entropy, normalized_vote_entropy, vote_entropy};
 use hmd_core::estimator::UncertainPrediction;
 use hmd_core::rejection::{threshold_grid, F1Curve, RejectionCurve};
 use hmd_data::Label;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn predictions_strategy(max_len: usize) -> impl Strategy<Value = Vec<UncertainPrediction>> {
-    proptest::collection::vec((proptest::bool::ANY, 0.0f64..=1.0), 1..max_len).prop_map(|items| {
-        items
-            .into_iter()
-            .map(|(malware, entropy)| UncertainPrediction {
+const CASES: u64 = 64;
+
+fn random_predictions(rng: &mut StdRng, max_len: usize) -> Vec<UncertainPrediction> {
+    let len = rng.gen_range(1..max_len);
+    (0..len)
+        .map(|_| {
+            let malware = rng.gen_bool(0.5);
+            UncertainPrediction {
                 label: Label::from(malware),
                 malware_vote_fraction: if malware { 0.8 } else { 0.2 },
-                entropy,
-                ensemble_size: 25,
-            })
-            .collect()
-    })
+                entropy: rng.gen_range(0.0..=1.0),
+                num_estimators: 25,
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn vote_entropy_is_bounded_by_max_entropy(a in 0usize..200, b in 0usize..200) {
+#[test]
+fn vote_entropy_is_bounded_by_max_entropy() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let (a, b) = (rng.gen_range(0..200usize), rng.gen_range(0..200usize));
         let h = vote_entropy(&[a, b]);
-        prop_assert!(h >= 0.0);
-        prop_assert!(h <= max_entropy(2) + 1e-12);
+        assert!(h >= 0.0, "case {case}");
+        assert!(h <= max_entropy(2) + 1e-12, "case {case}");
         // zero iff votes are unanimous (or empty)
         if a == 0 || b == 0 {
-            prop_assert_eq!(h, 0.0);
+            assert_eq!(h, 0.0, "case {case}: a {a} b {b}");
         } else {
-            prop_assert!(h > 0.0);
+            assert!(h > 0.0, "case {case}: a {a} b {b}");
         }
     }
+}
 
-    #[test]
-    fn normalized_entropy_matches_binary_entropy(a in 0usize..100, b in 1usize..100) {
+#[test]
+fn normalized_entropy_matches_binary_entropy() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + case);
+        let (a, b) = (rng.gen_range(0..100usize), rng.gen_range(1..100usize));
         let total = (a + b) as f64;
         let normalized = normalized_vote_entropy(&[a, b]);
         let direct = binary_entropy(a as f64 / total);
-        prop_assert!((normalized - direct).abs() < 1e-9);
+        assert!((normalized - direct).abs() < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn entropy_summary_is_ordered(values in proptest::collection::vec(0.0f64..=1.0, 1..100)) {
+#[test]
+fn entropy_summary_is_ordered() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + case);
+        let len = rng.gen_range(1..100usize);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(0.0..=1.0)).collect();
         let s = EntropySummary::from_values(&values);
-        prop_assert!(s.min <= s.q1 + 1e-12);
-        prop_assert!(s.q1 <= s.median + 1e-12);
-        prop_assert!(s.median <= s.q3 + 1e-12);
-        prop_assert!(s.q3 <= s.max + 1e-12);
-        prop_assert!(s.min <= s.mean && s.mean <= s.max);
-        prop_assert_eq!(s.count, values.len());
+        assert!(s.min <= s.q1 + 1e-12, "case {case}");
+        assert!(s.q1 <= s.median + 1e-12, "case {case}");
+        assert!(s.median <= s.q3 + 1e-12, "case {case}");
+        assert!(s.q3 <= s.max + 1e-12, "case {case}");
+        assert!(s.min <= s.mean && s.mean <= s.max, "case {case}");
+        assert_eq!(s.count, values.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn rejection_curves_are_monotone_in_threshold(
-        known in predictions_strategy(60),
-        unknown in predictions_strategy(60),
-    ) {
+#[test]
+fn rejection_curves_are_monotone_in_threshold() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + case);
+        let known = random_predictions(&mut rng, 60);
+        let unknown = random_predictions(&mut rng, 60);
         let curve = RejectionCurve::sweep("m", &known, &unknown, &threshold_grid(0.0, 1.0, 0.1));
         for pair in curve.points.windows(2) {
-            prop_assert!(pair[1].known_rejected_pct <= pair[0].known_rejected_pct + 1e-9);
-            prop_assert!(pair[1].unknown_rejected_pct <= pair[0].unknown_rejected_pct + 1e-9);
+            assert!(
+                pair[1].known_rejected_pct <= pair[0].known_rejected_pct + 1e-9,
+                "case {case}"
+            );
+            assert!(
+                pair[1].unknown_rejected_pct <= pair[0].unknown_rejected_pct + 1e-9,
+                "case {case}"
+            );
         }
         for p in &curve.points {
-            prop_assert!((0.0..=100.0).contains(&p.known_rejected_pct));
-            prop_assert!((0.0..=100.0).contains(&p.unknown_rejected_pct));
+            assert!((0.0..=100.0).contains(&p.known_rejected_pct), "case {case}");
+            assert!(
+                (0.0..=100.0).contains(&p.unknown_rejected_pct),
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn f1_curve_accepted_fraction_grows_with_threshold(preds in predictions_strategy(80)) {
+#[test]
+fn f1_curve_accepted_fraction_grows_with_threshold() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + case);
+        let preds = random_predictions(&mut rng, 80);
         let truth: Vec<Label> = preds.iter().map(|p| p.label).collect();
         let curve = F1Curve::sweep("m", &preds, &truth, &threshold_grid(0.0, 1.0, 0.1));
         for pair in curve.points.windows(2) {
-            prop_assert!(pair[1].accepted_fraction + 1e-9 >= pair[0].accepted_fraction);
+            assert!(
+                pair[1].accepted_fraction + 1e-9 >= pair[0].accepted_fraction,
+                "case {case}"
+            );
         }
         // With perfect agreement between truth and prediction, any non-empty
         // accepted set has F1 of 1 when malware is present, 0 otherwise.
         for p in &curve.points {
-            prop_assert!((0.0..=1.0).contains(&p.f1));
+            assert!((0.0..=1.0).contains(&p.f1), "case {case}: f1 {}", p.f1);
         }
     }
+}
 
-    #[test]
-    fn threshold_grid_is_sorted_and_within_range(end in 0.1f64..2.0, step in 0.01f64..0.5) {
+#[test]
+fn threshold_grid_is_sorted_and_within_range() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5000 + case);
+        let end = rng.gen_range(0.1..2.0);
+        let step = rng.gen_range(0.01..0.5);
         let grid = threshold_grid(0.0, end, step);
-        prop_assert!(!grid.is_empty());
-        prop_assert!(grid.windows(2).all(|w| w[1] > w[0]));
-        prop_assert!(*grid.last().unwrap() <= end + 1e-9);
+        assert!(!grid.is_empty(), "case {case}");
+        assert!(grid.windows(2).all(|w| w[1] > w[0]), "case {case}");
+        assert!(*grid.last().unwrap() <= end + 1e-9, "case {case}");
     }
 }

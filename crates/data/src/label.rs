@@ -1,3 +1,4 @@
+use hmd_codec::{CodecError, Json, JsonCodec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -62,6 +63,26 @@ impl Label {
 
     /// Number of classes in the binary task.
     pub const NUM_CLASSES: usize = 2;
+}
+
+impl JsonCodec for Label {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Label::Benign => "benign",
+                Label::Malware => "malware",
+            }
+            .to_string(),
+        )
+    }
+
+    fn from_json(json: &Json) -> Result<Label, CodecError> {
+        match json.as_str()? {
+            "benign" => Ok(Label::Benign),
+            "malware" => Ok(Label::Malware),
+            other => Err(CodecError::new(format!("unknown label `{other}`"))),
+        }
+    }
 }
 
 impl fmt::Display for Label {

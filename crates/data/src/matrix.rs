@@ -1,4 +1,5 @@
 use crate::DataError;
+use hmd_codec::{CodecError, Json, JsonCodec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -72,7 +73,9 @@ impl Matrix {
     /// [`DataError::RaggedRows`] when rows have unequal lengths.
     pub fn from_rows(rows: &[Vec<f64>]) -> Result<Matrix, DataError> {
         if rows.is_empty() {
-            return Err(DataError::Empty { context: "matrix rows" });
+            return Err(DataError::Empty {
+                context: "matrix rows",
+            });
         }
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
@@ -139,8 +142,14 @@ impl Matrix {
     ///
     /// Panics if `c >= self.cols()`.
     pub fn column(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Iterator over rows as slices.
@@ -186,7 +195,11 @@ impl Matrix {
         for r in 0..self.rows {
             let row = self.row(r);
             for &c in indices {
-                assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
+                assert!(
+                    c < self.cols,
+                    "column index {c} out of bounds ({})",
+                    self.cols
+                );
                 data.push(row[c]);
             }
         }
@@ -338,18 +351,41 @@ impl Matrix {
     }
 }
 
+impl JsonCodec for Matrix {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("rows", self.rows.to_json()),
+            ("cols", self.cols.to_json()),
+            ("data", self.data.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Matrix, CodecError> {
+        let rows = usize::from_json(json.get("rows")?)?;
+        let cols = usize::from_json(json.get("cols")?)?;
+        let data = Vec::<f64>::from_json(json.get("data")?)?;
+        Matrix::from_vec(rows, cols, data).map_err(|err| CodecError::new(format!("matrix: {err}")))
+    }
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -6,6 +6,7 @@
 //! `[0, 1]`.
 
 use crate::{DataError, Dataset, Matrix};
+use hmd_codec::{CodecError, Json, JsonCodec};
 use serde::{Deserialize, Serialize};
 
 /// Zero-mean / unit-variance standardisation fitted on a training matrix.
@@ -154,6 +155,28 @@ impl StandardScaler {
     }
 }
 
+impl JsonCodec for StandardScaler {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("means", self.means.to_json()),
+            ("stds", self.stds.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<StandardScaler, CodecError> {
+        let means = Vec::<f64>::from_json(json.get("means")?)?;
+        let stds = Vec::<f64>::from_json(json.get("stds")?)?;
+        if means.len() != stds.len() {
+            return Err(CodecError::new(format!(
+                "scaler: {} means but {} stds",
+                means.len(),
+                stds.len()
+            )));
+        }
+        Ok(StandardScaler { means, stds })
+    }
+}
+
 /// Min-max scaling to `[0, 1]` fitted on a training matrix.
 ///
 /// Columns with zero range are mapped to `0`.
@@ -213,8 +236,12 @@ mod tests {
     use super::*;
 
     fn matrix() -> Matrix {
-        Matrix::from_rows(&[vec![1.0, 10.0, 5.0], vec![3.0, 20.0, 5.0], vec![5.0, 30.0, 5.0]])
-            .expect("valid rows")
+        Matrix::from_rows(&[
+            vec![1.0, 10.0, 5.0],
+            vec![3.0, 20.0, 5.0],
+            vec![5.0, 30.0, 5.0],
+        ])
+        .expect("valid rows")
     }
 
     #[test]

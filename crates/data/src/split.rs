@@ -86,7 +86,10 @@ pub fn stratified_split<R: Rng>(
     }
     train_indices.shuffle(rng);
     test_indices.shuffle(rng);
-    Ok((dataset.select(&train_indices), dataset.select(&test_indices)))
+    Ok((
+        dataset.select(&train_indices),
+        dataset.select(&test_indices),
+    ))
 }
 
 /// Partitions a corpus into the paper's train / known-test / unknown buckets.
@@ -237,7 +240,13 @@ mod tests {
     fn corpus(n: usize) -> Dataset {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i % 7) as f64]).collect();
         let labels: Vec<Label> = (0..n)
-            .map(|i| if i % 2 == 0 { Label::Benign } else { Label::Malware })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Label::Benign
+                } else {
+                    Label::Malware
+                }
+            })
             .collect();
         let meta: Vec<SampleMeta> = (0..n)
             .map(|i| {
@@ -268,7 +277,10 @@ mod tests {
         let (train, test) = stratified_split(&ds, 0.3, &mut rng).unwrap();
         let train_frac = train.malware_fraction();
         let test_frac = test.malware_fraction();
-        assert!((train_frac - 0.5).abs() < 0.05, "train fraction {train_frac}");
+        assert!(
+            (train_frac - 0.5).abs() < 0.05,
+            "train fraction {train_frac}"
+        );
         assert!((test_frac - 0.5).abs() < 0.05, "test fraction {test_frac}");
     }
 

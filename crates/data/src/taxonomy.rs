@@ -104,8 +104,7 @@ mod tests {
                 }
             })
             .collect();
-        let corpus =
-            Dataset::with_meta(Matrix::from_rows(&rows).unwrap(), labels, meta).unwrap();
+        let corpus = Dataset::with_meta(Matrix::from_rows(&rows).unwrap(), labels, meta).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let split = known_unknown_split(&corpus, 0.25, &mut rng).unwrap();
         let tax = DatasetTaxonomy::from_split("toy", &split);

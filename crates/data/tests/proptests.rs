@@ -1,103 +1,134 @@
-//! Property-based tests for the data substrate.
+//! Randomised property tests for the data substrate.
+//!
+//! The offline toolchain has no `proptest`, so these run the same properties
+//! over a fixed number of seeded random cases: deterministic, and the failing
+//! case is identified by its iteration index.
 
 use hmd_data::scaler::{MinMaxScaler, StandardScaler};
 use hmd_data::split::{bootstrap_indices, stratified_split, train_test_split};
 use hmd_data::{Dataset, Label, Matrix};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
-    (2..=max_rows, 1..=max_cols).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec(-1e3f64..1e3, rows * cols)
-            .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized buffer"))
-    })
+const CASES: u64 = 64;
+
+fn random_matrix(rng: &mut StdRng, max_rows: usize, max_cols: usize) -> Matrix {
+    let rows = rng.gen_range(2..=max_rows);
+    let cols = rng.gen_range(1..=max_cols);
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1e3..1e3)).collect();
+    Matrix::from_vec(rows, cols, data).expect("sized buffer")
 }
 
-fn dataset_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Dataset> {
-    matrix_strategy(max_rows, max_cols).prop_flat_map(|m| {
-        let rows = m.rows();
-        proptest::collection::vec(proptest::bool::ANY, rows).prop_map(move |flags| {
-            let labels: Vec<Label> = flags.iter().copied().map(Label::from).collect();
-            Dataset::new(m.clone(), labels).expect("consistent dataset")
-        })
-    })
+fn random_dataset(rng: &mut StdRng, max_rows: usize, max_cols: usize) -> Dataset {
+    let m = random_matrix(rng, max_rows, max_cols);
+    let labels: Vec<Label> = (0..m.rows())
+        .map(|_| Label::from(rng.gen_bool(0.5)))
+        .collect();
+    Dataset::new(m, labels).expect("consistent dataset")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn transpose_is_involution(m in matrix_strategy(12, 6)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
+#[test]
+fn transpose_is_involution() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let m = random_matrix(&mut rng, 12, 6);
+        assert_eq!(m.transpose().transpose(), m, "case {case}");
     }
+}
 
-    #[test]
-    fn column_mins_never_exceed_maxs(m in matrix_strategy(12, 6)) {
-        let mins = m.column_mins();
-        let maxs = m.column_maxs();
-        for (lo, hi) in mins.iter().zip(&maxs) {
-            prop_assert!(lo <= hi);
+#[test]
+fn column_mins_never_exceed_maxs() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + case);
+        let m = random_matrix(&mut rng, 12, 6);
+        for (lo, hi) in m.column_mins().iter().zip(&m.column_maxs()) {
+            assert!(lo <= hi, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn standard_scaler_round_trip(m in matrix_strategy(12, 6)) {
+#[test]
+fn standard_scaler_round_trip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + case);
+        let m = random_matrix(&mut rng, 12, 6);
         let scaler = StandardScaler::fit(&m);
-        let back = scaler.inverse_transform(&scaler.transform(&m).unwrap()).unwrap();
+        let back = scaler
+            .inverse_transform(&scaler.transform(&m).unwrap())
+            .unwrap();
         for (a, b) in back.as_slice().iter().zip(m.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-6, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn minmax_output_is_bounded(m in matrix_strategy(12, 6)) {
+#[test]
+fn minmax_output_is_bounded() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + case);
+        let m = random_matrix(&mut rng, 12, 6);
         let scaler = MinMaxScaler::fit(&m);
         let out = scaler.transform(&m).unwrap();
         for v in out.as_slice() {
-            prop_assert!((-1e-9..=1.0 + 1e-9).contains(v));
+            assert!((-1e-9..=1.0 + 1e-9).contains(v), "case {case}: {v}");
         }
     }
+}
 
-    #[test]
-    fn train_test_split_is_a_partition(ds in dataset_strategy(40, 4), seed in 0u64..1000) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn train_test_split_is_a_partition() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + case);
+        let ds = random_dataset(&mut rng, 40, 4);
         if let Ok((train, test)) = train_test_split(&ds, 0.3, &mut rng) {
-            prop_assert_eq!(train.len() + test.len(), ds.len());
-            prop_assert_eq!(train.num_features(), ds.num_features());
+            assert_eq!(train.len() + test.len(), ds.len(), "case {case}");
+            assert_eq!(train.num_features(), ds.num_features(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn stratified_split_preserves_totals_per_class(ds in dataset_strategy(60, 3), seed in 0u64..1000) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn stratified_split_preserves_totals_per_class() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5000 + case);
+        let ds = random_dataset(&mut rng, 60, 3);
         if let Ok((train, test)) = stratified_split(&ds, 0.25, &mut rng) {
             let total = ds.class_counts();
             let got = [
                 train.class_counts()[0] + test.class_counts()[0],
                 train.class_counts()[1] + test.class_counts()[1],
             ];
-            prop_assert_eq!(total, got);
+            assert_eq!(total, got, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn bootstrap_indices_stay_in_range(len in 1usize..500, seed in 0u64..1000) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn bootstrap_indices_stay_in_range() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(6000 + case);
+        let len = rng.gen_range(1..500usize);
         let (indices, oob) = bootstrap_indices(len, &mut rng);
-        prop_assert_eq!(indices.len(), len);
-        prop_assert!(indices.iter().all(|&i| i < len));
-        prop_assert!(oob.iter().all(|&i| i < len));
+        assert_eq!(indices.len(), len, "case {case}");
+        assert!(indices.iter().all(|&i| i < len), "case {case}");
+        assert!(oob.iter().all(|&i| i < len), "case {case}");
         // every index is either drawn or out-of-bag
         for i in 0..len {
-            prop_assert!(indices.contains(&i) || oob.contains(&i));
+            assert!(
+                indices.contains(&i) || oob.contains(&i),
+                "case {case}: index {i} lost"
+            );
         }
     }
+}
 
-    #[test]
-    fn select_preserves_feature_width(ds in dataset_strategy(30, 5)) {
+#[test]
+fn select_preserves_feature_width() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(7000 + case);
+        let ds = random_dataset(&mut rng, 30, 5);
         let picked = ds.select(&[0, ds.len() - 1, 0]);
-        prop_assert_eq!(picked.len(), 3);
-        prop_assert_eq!(picked.num_features(), ds.num_features());
+        assert_eq!(picked.len(), 3, "case {case}");
+        assert_eq!(picked.num_features(), ds.num_features(), "case {case}");
     }
 }

@@ -61,6 +61,7 @@ pub struct AppCatalog {
 impl AppCatalog {
     /// The default catalog: 10 known benign apps, 8 known malware families,
     /// 3 unknown benign apps and 3 unknown malware families.
+    #[allow(clippy::vec_init_then_push)]
     pub fn standard() -> AppCatalog {
         let mut apps = Vec::new();
 

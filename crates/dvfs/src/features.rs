@@ -82,7 +82,11 @@ impl FeatureExtractor {
         }
 
         // 4. spectral band energies
-        features.extend(band_energies(&signal, self.spectral_bins, self.spectral_bands));
+        features.extend(band_energies(
+            &signal,
+            self.spectral_bins,
+            self.spectral_bands,
+        ));
 
         features
     }
@@ -107,8 +111,17 @@ fn moments(signal: &[f64]) -> (f64, f64, f64, f64) {
     if std < 1e-12 {
         return (mean, 0.0, 0.0, 0.0);
     }
-    let skew = signal.iter().map(|x| ((x - mean) / std).powi(3)).sum::<f64>() / n;
-    let kurt = signal.iter().map(|x| ((x - mean) / std).powi(4)).sum::<f64>() / n - 3.0;
+    let skew = signal
+        .iter()
+        .map(|x| ((x - mean) / std).powi(3))
+        .sum::<f64>()
+        / n;
+    let kurt = signal
+        .iter()
+        .map(|x| ((x - mean) / std).powi(4))
+        .sum::<f64>()
+        / n
+        - 3.0;
     (mean, std, skew, kurt)
 }
 

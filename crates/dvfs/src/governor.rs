@@ -274,7 +274,10 @@ mod tests {
         let low = (0..10).map(|_| gov.next_state(0.2, &soc)).last().unwrap();
         gov.reset(&soc);
         let high = (0..10).map(|_| gov.next_state(0.9, &soc)).last().unwrap();
-        assert!(high > low, "high load ({high}) should exceed low load ({low})");
+        assert!(
+            high > low,
+            "high load ({high}) should exceed low load ({low})"
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub mod workload;
 pub use apps::{AppCatalog, AppProfile};
 pub use dataset::DvfsCorpusBuilder;
 pub use features::FeatureExtractor;
-pub use governor::{ConservativeGovernor, Governor, GovernorKind, OndemandGovernor, SchedutilGovernor};
+pub use governor::{
+    ConservativeGovernor, Governor, GovernorKind, OndemandGovernor, SchedutilGovernor,
+};
 pub use soc::SocConfig;
 pub use trace::DvfsTrace;
 pub use workload::{Phase, WorkloadModel};

@@ -152,7 +152,10 @@ mod tests {
         let tm = demo_trace().transition_matrix();
         for row in 0..3 {
             let sum: f64 = tm[row * 3..(row + 1) * 3].iter().sum();
-            assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-12, "row {row} sums to {sum}");
+            assert!(
+                sum == 0.0 || (sum - 1.0).abs() < 1e-12,
+                "row {row} sums to {sum}"
+            );
         }
     }
 

@@ -110,7 +110,8 @@ impl WorkloadModel {
             }
             let phase = &self.phases[phase_index];
             let mut u = phase.mean_utilization + sample_gaussian(rng) * phase.noise;
-            if phase.spike_probability > 0.0 && rng.gen_bool(phase.spike_probability.clamp(0.0, 1.0))
+            if phase.spike_probability > 0.0
+                && rng.gen_bool(phase.spike_probability.clamp(0.0, 1.0))
             {
                 u = 1.0;
             }
@@ -160,8 +161,9 @@ mod tests {
 
     #[test]
     fn spiky_phase_produces_full_utilization_samples() {
-        let model =
-            WorkloadModel::new(vec![Phase::new(0.1, 50.0).with_spikes(0.3).with_noise(0.01)]);
+        let model = WorkloadModel::new(vec![Phase::new(0.1, 50.0)
+            .with_spikes(0.3)
+            .with_noise(0.01)]);
         let mut rng = StdRng::seed_from_u64(2);
         let trace = model.utilization_trace(400, &mut rng);
         let spikes = trace.iter().filter(|&&u| u >= 0.999).count();
@@ -192,8 +194,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let samples: Vec<f64> = (0..5000).map(|_| sample_gaussian(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "variance {var}");
     }

@@ -64,6 +64,7 @@ impl ProgramCatalog {
     /// The default catalog: 8 known benign programs, 6 known malware
     /// families, 2 unknown benign programs and 2 unknown malware families,
     /// all drawn from overlapping behavioural regimes.
+    #[allow(clippy::vec_init_then_push)]
     pub fn standard() -> ProgramCatalog {
         let mut programs = Vec::new();
 
@@ -478,7 +479,11 @@ mod tests {
             .iter()
             .filter(|p| p.label == Label::Benign)
             .collect();
-        for malware in catalog.programs().iter().filter(|p| p.label == Label::Malware) {
+        for malware in catalog
+            .programs()
+            .iter()
+            .filter(|p| p.label == Label::Malware)
+        {
             let closest = benign
                 .iter()
                 .map(|b| {

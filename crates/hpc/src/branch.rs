@@ -105,7 +105,11 @@ mod tests {
         }
         // After warm-up the branch should be predicted correctly; at most the
         // first two predictions can miss while the counter saturates.
-        assert!(bp.mispredictions() <= 2, "mispredictions {}", bp.mispredictions());
+        assert!(
+            bp.mispredictions() <= 2,
+            "mispredictions {}",
+            bp.mispredictions()
+        );
     }
 
     #[test]

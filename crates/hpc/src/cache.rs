@@ -44,7 +44,10 @@ impl CacheConfig {
             "cache geometry must be non-zero"
         );
         let sets = self.size_bytes / (self.line_bytes * self.ways);
-        assert!(sets > 0, "cache too small for its line size and associativity");
+        assert!(
+            sets > 0,
+            "cache too small for its line size and associativity"
+        );
         sets
     }
 }

@@ -224,6 +224,10 @@ mod tests {
         let mut state = ProgramState::default();
         let mut rng = StdRng::seed_from_u64(3);
         let counters = cpu.run_interval(&model, &mut state, 20_000, &mut rng);
-        assert!(counters.branch_miss_rate() > 0.3, "rate {}", counters.branch_miss_rate());
+        assert!(
+            counters.branch_miss_rate() > 0.3,
+            "rate {}",
+            counters.branch_miss_rate()
+        );
     }
 }

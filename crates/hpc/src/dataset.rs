@@ -162,7 +162,10 @@ mod tests {
         let catalog = ProgramCatalog::standard();
         assert_eq!(corpus.len(), catalog.len() * 5);
         assert_eq!(corpus.meta().len(), corpus.len());
-        assert_eq!(corpus.num_features(), HpcFeatureExtractor::new().num_features());
+        assert_eq!(
+            corpus.num_features(),
+            HpcFeatureExtractor::new().num_features()
+        );
         assert!(corpus.features().as_slice().iter().all(|v| v.is_finite()));
     }
 
@@ -240,13 +243,16 @@ mod tests {
 
     #[test]
     fn labels_match_catalog_assignments() {
-        let corpus = HpcCorpusBuilder::new().with_samples_per_app(2).build_corpus(4).unwrap();
+        let corpus = HpcCorpusBuilder::new()
+            .with_samples_per_app(2)
+            .build_corpus(4)
+            .unwrap();
         let catalog = ProgramCatalog::standard();
         for i in 0..corpus.len() {
             let app = corpus.meta()[i].app;
             let expected = catalog.get(app).unwrap().label;
             assert_eq!(corpus.labels()[i], expected);
         }
-        assert!(corpus.labels().iter().any(|l| *l == Label::Malware));
+        assert!(corpus.labels().contains(&Label::Malware));
     }
 }

@@ -202,7 +202,8 @@ mod tests {
         let mut taken = 0;
         let mut total = 0;
         for _ in 0..10_000 {
-            if let Instruction::Branch { taken: t, .. } = model.next_instruction(&mut state, &mut rng)
+            if let Instruction::Branch { taken: t, .. } =
+                model.next_instruction(&mut state, &mut rng)
             {
                 total += 1;
                 if t {

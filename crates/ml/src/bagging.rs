@@ -8,6 +8,7 @@
 //! attribute that the uncertainty estimator reads.
 
 use crate::{Classifier, Estimator, MlError};
+use hmd_codec::{CodecError, Json, JsonCodec};
 use hmd_data::split::bootstrap_indices;
 use hmd_data::{Dataset, Label};
 use rand::rngs::StdRng;
@@ -44,18 +45,21 @@ impl<E: Estimator> BaggingParams<E> {
     }
 
     /// Sets the number of base classifiers.
+    #[must_use]
     pub fn with_num_estimators(mut self, n: usize) -> Self {
         self.num_estimators = n;
         self
     }
 
     /// Sets the bootstrap sample fraction.
+    #[must_use]
     pub fn with_sample_fraction(mut self, fraction: f64) -> Self {
         self.sample_fraction = fraction;
         self
     }
 
     /// Enables or disables bootstrap resampling.
+    #[must_use]
     pub fn with_bootstrap(mut self, bootstrap: bool) -> Self {
         self.bootstrap = bootstrap;
         self
@@ -90,8 +94,9 @@ impl<E: Estimator> BaggingParams<E> {
         self.validate()?;
         let mut seeder = StdRng::seed_from_u64(seed);
         let seeds: Vec<u64> = (0..self.num_estimators).map(|_| seeder.gen()).collect();
-        let replicate_len =
-            ((dataset.len() as f64) * self.sample_fraction).round().max(1.0) as usize;
+        let replicate_len = ((dataset.len() as f64) * self.sample_fraction)
+            .round()
+            .max(1.0) as usize;
         let models: Result<Vec<E::Model>, MlError> = seeds
             .par_iter()
             .map(|&estimator_seed| {
@@ -200,6 +205,44 @@ impl<M: Classifier> BaggingEnsemble<M> {
     }
 }
 
+/// Interns a persisted base-learner name back to the `&'static str` the
+/// ensemble stores. Known learners map to their canonical tag; anything else
+/// falls back to `"custom"` (the name is display-only).
+fn intern_base_name(name: &str) -> &'static str {
+    use crate::ModelTag;
+    for known in [
+        crate::tree::DecisionTree::TAG,
+        crate::forest::RandomForest::TAG,
+        crate::logistic::LogisticRegression::TAG,
+        crate::svm::LinearSvm::TAG,
+    ] {
+        if name == known {
+            return known;
+        }
+    }
+    "custom"
+}
+
+impl<M: JsonCodec> JsonCodec for BaggingEnsemble<M> {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("base_name", self.base_name.to_string().to_json()),
+            ("estimators", self.estimators.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<BaggingEnsemble<M>, CodecError> {
+        let estimators = Vec::<M>::from_json(json.get("estimators")?)?;
+        if estimators.is_empty() {
+            return Err(CodecError::new("bagging ensemble has no estimators"));
+        }
+        Ok(BaggingEnsemble {
+            estimators,
+            base_name: intern_base_name(json.get("base_name")?.as_str()?),
+        })
+    }
+}
+
 impl<M: Classifier> Classifier for BaggingEnsemble<M> {
     fn predict_one(&self, features: &[f64]) -> Label {
         let counts = self.vote_counts(features);
@@ -209,6 +252,18 @@ impl<M: Classifier> Classifier for BaggingEnsemble<M> {
     fn predict_proba_one(&self, features: &[f64]) -> f64 {
         let counts = self.vote_counts(features);
         counts[1] as f64 / self.estimators.len() as f64
+    }
+
+    fn predict_with_proba_one(&self, features: &[f64]) -> (Label, f64) {
+        let counts = self.vote_counts(features);
+        (
+            Label::from(counts[1] >= counts[0]),
+            counts[1] as f64 / self.estimators.len() as f64,
+        )
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        self.estimators.first().and_then(|m| m.input_width())
     }
 }
 
@@ -226,7 +281,10 @@ mod tests {
         for _ in 0..n {
             let malware = rng.gen_bool(0.5);
             let c = if malware { 1.0 } else { -1.0 };
-            rows.push(vec![c + rng.gen_range(-0.5..0.5), c + rng.gen_range(-0.5..0.5)]);
+            rows.push(vec![
+                c + rng.gen_range(-0.5..0.5),
+                c + rng.gen_range(-0.5..0.5),
+            ]);
             labels.push(Label::from(malware));
         }
         Dataset::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()

@@ -40,8 +40,14 @@ impl fmt::Display for MlError {
                 write!(f, "invalid hyper-parameter `{name}`: {message}")
             }
             MlError::TrainingFailed { message } => write!(f, "training failed: {message}"),
-            MlError::DidNotConverge { learner, iterations } => {
-                write!(f, "{learner} did not converge after {iterations} iterations")
+            MlError::DidNotConverge {
+                learner,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{learner} did not converge after {iterations} iterations"
+                )
             }
             MlError::NotFitted => write!(f, "model has not been fitted"),
         }

@@ -6,7 +6,8 @@
 //! black-box detector.
 
 use crate::tree::{DecisionTree, DecisionTreeParams, MaxFeatures};
-use crate::{Classifier, Estimator, MlError};
+use crate::{Classifier, Estimator, MlError, ModelTag};
+use hmd_codec::{CodecError, Json, JsonCodec};
 use hmd_data::split::bootstrap_indices;
 use hmd_data::{Dataset, Label};
 use rand::rngs::StdRng;
@@ -59,6 +60,24 @@ impl RandomForestParams {
 impl Default for RandomForestParams {
     fn default() -> Self {
         RandomForestParams::new()
+    }
+}
+
+impl JsonCodec for RandomForestParams {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("num_trees", self.num_trees.to_json()),
+            ("tree", self.tree.to_json()),
+            ("bootstrap", self.bootstrap.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<RandomForestParams, CodecError> {
+        Ok(RandomForestParams {
+            num_trees: usize::from_json(json.get("num_trees")?)?,
+            tree: DecisionTreeParams::from_json(json.get("tree")?)?,
+            bootstrap: bool::from_json(json.get("bootstrap")?)?,
+        })
     }
 }
 
@@ -130,6 +149,37 @@ impl RandomForest {
     }
 }
 
+impl ModelTag for RandomForest {
+    const TAG: &'static str = "random-forest";
+}
+
+impl JsonCodec for RandomForest {
+    fn to_json(&self) -> Json {
+        Json::object(vec![("trees", self.trees.to_json())])
+    }
+
+    fn from_json(json: &Json) -> Result<RandomForest, CodecError> {
+        let trees = Vec::<DecisionTree>::from_json(json.get("trees")?)?;
+        if trees.is_empty() {
+            return Err(CodecError::new("random forest has no trees"));
+        }
+        // Every tree must expect the same input width, or a document whose
+        // later trees were tampered with would pass the pipeline-level width
+        // check (which consults the first tree) and panic at detect time.
+        let width = trees[0].num_features();
+        for tree in &trees[1..] {
+            if tree.num_features() != width {
+                return Err(CodecError::new(format!(
+                    "random forest trees disagree on feature count ({} vs {})",
+                    width,
+                    tree.num_features()
+                )));
+            }
+        }
+        Ok(RandomForest { trees })
+    }
+}
+
 impl Classifier for RandomForest {
     fn predict_one(&self, features: &[f64]) -> Label {
         Label::from(self.predict_proba_one(features) >= 0.5)
@@ -142,6 +192,15 @@ impl Classifier for RandomForest {
             .filter(|t| t.predict_one(features).is_malware())
             .count();
         votes as f64 / self.trees.len() as f64
+    }
+
+    fn predict_with_proba_one(&self, features: &[f64]) -> (Label, f64) {
+        let p = self.predict_proba_one(features);
+        (Label::from(p >= 0.5), p)
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        self.trees.first().and_then(|t| t.input_width())
     }
 }
 
@@ -212,8 +271,14 @@ mod tests {
     #[test]
     fn training_is_deterministic_in_seed() {
         let ds = blob_dataset(80, 6);
-        let a = RandomForestParams::new().with_num_trees(5).fit(&ds, 11).unwrap();
-        let b = RandomForestParams::new().with_num_trees(5).fit(&ds, 11).unwrap();
+        let a = RandomForestParams::new()
+            .with_num_trees(5)
+            .fit(&ds, 11)
+            .unwrap();
+        let b = RandomForestParams::new()
+            .with_num_trees(5)
+            .fit(&ds, 11)
+            .unwrap();
         assert_eq!(a, b);
     }
 

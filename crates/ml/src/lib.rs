@@ -55,4 +55,4 @@ pub mod tree;
 pub mod tsne;
 
 pub use error::MlError;
-pub use traits::{Classifier, Estimator};
+pub use traits::{Classifier, Estimator, ModelTag};

@@ -1,6 +1,7 @@
 //! L2-regularised logistic regression trained by full-batch gradient descent.
 
-use crate::{Classifier, Estimator, MlError};
+use crate::{Classifier, Estimator, MlError, ModelTag};
+use hmd_codec::{CodecError, Json, JsonCodec};
 use hmd_data::{Dataset, Label};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -74,6 +75,26 @@ impl LogisticRegressionParams {
 impl Default for LogisticRegressionParams {
     fn default() -> Self {
         LogisticRegressionParams::new()
+    }
+}
+
+impl JsonCodec for LogisticRegressionParams {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("learning_rate", self.learning_rate.to_json()),
+            ("epochs", self.epochs.to_json()),
+            ("l2", self.l2.to_json()),
+            ("tolerance", self.tolerance.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<LogisticRegressionParams, CodecError> {
+        Ok(LogisticRegressionParams {
+            learning_rate: f64::from_json(json.get("learning_rate")?)?,
+            epochs: usize::from_json(json.get("epochs")?)?,
+            l2: f64::from_json(json.get("l2")?)?,
+            tolerance: f64::from_json(json.get("tolerance")?)?,
+        })
     }
 }
 
@@ -183,6 +204,26 @@ impl LogisticRegression {
     }
 }
 
+impl ModelTag for LogisticRegression {
+    const TAG: &'static str = "logistic-regression";
+}
+
+impl JsonCodec for LogisticRegression {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("weights", self.weights.to_json()),
+            ("bias", self.bias.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<LogisticRegression, CodecError> {
+        Ok(LogisticRegression {
+            weights: Vec::<f64>::from_json(json.get("weights")?)?,
+            bias: f64::from_json(json.get("bias")?)?,
+        })
+    }
+}
+
 impl Classifier for LogisticRegression {
     fn predict_one(&self, features: &[f64]) -> Label {
         Label::from(self.predict_proba_one(features) >= 0.5)
@@ -190,6 +231,15 @@ impl Classifier for LogisticRegression {
 
     fn predict_proba_one(&self, features: &[f64]) -> f64 {
         sigmoid(self.decision_value(features))
+    }
+
+    fn predict_with_proba_one(&self, features: &[f64]) -> (Label, f64) {
+        let p = self.predict_proba_one(features);
+        (Label::from(p >= 0.5), p)
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        Some(self.weights.len())
     }
 }
 
@@ -256,8 +306,14 @@ mod tests {
         // Numerical gradient of the loss should roughly match the analytic
         // update direction: train one epoch and confirm loss decreases.
         let ds = linear_dataset(50, 3);
-        let before = LogisticRegressionParams::new().with_epochs(1).fit(&ds, 0).unwrap();
-        let after = LogisticRegressionParams::new().with_epochs(200).fit(&ds, 0).unwrap();
+        let before = LogisticRegressionParams::new()
+            .with_epochs(1)
+            .fit(&ds, 0)
+            .unwrap();
+        let after = LogisticRegressionParams::new()
+            .with_epochs(200)
+            .fit(&ds, 0)
+            .unwrap();
         let loss = |m: &LogisticRegression| -> f64 {
             ds.features()
                 .iter_rows()
@@ -284,14 +340,23 @@ mod tests {
             .with_epochs(0)
             .fit(&ds, 0)
             .is_err());
-        assert!(LogisticRegressionParams::new().with_l2(-1.0).fit(&ds, 0).is_err());
+        assert!(LogisticRegressionParams::new()
+            .with_l2(-1.0)
+            .fit(&ds, 0)
+            .is_err());
     }
 
     #[test]
     fn l2_shrinks_weights() {
         let ds = linear_dataset(200, 5);
-        let free = LogisticRegressionParams::new().with_l2(0.0).fit(&ds, 0).unwrap();
-        let ridge = LogisticRegressionParams::new().with_l2(1.0).fit(&ds, 0).unwrap();
+        let free = LogisticRegressionParams::new()
+            .with_l2(0.0)
+            .fit(&ds, 0)
+            .unwrap();
+        let ridge = LogisticRegressionParams::new()
+            .with_l2(1.0)
+            .fit(&ds, 0)
+            .unwrap();
         let norm = |w: &[f64]| w.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(norm(ridge.weights()) < norm(free.weights()));
     }

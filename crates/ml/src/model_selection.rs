@@ -7,6 +7,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// One fold's `(train_indices, validation_indices)` pair.
+pub type FoldIndices = (Vec<usize>, Vec<usize>);
+
 /// K-fold cross-validation splitter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KFold {
@@ -31,7 +34,7 @@ impl KFold {
     ///
     /// Returns [`DataError::InvalidParameter`] when there are fewer samples
     /// than folds or fewer than two folds.
-    pub fn split(&self, len: usize, seed: u64) -> Result<Vec<(Vec<usize>, Vec<usize>)>, DataError> {
+    pub fn split(&self, len: usize, seed: u64) -> Result<Vec<FoldIndices>, DataError> {
         if self.folds < 2 {
             return Err(DataError::InvalidParameter {
                 name: "folds",
@@ -104,7 +107,7 @@ mod tests {
     fn kfold_partitions_every_index_exactly_once() {
         let folds = KFold::new(4).split(22, 3).unwrap();
         assert_eq!(folds.len(), 4);
-        let mut seen = vec![0usize; 22];
+        let mut seen = [0usize; 22];
         for (train, validation) in &folds {
             assert_eq!(train.len() + validation.len(), 22);
             for &i in validation {

@@ -6,6 +6,7 @@
 
 use crate::linalg::{covariance_matrix, jacobi_eigen};
 use crate::MlError;
+use hmd_codec::{CodecError, Json, JsonCodec};
 use hmd_data::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -111,6 +112,11 @@ impl Pca {
         Ok(centred.matmul(&self.components)?)
     }
 
+    /// Number of input features the projection was fitted on.
+    pub fn input_width(&self) -> usize {
+        self.means.len()
+    }
+
     /// Projects a single feature vector.
     ///
     /// # Errors
@@ -139,6 +145,35 @@ impl Pca {
                 .sum();
         }
         Ok(out)
+    }
+}
+
+impl JsonCodec for Pca {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("means", self.means.to_json()),
+            ("components", self.components.to_json()),
+            ("explained_variance", self.explained_variance.to_json()),
+            ("total_variance", self.total_variance.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Pca, CodecError> {
+        let means = Vec::<f64>::from_json(json.get("means")?)?;
+        let components = Matrix::from_json(json.get("components")?)?;
+        if components.rows() != means.len() {
+            return Err(CodecError::new(format!(
+                "pca: projection has {} rows but {} means",
+                components.rows(),
+                means.len()
+            )));
+        }
+        Ok(Pca {
+            means,
+            components,
+            explained_variance: Vec::<f64>::from_json(json.get("explained_variance")?)?,
+            total_variance: f64::from_json(json.get("total_variance")?)?,
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 
 use crate::logistic::sigmoid;
 use crate::MlError;
+use hmd_codec::{CodecError, Json, JsonCodec};
 use hmd_data::Label;
 use serde::{Deserialize, Serialize};
 
@@ -57,7 +58,7 @@ impl PlattScaler {
                 let p = sigmoid(-(a * d + b));
                 let err = p - t;
                 grad_a += err * -d;
-                grad_b += err * -1.0;
+                grad_b += -err;
             }
             let scale = 1.0 / decision_values.len() as f64;
             a -= lr * grad_a * scale;
@@ -79,6 +80,19 @@ impl PlattScaler {
     /// Calibrated probability of the malware class for a raw decision value.
     pub fn probability(&self, decision_value: f64) -> f64 {
         sigmoid(-(self.a * decision_value + self.b))
+    }
+}
+
+impl JsonCodec for PlattScaler {
+    fn to_json(&self) -> Json {
+        Json::object(vec![("a", self.a.to_json()), ("b", self.b.to_json())])
+    }
+
+    fn from_json(json: &Json) -> Result<PlattScaler, CodecError> {
+        Ok(PlattScaler {
+            a: f64::from_json(json.get("a")?)?,
+            b: f64::from_json(json.get("b")?)?,
+        })
     }
 }
 

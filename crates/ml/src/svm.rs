@@ -8,7 +8,8 @@
 
 use crate::logistic::sigmoid;
 use crate::platt::PlattScaler;
-use crate::{Classifier, Estimator, MlError};
+use crate::{Classifier, Estimator, MlError, ModelTag};
+use hmd_codec::{CodecError, Json, JsonCodec};
 use hmd_data::{Dataset, Label};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -90,6 +91,31 @@ impl Default for LinearSvmParams {
     }
 }
 
+impl JsonCodec for LinearSvmParams {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("lambda", self.lambda.to_json()),
+            ("epochs", self.epochs.to_json()),
+            ("calibrate", self.calibrate.to_json()),
+            (
+                "convergence_loss_threshold",
+                self.convergence_loss_threshold.to_json(),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<LinearSvmParams, CodecError> {
+        Ok(LinearSvmParams {
+            lambda: f64::from_json(json.get("lambda")?)?,
+            epochs: usize::from_json(json.get("epochs")?)?,
+            calibrate: bool::from_json(json.get("calibrate")?)?,
+            convergence_loss_threshold: Option::<f64>::from_json(
+                json.get("convergence_loss_threshold")?,
+            )?,
+        })
+    }
+}
+
 impl Estimator for LinearSvmParams {
     type Model = LinearSvm;
 
@@ -119,7 +145,11 @@ impl LinearSvm {
     /// [`MlError::TrainingFailed`] when the training set contains a single
     /// class, and [`MlError::DidNotConverge`] when a convergence check is
     /// configured and fails.
-    pub fn fit(dataset: &Dataset, params: &LinearSvmParams, seed: u64) -> Result<LinearSvm, MlError> {
+    pub fn fit(
+        dataset: &Dataset,
+        params: &LinearSvmParams,
+        seed: u64,
+    ) -> Result<LinearSvm, MlError> {
         params.validate()?;
         let counts = dataset.class_counts();
         if counts[0] == 0 || counts[1] == 0 {
@@ -210,6 +240,28 @@ impl LinearSvm {
     }
 }
 
+impl ModelTag for LinearSvm {
+    const TAG: &'static str = "linear-svm";
+}
+
+impl JsonCodec for LinearSvm {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("weights", self.weights.to_json()),
+            ("bias", self.bias.to_json()),
+            ("platt", self.platt.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<LinearSvm, CodecError> {
+        Ok(LinearSvm {
+            weights: Vec::<f64>::from_json(json.get("weights")?)?,
+            bias: f64::from_json(json.get("bias")?)?,
+            platt: Option::<PlattScaler>::from_json(json.get("platt")?)?,
+        })
+    }
+}
+
 impl Classifier for LinearSvm {
     fn predict_one(&self, features: &[f64]) -> Label {
         Label::from(self.decision_value(features) >= 0.0)
@@ -221,6 +273,21 @@ impl Classifier for LinearSvm {
             Some(platt) => platt.probability(d),
             None => sigmoid(d),
         }
+    }
+
+    fn predict_with_proba_one(&self, features: &[f64]) -> (Label, f64) {
+        // One dot product; the label keeps the margin rule (the calibrated
+        // probability can cross 0.5 at a different point than the margin).
+        let d = self.decision_value(features);
+        let p = match &self.platt {
+            Some(platt) => platt.probability(d),
+            None => sigmoid(d),
+        };
+        (Label::from(d >= 0.0), p)
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        Some(self.weights.len())
     }
 }
 

@@ -26,7 +26,10 @@ pub trait Classifier: Send + Sync {
 
     /// Predicts the labels of every row of a feature matrix.
     fn predict(&self, features: &Matrix) -> Vec<Label> {
-        features.iter_rows().map(|row| self.predict_one(row)).collect()
+        features
+            .iter_rows()
+            .map(|row| self.predict_one(row))
+            .collect()
     }
 
     /// Malware probabilities for every row of a feature matrix.
@@ -35,6 +38,22 @@ pub trait Classifier: Send + Sync {
             .iter_rows()
             .map(|row| self.predict_proba_one(row))
             .collect()
+    }
+
+    /// Label and probability of one feature vector in a single evaluation.
+    ///
+    /// The default calls both prediction methods; learners whose label and
+    /// probability come from the same internal evaluation override this so
+    /// batch hot paths do not walk the model twice per row.
+    fn predict_with_proba_one(&self, features: &[f64]) -> (Label, f64) {
+        (self.predict_one(features), self.predict_proba_one(features))
+    }
+
+    /// Number of input features the trained model expects, when the model
+    /// knows it. Used by the persistence layer to reject saved documents
+    /// whose front end and model disagree on dimensionality.
+    fn input_width(&self) -> Option<usize> {
+        None
     }
 }
 
@@ -61,6 +80,18 @@ pub trait Estimator: Send + Sync + Clone {
     fn name(&self) -> &'static str;
 }
 
+/// Stable persistence tag of a trained model type.
+///
+/// The unified detector persistence format (`hmd_core::detector`) stores a
+/// `backend` tag next to the serialised model so that a saved pipeline can be
+/// restored to the right concrete type. The tag doubles as the model's
+/// display name and must never change once released — saved models reference
+/// it forever.
+pub trait ModelTag {
+    /// The persistence tag, e.g. `"random-forest"`.
+    const TAG: &'static str;
+}
+
 /// Blanket implementation so boxed classifiers can be used wherever a
 /// classifier is expected (the bagging ensemble stores base models directly,
 /// but downstream code occasionally needs trait objects).
@@ -71,6 +102,14 @@ impl Classifier for Box<dyn Classifier> {
 
     fn predict_proba_one(&self, features: &[f64]) -> f64 {
         self.as_ref().predict_proba_one(features)
+    }
+
+    fn predict_with_proba_one(&self, features: &[f64]) -> (Label, f64) {
+        self.as_ref().predict_with_proba_one(features)
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        self.as_ref().input_width()
     }
 }
 

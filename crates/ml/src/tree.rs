@@ -5,7 +5,8 @@
 //! (`max_features`) turns the tree into the randomised base learner used by
 //! [`crate::forest::RandomForest`].
 
-use crate::{Classifier, Estimator, MlError};
+use crate::{Classifier, Estimator, MlError, ModelTag};
+use hmd_codec::{CodecError, Json, JsonCodec};
 use hmd_data::{Dataset, Label};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -110,6 +111,52 @@ impl Default for DecisionTreeParams {
     }
 }
 
+impl JsonCodec for MaxFeatures {
+    fn to_json(&self) -> Json {
+        match self {
+            MaxFeatures::All => Json::Str("all".to_string()),
+            MaxFeatures::Sqrt => Json::Str("sqrt".to_string()),
+            MaxFeatures::Exact(k) => k.to_json(),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<MaxFeatures, CodecError> {
+        match json {
+            Json::Str(s) if s == "all" => Ok(MaxFeatures::All),
+            Json::Str(s) if s == "sqrt" => Ok(MaxFeatures::Sqrt),
+            Json::Int(_) => Ok(MaxFeatures::Exact(json.as_usize()?)),
+            other => Err(CodecError::new(format!(
+                "expected max_features, found {other}"
+            ))),
+        }
+    }
+}
+
+impl JsonCodec for DecisionTreeParams {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("max_depth", self.max_depth.to_json()),
+            ("min_samples_split", self.min_samples_split.to_json()),
+            ("min_samples_leaf", self.min_samples_leaf.to_json()),
+            ("max_features", self.max_features.to_json()),
+            (
+                "min_impurity_decrease",
+                self.min_impurity_decrease.to_json(),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<DecisionTreeParams, CodecError> {
+        Ok(DecisionTreeParams {
+            max_depth: usize::from_json(json.get("max_depth")?)?,
+            min_samples_split: usize::from_json(json.get("min_samples_split")?)?,
+            min_samples_leaf: usize::from_json(json.get("min_samples_leaf")?)?,
+            max_features: MaxFeatures::from_json(json.get("max_features")?)?,
+            min_impurity_decrease: f64::from_json(json.get("min_impurity_decrease")?)?,
+        })
+    }
+}
+
 impl Estimator for DecisionTreeParams {
     type Model = DecisionTree;
 
@@ -180,7 +227,7 @@ impl DecisionTree {
         seed: u64,
     ) -> Result<DecisionTree, MlError> {
         params.validate()?;
-        if dataset.len() == 0 {
+        if dataset.is_empty() {
             return Err(MlError::TrainingFailed {
                 message: "cannot fit a tree on an empty dataset".into(),
             });
@@ -246,6 +293,101 @@ impl DecisionTree {
     }
 }
 
+impl ModelTag for DecisionTree {
+    const TAG: &'static str = "decision-tree";
+}
+
+impl JsonCodec for Node {
+    fn to_json(&self) -> Json {
+        match self {
+            Node::Leaf {
+                malware_fraction,
+                samples,
+            } => Json::object(vec![
+                ("malware_fraction", malware_fraction.to_json()),
+                ("samples", samples.to_json()),
+            ]),
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => Json::object(vec![
+                ("feature", feature.to_json()),
+                ("threshold", threshold.to_json()),
+                ("left", left.to_json()),
+                ("right", right.to_json()),
+            ]),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<Node, CodecError> {
+        if json.get("malware_fraction").is_ok() {
+            Ok(Node::Leaf {
+                malware_fraction: f64::from_json(json.get("malware_fraction")?)?,
+                samples: usize::from_json(json.get("samples")?)?,
+            })
+        } else {
+            Ok(Node::Split {
+                feature: usize::from_json(json.get("feature")?)?,
+                threshold: f64::from_json(json.get("threshold")?)?,
+                left: usize::from_json(json.get("left")?)?,
+                right: usize::from_json(json.get("right")?)?,
+            })
+        }
+    }
+}
+
+impl JsonCodec for DecisionTree {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("nodes", self.nodes.to_json()),
+            ("num_features", self.num_features.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<DecisionTree, CodecError> {
+        let nodes = Vec::<Node>::from_json(json.get("nodes")?)?;
+        let num_features = usize::from_json(json.get("num_features")?)?;
+        if nodes.is_empty() {
+            return Err(CodecError::new("decision tree has no nodes"));
+        }
+        // Prediction indexes features by `feature` and walks child links, so
+        // a malformed document must be rejected here: out-of-bounds values
+        // would panic at detect time, and a child index that does not
+        // increase would let leaf_for loop forever. The grower always stores
+        // children after their parent, so strictly increasing child indices
+        // are an invariant of every legitimately saved tree.
+        for (i, node) in nodes.iter().enumerate() {
+            if let Node::Split {
+                feature,
+                left,
+                right,
+                ..
+            } = node
+            {
+                if *feature >= num_features {
+                    return Err(CodecError::new(format!(
+                        "decision tree split on feature {feature} but only {num_features} features"
+                    )));
+                }
+                if *left >= nodes.len() || *right >= nodes.len() {
+                    return Err(CodecError::new("decision tree child index out of bounds"));
+                }
+                if *left <= i || *right <= i {
+                    return Err(CodecError::new(
+                        "decision tree child index does not increase (cycle)",
+                    ));
+                }
+            }
+        }
+        Ok(DecisionTree {
+            nodes,
+            num_features,
+        })
+    }
+}
+
 impl Classifier for DecisionTree {
     fn predict_one(&self, features: &[f64]) -> Label {
         Label::from(self.leaf_for(features).0 >= 0.5)
@@ -254,16 +396,22 @@ impl Classifier for DecisionTree {
     fn predict_proba_one(&self, features: &[f64]) -> f64 {
         self.leaf_for(features).0
     }
+
+    fn predict_with_proba_one(&self, features: &[f64]) -> (Label, f64) {
+        let p = self.leaf_for(features).0;
+        (Label::from(p >= 0.5), p)
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        Some(self.num_features)
+    }
 }
 
 impl<'a> TreeBuilder<'a> {
     /// Grows a subtree for the samples in `indices`, returning the node index.
     fn grow(&mut self, indices: &[usize], depth: usize) -> usize {
         let labels = self.dataset.labels();
-        let malware = indices
-            .iter()
-            .filter(|&&i| labels[i].is_malware())
-            .count();
+        let malware = indices.iter().filter(|&&i| labels[i].is_malware()).count();
         let malware_fraction = malware as f64 / indices.len() as f64;
         let node_impurity = gini(malware_fraction);
 
@@ -273,9 +421,10 @@ impl<'a> TreeBuilder<'a> {
 
         if !should_stop {
             if let Some(split) = self.best_split(indices, node_impurity) {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-                    .iter()
-                    .partition(|&&i| self.dataset.features().row(i)[split.feature] <= split.threshold);
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| {
+                        self.dataset.features().row(i)[split.feature] <= split.threshold
+                    });
                 // best_split guarantees both children satisfy min_samples_leaf
                 let placeholder = self.nodes.len();
                 self.nodes.push(Node::Leaf {
@@ -311,10 +460,7 @@ impl<'a> TreeBuilder<'a> {
 
         let labels = self.dataset.labels();
         let total = indices.len();
-        let total_malware = indices
-            .iter()
-            .filter(|&&i| labels[i].is_malware())
-            .count();
+        let total_malware = indices.iter().filter(|&&i| labels[i].is_malware()).count();
 
         let mut best: Option<SplitCandidate> = None;
         for &feature in &feature_pool {
@@ -482,7 +628,10 @@ mod tests {
             .fit(&ds, 0)
             .unwrap();
         let p = stump.predict_proba_one(&[0.0, 0.0]);
-        assert!((p - 0.5).abs() < 0.01, "root leaf should be ~50% malware, got {p}");
+        assert!(
+            (p - 0.5).abs() < 0.01,
+            "root leaf should be ~50% malware, got {p}"
+        );
     }
 
     #[test]

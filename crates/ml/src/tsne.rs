@@ -72,7 +72,12 @@ impl TsneParams {
                 message: "must be at least 1".into(),
             });
         }
-        if !(self.perplexity > 1.0) {
+        // partial_cmp keeps the NaN-rejecting behaviour of `!(x > 1.0)`.
+        let perplexity_valid = self
+            .perplexity
+            .partial_cmp(&1.0)
+            .is_some_and(|ord| ord == std::cmp::Ordering::Greater);
+        if !perplexity_valid {
             return Err(MlError::InvalidHyperparameter {
                 name: "perplexity",
                 message: format!("must exceed 1, got {}", self.perplexity),
@@ -259,8 +264,8 @@ impl Tsne {
                 if i == j {
                     continue;
                 }
-                p[(i, j)] = ((p_conditional[(i, j)] + p_conditional[(j, i)]) / (2.0 * n as f64))
-                    .max(1e-12);
+                p[(i, j)] =
+                    ((p_conditional[(i, j)] + p_conditional[(j, i)]) / (2.0 * n as f64)).max(1e-12);
             }
         }
         p

@@ -1,79 +1,93 @@
-//! Property-based tests for the ML substrate.
+//! Randomised property tests for the ML substrate.
+//!
+//! The offline toolchain has no `proptest`, so these run the same properties
+//! over a fixed number of seeded random cases.
 
 use hmd_data::{Dataset, Label, Matrix};
 use hmd_ml::bagging::BaggingParams;
 use hmd_ml::metrics::{roc_auc, ConfusionMatrix};
 use hmd_ml::tree::{gini, DecisionTreeParams};
 use hmd_ml::{Classifier, Estimator};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn labelled_dataset(max_n: usize) -> impl Strategy<Value = Dataset> {
-    (8..=max_n).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(-10.0f64..10.0, n * 2),
-            proptest::collection::vec(proptest::bool::ANY, n),
-        )
-            .prop_map(move |(values, flags)| {
-                let matrix = Matrix::from_vec(n, 2, values).expect("sized buffer");
-                // Force both classes to be present so learners can train.
-                let mut labels: Vec<Label> = flags.iter().copied().map(Label::from).collect();
-                labels[0] = Label::Benign;
-                labels[1] = Label::Malware;
-                Dataset::new(matrix, labels).expect("consistent dataset")
-            })
-    })
+const CASES: u64 = 32;
+
+fn labelled_dataset(rng: &mut StdRng, max_n: usize) -> Dataset {
+    let n = rng.gen_range(8..=max_n);
+    let values: Vec<f64> = (0..n * 2).map(|_| rng.gen_range(-10.0..10.0)).collect();
+    let matrix = Matrix::from_vec(n, 2, values).expect("sized buffer");
+    // Force both classes to be present so learners can train.
+    let mut labels: Vec<Label> = (0..n).map(|_| Label::from(rng.gen_bool(0.5))).collect();
+    labels[0] = Label::Benign;
+    labels[1] = Label::Malware;
+    Dataset::new(matrix, labels).expect("consistent dataset")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_labels(rng: &mut StdRng, n: usize) -> Vec<Label> {
+    (0..n).map(|_| Label::from(rng.gen_bool(0.5))).collect()
+}
 
-    #[test]
-    fn gini_is_bounded(p in 0.0f64..=1.0) {
+#[test]
+fn gini_is_bounded() {
+    for case in 0..=100u64 {
+        let p = case as f64 / 100.0;
         let g = gini(p);
-        prop_assert!((0.0..=0.5 + 1e-12).contains(&g));
+        assert!((0.0..=0.5 + 1e-12).contains(&g), "p {p} → gini {g}");
     }
+}
 
-    #[test]
-    fn confusion_matrix_metrics_are_bounded(
-        truth in proptest::collection::vec(proptest::bool::ANY, 1..60),
-        pred in proptest::collection::vec(proptest::bool::ANY, 1..60),
-    ) {
-        let n = truth.len().min(pred.len());
-        let truth: Vec<Label> = truth[..n].iter().copied().map(Label::from).collect();
-        let pred: Vec<Label> = pred[..n].iter().copied().map(Label::from).collect();
+#[test]
+fn confusion_matrix_metrics_are_bounded() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let n = rng.gen_range(1..60usize);
+        let truth = random_labels(&mut rng, n);
+        let pred = random_labels(&mut rng, n);
         let cm = ConfusionMatrix::from_predictions(&truth, &pred);
         for metric in [cm.accuracy(), cm.precision(), cm.recall(), cm.f1_score()] {
-            prop_assert!((0.0..=1.0).contains(&metric));
+            assert!((0.0..=1.0).contains(&metric), "case {case}: {metric}");
         }
-        prop_assert_eq!(cm.total(), n);
+        assert_eq!(cm.total(), n, "case {case}");
     }
+}
 
-    #[test]
-    fn roc_auc_is_bounded_and_flip_symmetric(
-        flags in proptest::collection::vec(proptest::bool::ANY, 4..40),
-        scores in proptest::collection::vec(0.0f64..1.0, 4..40),
-    ) {
-        let n = flags.len().min(scores.len());
-        let truth: Vec<Label> = flags[..n].iter().copied().map(Label::from).collect();
-        let scores = &scores[..n];
-        let auc = roc_auc(&truth, scores);
-        prop_assert!((0.0..=1.0).contains(&auc));
+#[test]
+fn roc_auc_is_bounded_and_flip_symmetric() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + case);
+        let n = rng.gen_range(4..40usize);
+        let truth = random_labels(&mut rng, n);
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let auc = roc_auc(&truth, &scores);
+        assert!((0.0..=1.0).contains(&auc), "case {case}: {auc}");
         // Negating the scores mirrors the AUC around 0.5 (when both classes present).
         let has_both =
             truth.iter().any(|l| l.is_malware()) && truth.iter().any(|l| !l.is_malware());
         if has_both {
             let negated: Vec<f64> = scores.iter().map(|s| -s).collect();
             let mirrored = roc_auc(&truth, &negated);
-            prop_assert!((auc + mirrored - 1.0).abs() < 1e-9);
+            assert!((auc + mirrored - 1.0).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn tree_training_accuracy_is_high_on_its_own_data(ds in labelled_dataset(40)) {
+#[test]
+fn tree_training_accuracy_is_high_on_its_own_data() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + case);
+        let ds = labelled_dataset(&mut rng, 40);
         // A deep unconstrained tree should fit almost any consistent training set.
-        let tree = DecisionTreeParams::new().with_max_depth(20).fit(&ds, 0).unwrap();
+        let tree = DecisionTreeParams::new()
+            .with_max_depth(20)
+            .fit(&ds, 0)
+            .unwrap();
         let preds = tree.predict(ds.features());
-        let mismatches = preds.iter().zip(ds.labels()).filter(|(p, l)| p != l).count();
+        let mismatches = preds
+            .iter()
+            .zip(ds.labels())
+            .filter(|(p, l)| p != l)
+            .count();
         // Mismatches only possible when identical feature vectors carry both labels.
         let mut contradictory = 0usize;
         for i in 0..ds.len() {
@@ -87,27 +101,42 @@ proptest! {
                 }
             }
         }
-        prop_assert!(mismatches <= contradictory,
-            "mismatches {mismatches} exceed contradictory samples {contradictory}");
+        assert!(
+            mismatches <= contradictory,
+            "case {case}: mismatches {mismatches} exceed contradictory samples {contradictory}"
+        );
     }
+}
 
-    #[test]
-    fn bagging_vote_counts_always_sum_to_ensemble_size(ds in labelled_dataset(30), x in -10.0f64..10.0, y in -10.0f64..10.0) {
+#[test]
+fn bagging_vote_counts_always_sum_to_ensemble_size() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + case);
+        let ds = labelled_dataset(&mut rng, 30);
+        let (x, y) = (rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
         let ensemble = BaggingParams::new(DecisionTreeParams::new().with_max_depth(4))
             .with_num_estimators(7)
             .fit(&ds, 1)
             .unwrap();
         let counts = ensemble.vote_counts(&[x, y]);
-        prop_assert_eq!(counts[0] + counts[1], 7);
+        assert_eq!(counts[0] + counts[1], 7, "case {case}");
         let proba = ensemble.predict_proba_one(&[x, y]);
-        prop_assert!((proba - counts[1] as f64 / 7.0).abs() < 1e-12);
+        assert!(
+            (proba - counts[1] as f64 / 7.0).abs() < 1e-12,
+            "case {case}: {proba}"
+        );
     }
+}
 
-    #[test]
-    fn tree_prediction_matches_probability_threshold(ds in labelled_dataset(30), x in -10.0f64..10.0, y in -10.0f64..10.0) {
+#[test]
+fn tree_prediction_matches_probability_threshold() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + case);
+        let ds = labelled_dataset(&mut rng, 30);
+        let (x, y) = (rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
         let tree = DecisionTreeParams::new().fit(&ds, 2).unwrap();
         let p = tree.predict_proba_one(&[x, y]);
         let label = tree.predict_one(&[x, y]);
-        prop_assert_eq!(label, Label::from(p >= 0.5));
+        assert_eq!(label, Label::from(p >= 0.5), "case {case}");
     }
 }

@@ -24,12 +24,16 @@ fn main() -> Result<(), Box<dyn Error>> {
         split.unknown.len()
     );
 
-    let hmd = TrustedHmdBuilder::new(RandomForestParams::new().with_num_trees(11))
-        .with_num_estimators(25)
-        .fit(&split.train, 5)?;
+    let detector = DetectorConfig::trusted(DetectorBackend::RandomForest(
+        RandomForestParams::new().with_num_trees(11),
+    ))
+    .with_num_estimators(25)
+    .fit(&split.train, 5)?;
 
-    let known = hmd.predict_dataset(&split.test_known)?;
-    let unknown = hmd.predict_dataset(&split.unknown)?;
+    let known =
+        hmd::core::detector::predictions(detector.detect_batch(split.test_known.features())?);
+    let unknown =
+        hmd::core::detector::predictions(detector.detect_batch(split.unknown.features())?);
 
     // Entropy distributions (Fig. 5): known data is already uncertain.
     let pair = KnownUnknownEntropy::new(

@@ -1,16 +1,19 @@
 //! Online monitoring: the deployment scenario the paper motivates.
 //!
-//! A trusted HMD is trained offline, then watches a stream of fresh
-//! signatures arriving from the device. Known applications are classified
-//! confidently; when a zero-day (an application family the detector has
-//! never seen) starts running, its signatures arrive with high entropy and
-//! the detector escalates them for forensics instead of silently guessing.
+//! A trusted HMD is described by a `DetectorConfig`, trained offline, saved,
+//! and the *restored* copy — as it would be on the deployment host — watches
+//! a stream of fresh signatures through a `MonitorSession`. Known
+//! applications are classified confidently; when a zero-day (an application
+//! family the detector has never seen) starts running, its signatures arrive
+//! with high entropy and the detector escalates them for forensics instead
+//! of silently guessing. The session keeps the running statistics that an
+//! operations dashboard would display.
 //!
 //! ```text
 //! cargo run --release --example online_monitor
 //! ```
 
-use hmd::core::trusted::Decision;
+use hmd::core::detector::{load, save};
 use hmd::dvfs::apps::AppCatalog;
 use hmd::prelude::*;
 use rand::rngs::StdRng;
@@ -23,10 +26,19 @@ fn main() -> Result<(), Box<dyn Error>> {
         .with_trace_len(384);
     let split = builder.build_split(55)?;
 
-    let hmd = TrustedHmdBuilder::new(DecisionTreeParams::new())
+    // Train offline, persist, and deploy the restored pipeline — the
+    // save/load round trip is exactly what a model registry would do.
+    let config = DetectorConfig::trusted(DetectorBackend::decision_tree())
         .with_num_estimators(25)
-        .with_entropy_threshold(0.4)
-        .fit(&split.train, 13)?;
+        .with_entropy_threshold(0.4);
+    let trained = config.fit(&split.train, 13)?;
+    let document = save(trained.as_ref())?;
+    let detector = load(&document)?;
+    println!(
+        "deployed {} ({} byte model document)\n",
+        detector.name(),
+        document.len()
+    );
 
     // Simulate an online stream: alternate known applications with bursts of
     // a zero-day (held-out) application, generating each signature on the fly.
@@ -35,6 +47,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let unknown_apps: Vec<_> = catalog.unknown_apps().into_iter().cloned().collect();
     let mut rng = StdRng::seed_from_u64(99);
 
+    let mut session = MonitorSession::new(detector.as_ref());
     println!(
         "{:<30} {:>9} {:>8} {:>9}   decision",
         "application", "class", "entropy", "P(malware)"
@@ -49,7 +62,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             (&known_apps[step % known_apps.len()], false)
         };
         let signature = builder.simulate_signature(app, &mut rng);
-        let report = hmd.detect(&signature)?;
+        let report = session.observe(&signature)?;
         let decision = match report.decision {
             Decision::Accept(label) => format!("accept ({label})"),
             Decision::Escalate => "ESCALATE to analyst".to_string(),
@@ -69,8 +82,23 @@ fn main() -> Result<(), Box<dyn Error>> {
             decision
         );
     }
+
+    let stats = session.stats();
     println!(
-        "\nzero-day signatures escalated: {escalations_on_unknown}/{unknown_seen}"
+        "\nsession: {} windows, {} accepted ({} malware / {} benign), {} escalated",
+        stats.windows,
+        stats.accepted,
+        stats.accepted_malware,
+        stats.accepted_benign,
+        stats.escalated
     );
+    println!(
+        "entropy: mean {:.3}, min {:.3}, max {:.3}; escalation rate {:.1}%",
+        stats.mean_entropy(),
+        stats.min_entropy,
+        stats.max_entropy,
+        100.0 * stats.escalation_rate()
+    );
+    println!("zero-day signatures escalated: {escalations_on_unknown}/{unknown_seen}");
     Ok(())
 }

@@ -1,5 +1,6 @@
 //! Quickstart: train a trusted (uncertainty-aware) HMD on simulated DVFS
-//! signatures and compare it with the conventional untrusted detector.
+//! signatures and compare it with the conventional untrusted detector — both
+//! served through the unified `Detector` API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -23,38 +24,36 @@ fn main() -> Result<(), Box<dyn Error>> {
         split.train.num_features()
     );
 
-    // 2. Train the paper's trusted HMD: a bagging ensemble of decision trees
-    //    behind a standard-scaling front end, with an entropy threshold of 0.4.
-    let builder = TrustedHmdBuilder::new(DecisionTreeParams::new())
+    // 2. Describe both pipelines as detector configs sharing one backend —
+    //    a bagging ensemble of decision trees behind a standard-scaling
+    //    front end versus a single black-box classifier — and compile each
+    //    description into a `Box<dyn Detector>`.
+    let backend = DetectorBackend::decision_tree();
+    let trusted = DetectorConfig::trusted(backend.clone())
         .with_num_estimators(25)
-        .with_entropy_threshold(0.4);
-    let trusted = builder.fit(&split.train, 7)?;
+        .with_entropy_threshold(0.4)
+        .fit(&split.train, 7)?;
+    let untrusted = DetectorConfig::untrusted(backend).fit(&split.train, 7)?;
 
-    // ... and the conventional untrusted baseline (a single classifier).
-    let untrusted = builder.fit_untrusted(&split.train, 7)?;
-
-    // 3. On the known test set the two agree and the accuracy is high.
-    let known_predictions = trusted.predict_dataset(&split.test_known)?;
-    let known_labels: Vec<Label> = known_predictions.iter().map(|p| p.label).collect();
-    println!(
-        "known test F1 (trusted ensemble):   {:.3}",
-        f1_score(split.test_known.labels(), &known_labels)
-    );
-    let untrusted_labels = untrusted.predict_dataset(&split.test_known)?;
-    println!(
-        "known test F1 (untrusted baseline): {:.3}",
-        f1_score(split.test_known.labels(), &untrusted_labels)
-    );
+    // 3. On the known test set the two agree and the accuracy is high. The
+    //    batch path scores the whole test matrix in one call.
+    for detector in [&trusted, &untrusted] {
+        let reports = detector.detect_batch(split.test_known.features())?;
+        let labels: Vec<Label> = reports.iter().map(|r| r.prediction.label).collect();
+        println!(
+            "known test F1 ({}): {:.3}",
+            detector.name(),
+            f1_score(split.test_known.labels(), &labels)
+        );
+    }
 
     // 4. On *unknown* applications the untrusted HMD silently guesses, while
     //    the trusted HMD reports high uncertainty and escalates.
-    let mut escalated = 0usize;
-    for i in 0..split.unknown.len() {
-        let report = trusted.detect(split.unknown.features().row(i))?;
-        if report.decision.is_escalation() {
-            escalated += 1;
-        }
-    }
+    let reports = trusted.detect_batch(split.unknown.features())?;
+    let escalated = reports
+        .iter()
+        .filter(|r| r.decision.is_escalation())
+        .count();
     println!(
         "unknown (zero-day proxy) signatures escalated by the trusted HMD: {}/{} ({:.1}%)",
         escalated,

@@ -20,7 +20,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         .with_trace_len(384)
         .build_split(33)?;
 
-    // Train on the training split.
+    // Train on the training split. Tuning needs the concrete pipeline (to
+    // swap its rejection policy in place); deployment below goes through the
+    // unified `Detector` API.
     let mut hmd = TrustedHmdBuilder::new(DecisionTreeParams::new())
         .with_num_estimators(25)
         .fit(&split.train, 9)?;
@@ -31,7 +33,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let thresholds = threshold_grid(0.0, 1.0, 0.05);
     let curve = RejectionCurve::sweep("RF", &known, &unknown, &thresholds);
 
-    println!("{:>9} {:>12} {:>14}", "threshold", "known rej %", "unknown rej %");
+    println!(
+        "{:>9} {:>12} {:>14}",
+        "threshold", "known rej %", "unknown rej %"
+    );
     for p in &curve.points {
         println!(
             "{:>9.2} {:>12.1} {:>14.1}",
@@ -51,10 +56,17 @@ fn main() -> Result<(), Box<dyn Error>> {
         operating_point.unknown_rejected_pct
     );
 
-    // Deploy the tuned policy and measure the accepted-F1 on known + unknown.
+    // Deploy the tuned policy behind the unified Detector API and measure
+    // the accepted-F1 on known + unknown through the batch hot path.
     hmd.set_policy(RejectionPolicy::new(operating_point.threshold));
+    let detector: &dyn Detector = &hmd;
+    println!(
+        "deployed {} with entropy threshold {:.2}",
+        detector.name(),
+        detector.entropy_threshold()
+    );
     let combined = split.test_known.concat(&split.unknown)?;
-    let predictions = hmd.predict_dataset(&combined)?;
+    let predictions = hmd::core::detector::predictions(detector.detect_batch(combined.features())?);
     let f1_curve = F1Curve::sweep(
         "tuned",
         &predictions,

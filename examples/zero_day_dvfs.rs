@@ -28,32 +28,32 @@ fn main() -> Result<(), Box<dyn Error>> {
     let thresholds = threshold_grid(0.0, 0.75, 0.05);
     let mut curves: Vec<RejectionCurve> = Vec::new();
 
-    // Random-forest base classifiers (best in the paper).
-    {
-        let hmd = TrustedHmdBuilder::new(RandomForestParams::new().with_num_trees(11))
+    // All three base-classifier families serve through the same Detector
+    // contract; only the backend of the config changes. SVM is the family the
+    // paper reports poor uncertainty quality for.
+    let backends = [
+        (
+            "RF",
+            DetectorBackend::RandomForest(RandomForestParams::new().with_num_trees(11)),
+        ),
+        (
+            "LR",
+            DetectorBackend::LogisticRegression(LogisticRegressionParams::new().with_epochs(200)),
+        ),
+        (
+            "SVM",
+            DetectorBackend::LinearSvm(LinearSvmParams::new().with_epochs(40)),
+        ),
+    ];
+    for (label, backend) in backends {
+        let detector = DetectorConfig::trusted(backend)
             .with_num_estimators(25)
             .fit(&split.train, 3)?;
-        let known = hmd.predict_dataset(&split.test_known)?;
-        let unknown = hmd.predict_dataset(&split.unknown)?;
-        curves.push(RejectionCurve::sweep("RF", &known, &unknown, &thresholds));
-    }
-    // Logistic-regression base classifiers.
-    {
-        let hmd = TrustedHmdBuilder::new(LogisticRegressionParams::new().with_epochs(200))
-            .with_num_estimators(25)
-            .fit(&split.train, 3)?;
-        let known = hmd.predict_dataset(&split.test_known)?;
-        let unknown = hmd.predict_dataset(&split.unknown)?;
-        curves.push(RejectionCurve::sweep("LR", &known, &unknown, &thresholds));
-    }
-    // Linear-SVM base classifiers (the paper reports poor uncertainty quality).
-    {
-        let hmd = TrustedHmdBuilder::new(LinearSvmParams::new().with_epochs(40))
-            .with_num_estimators(25)
-            .fit(&split.train, 3)?;
-        let known = hmd.predict_dataset(&split.test_known)?;
-        let unknown = hmd.predict_dataset(&split.unknown)?;
-        curves.push(RejectionCurve::sweep("SVM", &known, &unknown, &thresholds));
+        let known =
+            hmd::core::detector::predictions(detector.detect_batch(split.test_known.features())?);
+        let unknown =
+            hmd::core::detector::predictions(detector.detect_batch(split.unknown.features())?);
+        curves.push(RejectionCurve::sweep(label, &known, &unknown, &thresholds));
     }
 
     println!("rejected inputs (%) vs entropy threshold  [unknown | known]");
@@ -62,8 +62,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         print!("  {:>13}", curve.model_name);
     }
     println!();
-    for i in 0..thresholds.len() {
-        print!("{:>9.2}", thresholds[i]);
+    for (i, threshold) in thresholds.iter().enumerate() {
+        print!("{threshold:>9.2}");
         for curve in &curves {
             let p = &curve.points[i];
             print!(
@@ -84,7 +84,9 @@ fn main() -> Result<(), Box<dyn Error>> {
             "\nheadline: RF threshold {:.2} rejects {:.1}% of unknown workloads at {:.1}% known rejection",
             op.threshold, op.unknown_rejected_pct, op.known_rejected_pct
         );
-        println!("paper:    RF threshold 0.40 rejects ~95% of unknown workloads at <5% known rejection");
+        println!(
+            "paper:    RF threshold 0.40 rejects ~95% of unknown workloads at <5% known rejection"
+        );
     }
     Ok(())
 }

@@ -1,0 +1,207 @@
+//! Offline API-subset shim of `rayon`.
+//!
+//! Provides the `par_iter().map(..).collect()` shape the workspace's hot
+//! paths use — ensemble training and batch inference — backed by real
+//! parallelism: the input slice is chunked across `std::thread::scope`
+//! threads (one per available core) and results are reassembled in order,
+//! so `collect()` observes exactly the sequential ordering.
+//!
+//! Unlike real rayon there is no work-stealing pool; each `collect()` spawns
+//! short-lived scoped threads. For the coarse-grained tasks here (training a
+//! base classifier, scoring a feature row) the spawn cost is noise.
+
+#![deny(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Everything downstream code imports via `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{FromParallelResults, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Number of worker threads used for a job of `len` independent items.
+fn num_workers(len: usize) -> usize {
+    let cores = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Runs `f` over every element of `items` on scoped worker threads and
+/// returns the outputs in input order.
+fn parallel_map<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let workers = num_workers(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    thread::scope(|scope| {
+        let mut rest = out.as_mut_slice();
+        for chunk in items.chunks(chunk_len) {
+            let (slot, tail) = rest.split_at_mut(chunk.len());
+            rest = tail;
+            scope.spawn(move || {
+                for (dst, item) in slot.iter_mut().zip(chunk) {
+                    *dst = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker thread filled every slot"))
+        .collect()
+}
+
+/// Conversion from `&collection` to a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// Borrowing parallel iterator over the collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A pending parallel map, consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Evaluates the map on worker threads and gathers the results.
+    pub fn collect<C: FromParallelResults<R>>(self) -> C {
+        C::from_results(parallel_map(self.items, &self.f))
+    }
+}
+
+/// Collection targets for [`ParMap::collect`] — the shim's stand-in for
+/// rayon's `FromParallelIterator`.
+pub trait FromParallelResults<R>: Sized {
+    /// Builds the collection from the in-order mapped results.
+    fn from_results(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelResults<R> for Vec<R> {
+    fn from_results(results: Vec<R>) -> Vec<R> {
+        results
+    }
+}
+
+impl<T, E> FromParallelResults<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_results(results: Vec<Result<T, E>>) -> Result<Vec<T>, E> {
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn result_collection_short_circuits_to_first_error() {
+        let xs: Vec<u64> = (0..100).collect();
+        let ok: Result<Vec<u64>, String> = xs.par_iter().map(|&x| Ok(x + 1)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u64>, String> = xs
+            .par_iter()
+            .map(|&x| {
+                if x == 41 {
+                    Err(format!("boom {x}"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom 41");
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let none: Vec<u8> = Vec::new();
+        let out: Vec<u8> = none.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u8];
+        let out: Vec<u8> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn really_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let xs: Vec<u64> = (0..64).collect();
+        let _out: Vec<()> = xs
+            .par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let threads = seen.lock().unwrap().len();
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores > 1 {
+            assert!(
+                threads > 1,
+                "expected parallel execution, saw {threads} thread(s)"
+            );
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline API-subset shim of `serde`.
+//!
+//! `Serialize` / `Deserialize` exist both as marker traits and as no-op
+//! derive macros so that `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged without a registry.
+//! Real persistence of fitted detectors is provided by `hmd_codec`'s
+//! hand-rolled JSON codec instead of serde's data model.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

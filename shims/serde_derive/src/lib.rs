@@ -1,0 +1,20 @@
+//! Offline no-op shim of serde's derive macros.
+//!
+//! The workspace builds without a crates.io registry, so `#[derive(Serialize,
+//! Deserialize)]` attributes in the source expand to nothing. Actual model
+//! persistence is hand-rolled in `hmd_codec` (see `hmd_core::detector::persist`),
+//! which does not rely on these derives.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

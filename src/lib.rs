@@ -10,26 +10,58 @@
 //! * [`dvfs`] ([`hmd_dvfs`]) — the DVFS power-management HMD substrate.
 //! * [`hpc`] ([`hmd_hpc`]) — the hardware-performance-counter HMD substrate.
 //! * [`core`] ([`hmd_core`]) — the paper's contribution: online ensemble
-//!   uncertainty estimation, rejection policies and the trusted HMD pipeline.
+//!   uncertainty estimation, rejection policies, the trusted HMD pipeline and
+//!   the unified [`core::detector`] serving API.
 //!
-//! # Quickstart
+//! # The `Detector` API
+//!
+//! Every deployable pipeline — the paper's trusted ensemble detector, the
+//! conventional black box and the Platt confidence baseline — serves behind
+//! one object-safe trait, [`core::detector::Detector`]. A serialisable
+//! [`core::detector::DetectorConfig`] describes *what* to train
+//! (pipeline kind × base learner × ensemble size × PCA × threshold);
+//! `config.fit(&train, seed)` compiles it into a `Box<dyn Detector>`; the
+//! batch-first [`core::detector::Detector::detect_batch`] is the hot path
+//! (front end applied once per matrix, rows scored in parallel); and
+//! [`core::detector::save`] / [`core::detector::load`] persist a fitted
+//! pipeline so it can be trained once and served many times with
+//! bit-identical reports.
 //!
 //! ```
-//! use hmd::core::trusted::TrustedHmdBuilder;
-//! use hmd::dvfs::dataset::DvfsCorpusBuilder;
-//! use hmd::ml::tree::DecisionTreeParams;
+//! use hmd::core::detector::{load, save, DetectorBackend, DetectorConfig, MonitorSession};
+//! use hmd::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Simulate a small DVFS corpus and train a trusted HMD on it.
+//! // Simulate a small DVFS corpus.
 //! let split = DvfsCorpusBuilder::new()
 //!     .with_samples_per_app(8)
 //!     .with_trace_len(128)
 //!     .build_split(1)?;
-//! let hmd = TrustedHmdBuilder::new(DecisionTreeParams::new())
+//!
+//! // Describe the detector, then compile the description into a pipeline.
+//! let config = DetectorConfig::trusted(DetectorBackend::decision_tree())
 //!     .with_num_estimators(15)
-//!     .fit(&split.train, 7)?;
-//! let report = hmd.detect(split.unknown.features().row(0))?;
-//! println!("decision: {:?}, entropy {:.3}", report.decision, report.prediction.entropy);
+//!     .with_entropy_threshold(0.4);
+//! let detector = config.fit(&split.train, 7)?;
+//!
+//! // Train once, serve many times: the restored detector is bit-identical.
+//! let document = save(detector.as_ref())?;
+//! let served = load(&document)?;
+//!
+//! // Batch-first inference over the whole unknown set at once.
+//! let reports = served.detect_batch(split.unknown.features())?;
+//! assert_eq!(reports, detector.detect_batch(split.unknown.features())?);
+//!
+//! // Or stream windows through an online monitoring session.
+//! let mut session = MonitorSession::new(served.as_ref());
+//! session.observe_batch(split.unknown.features())?;
+//! println!(
+//!     "{}: {} windows, {:.0}% escalated, mean entropy {:.3}",
+//!     served.name(),
+//!     session.stats().windows,
+//!     100.0 * session.stats().escalation_rate(),
+//!     session.stats().mean_entropy(),
+//! );
 //! # Ok(())
 //! # }
 //! ```
@@ -47,9 +79,15 @@ pub use hmd_ml as ml;
 /// and applications.
 pub mod prelude {
     pub use hmd_core::analysis::{EntropySummary, KnownUnknownEntropy};
+    pub use hmd_core::detector::{
+        Detector, DetectorBackend, DetectorConfig, DetectorKind, MonitorSession, MonitorStats,
+    };
     pub use hmd_core::estimator::{EnsembleUncertaintyEstimator, UncertainPrediction};
+    pub use hmd_core::platt_baseline::PlattHmd;
     pub use hmd_core::rejection::{threshold_grid, F1Curve, RejectionCurve, RejectionPolicy};
-    pub use hmd_core::trusted::{Decision, TrustedHmd, TrustedHmdBuilder, UntrustedHmd};
+    pub use hmd_core::trusted::{
+        Decision, DetectionReport, TrustedHmd, TrustedHmdBuilder, UntrustedHmd,
+    };
     pub use hmd_data::{Dataset, Label, Matrix};
     pub use hmd_dvfs::dataset::DvfsCorpusBuilder;
     pub use hmd_hpc::dataset::HpcCorpusBuilder;
@@ -59,7 +97,7 @@ pub mod prelude {
     pub use hmd_ml::metrics::{f1_score, ClassificationReport};
     pub use hmd_ml::svm::LinearSvmParams;
     pub use hmd_ml::tree::DecisionTreeParams;
-    pub use hmd_ml::{Classifier, Estimator};
+    pub use hmd_ml::{Classifier, Estimator, ModelTag};
 }
 
 #[cfg(test)]
@@ -70,5 +108,7 @@ mod tests {
         let policy = RejectionPolicy::new(0.4);
         assert!((policy.entropy_threshold - 0.4).abs() < 1e-12);
         assert_eq!(Label::Malware.index(), 1);
+        let config = DetectorConfig::trusted(DetectorBackend::random_forest());
+        assert_eq!(config.num_estimators, 25);
     }
 }

@@ -20,17 +20,16 @@ fn dvfs_pipeline_classifies_known_apps_and_flags_zero_days() {
         .expect("training");
 
     // Known test set: good F1 and mostly accepted.
-    let known = hmd.predict_dataset(&split.test_known).expect("known predictions");
+    let known = hmd
+        .predict_dataset(&split.test_known)
+        .expect("known predictions");
     let labels: Vec<Label> = known.iter().map(|p| p.label).collect();
     assert!(
         f1_score(split.test_known.labels(), &labels) > 0.85,
         "known-test F1 too low"
     );
-    let accepted = known
-        .iter()
-        .filter(|p| !hmd.policy().rejects(p))
-        .count() as f64
-        / known.len() as f64;
+    let accepted =
+        known.iter().filter(|p| !hmd.policy().rejects(p)).count() as f64 / known.len() as f64;
     assert!(accepted > 0.75, "only {accepted:.2} of known data accepted");
 
     // Fresh online signatures from an unknown app should mostly escalate.
@@ -63,15 +62,23 @@ fn hpc_pipeline_reports_high_data_uncertainty() {
         .fit(&split.train, 19)
         .expect("training");
 
-    let known = hmd.predict_dataset(&split.test_known).expect("known predictions");
-    let unknown = hmd.predict_dataset(&split.unknown).expect("unknown predictions");
+    let known = hmd
+        .predict_dataset(&split.test_known)
+        .expect("known predictions");
+    let unknown = hmd
+        .predict_dataset(&split.unknown)
+        .expect("unknown predictions");
     let pair = KnownUnknownEntropy::new(
         &known.iter().map(|p| p.entropy).collect::<Vec<_>>(),
         &unknown.iter().map(|p| p.entropy).collect::<Vec<_>>(),
     );
     // The class overlap makes even known data uncertain, and the unknowns do
     // not separate the way they do on DVFS.
-    assert!(pair.known.mean > 0.05, "known mean entropy {:.3}", pair.known.mean);
+    assert!(
+        pair.known.mean > 0.05,
+        "known mean entropy {:.3}",
+        pair.known.mean
+    );
     assert!(
         pair.median_gap() < 0.5,
         "HPC known/unknown gap unexpectedly large: {:.3}",
@@ -137,6 +144,59 @@ fn pca_front_end_preserves_detection_quality_on_dvfs() {
     assert!(
         f1_pca > f1_plain - 0.2,
         "PCA front end degrades F1 too much: {f1_pca:.3} vs {f1_plain:.3}"
+    );
+}
+
+#[test]
+fn detector_api_serves_saved_pipeline_in_an_online_session() {
+    use hmd::core::detector::{load, save};
+
+    let builder = DvfsCorpusBuilder::new()
+        .with_samples_per_app(15)
+        .with_trace_len(256);
+    let split = builder.build_split(111).expect("corpus");
+
+    // Config → fit → save → load, all through the facade.
+    let detector = DetectorConfig::trusted(DetectorBackend::decision_tree())
+        .with_num_estimators(15)
+        .with_entropy_threshold(0.45)
+        .fit(&split.train, 29)
+        .expect("training");
+    let served = load(&save(detector.as_ref()).expect("save")).expect("load");
+    assert_eq!(served.name(), detector.name());
+
+    // The restored pipeline matches the original on the whole unknown set.
+    let direct = detector
+        .detect_batch(split.unknown.features())
+        .expect("batch");
+    let restored = served
+        .detect_batch(split.unknown.features())
+        .expect("batch");
+    assert_eq!(direct, restored);
+
+    // And it drives an online monitoring session: a zero-day stream should
+    // mostly escalate, and the session statistics must account for every
+    // window.
+    let catalog = AppCatalog::standard();
+    let zero_day = catalog.unknown_apps()[0].clone();
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut session = MonitorSession::new(served.as_ref());
+    for _ in 0..20 {
+        let signature = builder.simulate_signature(&zero_day, &mut rng);
+        session.observe(&signature).expect("observation");
+    }
+    let stats = session.stats();
+    assert_eq!(stats.windows, 20);
+    assert_eq!(stats.accepted + stats.escalated, 20);
+    assert!(
+        stats.escalation_rate() >= 0.5,
+        "zero-day stream escalated only {:.0}%",
+        100.0 * stats.escalation_rate()
+    );
+    assert!(
+        stats.mean_entropy() > 0.2,
+        "mean entropy {:.3}",
+        stats.mean_entropy()
     );
 }
 
