@@ -1,7 +1,7 @@
 //! The ensemble-based uncertainty estimator (Section III of the paper).
 
 use crate::entropy::vote_entropy;
-use hmd_data::{Dataset, Label};
+use hmd_data::{Dataset, Label, Matrix};
 use hmd_ml::bagging::BaggingEnsemble;
 use hmd_ml::Classifier;
 use serde::{Deserialize, Serialize};
@@ -58,9 +58,8 @@ impl<M: Classifier> EnsembleUncertaintyEstimator<M> {
         self.ensemble.num_estimators()
     }
 
-    /// Predicts one input and quantifies the prediction's uncertainty.
-    pub fn predict_with_uncertainty(&self, features: &[f64]) -> UncertainPrediction {
-        let counts = self.ensemble.vote_counts(features);
+    /// Builds an uncertain prediction from a per-class vote-count pair.
+    fn prediction_from_counts(counts: [usize; Label::NUM_CLASSES]) -> UncertainPrediction {
         let total = counts[0] + counts[1];
         UncertainPrediction {
             label: Label::from(counts[1] >= counts[0]),
@@ -74,13 +73,60 @@ impl<M: Classifier> EnsembleUncertaintyEstimator<M> {
         }
     }
 
+    /// The prediction produced when `malware` of the estimators vote malware.
+    fn prediction_for_votes(&self, malware: usize) -> UncertainPrediction {
+        Self::prediction_from_counts([self.num_estimators() - malware, malware])
+    }
+
+    /// All `E + 1` possible predictions of this ensemble, indexed by malware
+    /// vote count.
+    fn prediction_table(&self) -> Vec<UncertainPrediction> {
+        (0..=self.num_estimators())
+            .map(|malware| self.prediction_for_votes(malware))
+            .collect()
+    }
+
+    /// Predicts one input and quantifies the prediction's uncertainty.
+    pub fn predict_with_uncertainty(&self, features: &[f64]) -> UncertainPrediction {
+        Self::prediction_from_counts(self.ensemble.vote_counts(features))
+    }
+
+    /// Maps a batch of malware vote counts to per-row values derived from
+    /// the corresponding predictions. A row's value is a pure function of
+    /// its integer vote count, so once the batch outgrows the `E + 1`
+    /// possible outcomes the mapping is tabulated and rows become copies —
+    /// no per-sample entropy logarithms or allocation. Shared by
+    /// [`EnsembleUncertaintyEstimator::predict_batch`] and the trusted
+    /// pipeline's report path.
+    pub(crate) fn map_vote_batch<T: Copy>(
+        &self,
+        votes: Vec<u32>,
+        derive: impl Fn(UncertainPrediction) -> T,
+    ) -> Vec<T> {
+        if votes.len() <= self.num_estimators() {
+            return votes
+                .into_iter()
+                .map(|malware| derive(self.prediction_for_votes(malware as usize)))
+                .collect();
+        }
+        let table: Vec<T> = self.prediction_table().into_iter().map(derive).collect();
+        votes
+            .into_iter()
+            .map(|malware| table[malware as usize])
+            .collect()
+    }
+
+    /// Predicts every row of a feature matrix with uncertainty — the batch
+    /// hot path, served by the ensemble's compiled flat engine (with a
+    /// parallel nested fallback for non-tree base learners).
+    pub fn predict_batch(&self, features: &Matrix) -> Vec<UncertainPrediction> {
+        let votes = self.ensemble.malware_votes_batch(features);
+        self.map_vote_batch(votes, |prediction| prediction)
+    }
+
     /// Predicts every sample of a dataset with uncertainty.
     pub fn predict_dataset(&self, dataset: &Dataset) -> Vec<UncertainPrediction> {
-        dataset
-            .features()
-            .iter_rows()
-            .map(|row| self.predict_with_uncertainty(row))
-            .collect()
+        self.predict_batch(dataset.features())
     }
 
     /// Entropies of every sample of a dataset (convenience for the boxplot

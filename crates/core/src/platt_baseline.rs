@@ -11,7 +11,9 @@
 use crate::entropy::binary_entropy;
 use crate::estimator::UncertainPrediction;
 use crate::rejection::{RejectionCurve, RejectionPoint};
-use crate::trusted::{batch_reports, preprocess_row, validate_widths, Decision, DetectionReport};
+use crate::trusted::{
+    preprocess_row, single_model_reports, validate_widths, Decision, DetectionReport,
+};
 use hmd_codec::{CodecError, Json, JsonCodec};
 use hmd_data::scaler::StandardScaler;
 use hmd_data::{Dataset, Label, Matrix};
@@ -156,8 +158,11 @@ impl<M: Classifier> PlattHmd<M> {
         self.entropy_threshold
     }
 
-    fn report_for_processed(&self, processed: &[f64]) -> DetectionReport {
-        let p = self.model.predict_proba_one(processed).clamp(0.0, 1.0);
+    /// Builds the report from the model's raw malware probability. The
+    /// confidence baseline derives everything — label included — from that
+    /// probability, so batch scoring only needs the probability channel.
+    fn report_for_proba(&self, raw_proba: f64) -> DetectionReport {
+        let p = raw_proba.clamp(0.0, 1.0);
         let prediction = UncertainPrediction {
             label: Label::from(p >= 0.5),
             malware_vote_fraction: p,
@@ -182,19 +187,20 @@ impl<M: Classifier> PlattHmd<M> {
     /// Returns an error when the feature vector has the wrong length.
     pub fn detect(&self, features: &[f64]) -> Result<DetectionReport, MlError> {
         let processed = preprocess_row(&self.scaler, &self.pca, features)?;
-        Ok(self.report_for_processed(&processed))
+        Ok(self.report_for_proba(self.model.predict_proba_one(&processed)))
     }
 
-    /// Runs a whole matrix of raw signatures through the pipeline (batch
-    /// front end + parallel scoring).
+    /// Runs a whole matrix of raw signatures through the pipeline: one front
+    /// end pass, one batch walk of the classifier (flat engine for tree
+    /// backends), then the confidence decision per row.
     ///
     /// # Errors
     ///
     /// Returns an error when the batch's feature count does not match the
     /// training data.
     pub fn detect_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
-        batch_reports(&self.scaler, &self.pca, batch, |row| {
-            self.report_for_processed(row)
+        single_model_reports(&self.scaler, &self.pca, &self.model, batch, |(_, proba)| {
+            self.report_for_proba(proba)
         })
     }
 }

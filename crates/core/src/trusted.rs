@@ -16,7 +16,6 @@ use hmd_data::{Dataset, Label, Matrix};
 use hmd_ml::bagging::BaggingParams;
 use hmd_ml::pca::Pca;
 use hmd_ml::{Classifier, Estimator, MlError};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The decision a trusted HMD takes for one input.
@@ -236,21 +235,25 @@ pub(crate) fn validate_widths(
     }
 }
 
-/// The shared batch hot path: one front-end pass over the matrix, then rows
-/// scored in parallel by the pipeline-specific `report` closure. All three
-/// pipeline families funnel their `detect_batch` through here.
-pub(crate) fn batch_reports<F>(
+/// Shared batch path for the single-model pipelines (untrusted, Platt): one
+/// front-end pass over the matrix, one batch walk of the classifier (served
+/// by the flat engine for tree-based models), then a cheap per-row decision
+/// mapping.
+pub(crate) fn single_model_reports<M, F>(
     scaler: &StandardScaler,
     pca: &Option<Pca>,
+    model: &M,
     batch: &Matrix,
     report: F,
 ) -> Result<Vec<DetectionReport>, MlError>
 where
-    F: Fn(&[f64]) -> DetectionReport + Sync,
+    M: Classifier,
+    F: Fn((Label, f64)) -> DetectionReport,
 {
     let processed = preprocess_matrix(scaler, pca, batch)?;
-    let rows: Vec<&[f64]> = processed.iter_rows().collect();
-    Ok(rows.par_iter().map(|row| report(row)).collect())
+    let mut scored = Vec::new();
+    model.predict_with_proba_batch(&processed, &mut scored);
+    Ok(scored.into_iter().map(report).collect())
 }
 
 fn rebuild_dataset(original: &Dataset, features: hmd_data::Matrix) -> Result<Dataset, MlError> {
@@ -298,7 +301,10 @@ impl<M: Classifier> TrustedHmd<M> {
     }
 
     fn report_for_processed(&self, processed: &[f64]) -> DetectionReport {
-        let prediction = self.estimator.predict_with_uncertainty(processed);
+        self.report_for_prediction(self.estimator.predict_with_uncertainty(processed))
+    }
+
+    fn report_for_prediction(&self, prediction: UncertainPrediction) -> DetectionReport {
         let decision = if self.policy.rejects(&prediction) {
             Decision::Escalate
         } else {
@@ -324,18 +330,21 @@ impl<M: Classifier> TrustedHmd<M> {
     /// batch-first hot path.
     ///
     /// The front end (scaling, optional PCA) is applied to the matrix in one
-    /// pass, then the ensemble scores rows in parallel. Per-sample
+    /// pass, then the ensemble's compiled flat engine scores all rows (tiled
+    /// traversal, parallel across row blocks). Per-sample
     /// [`TrustedHmd::detect`] is the degenerate single-row case of this
-    /// method.
+    /// method and produces bit-identical reports.
     ///
     /// # Errors
     ///
     /// Returns an error when the batch's feature count does not match the
     /// training data.
     pub fn detect_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
-        batch_reports(&self.scaler, &self.pca, batch, |row| {
-            self.report_for_processed(row)
-        })
+        let processed = preprocess_matrix(&self.scaler, &self.pca, batch)?;
+        let votes = self.estimator.ensemble().malware_votes_batch(&processed);
+        Ok(self
+            .estimator
+            .map_vote_batch(votes, |prediction| self.report_for_prediction(prediction)))
     }
 
     /// Predictions with uncertainty for every sample of a raw dataset.
@@ -429,8 +438,7 @@ impl<M: Classifier> UntrustedHmd<M> {
             .collect())
     }
 
-    fn report_for_processed(&self, processed: &[f64]) -> DetectionReport {
-        let (label, malware_vote_fraction) = self.model.predict_with_proba_one(processed);
+    fn report_for_scored(&self, (label, malware_vote_fraction): (Label, f64)) -> DetectionReport {
         DetectionReport {
             prediction: UncertainPrediction {
                 label,
@@ -442,6 +450,10 @@ impl<M: Classifier> UntrustedHmd<M> {
             },
             decision: Decision::Accept(label),
         }
+    }
+
+    fn report_for_processed(&self, processed: &[f64]) -> DetectionReport {
+        self.report_for_scored(self.model.predict_with_proba_one(processed))
     }
 
     /// Runs one raw signature through the pipeline, shaped as a
@@ -457,15 +469,16 @@ impl<M: Classifier> UntrustedHmd<M> {
         Ok(self.report_for_processed(&processed))
     }
 
-    /// Batch variant of [`UntrustedHmd::report`].
+    /// Batch variant of [`UntrustedHmd::report`]: one front-end pass, one
+    /// batch walk of the classifier (flat engine for tree-based backends).
     ///
     /// # Errors
     ///
     /// Returns an error when the batch's feature count does not match the
     /// training data.
     pub fn report_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
-        batch_reports(&self.scaler, &self.pca, batch, |row| {
-            self.report_for_processed(row)
+        single_model_reports(&self.scaler, &self.pca, &self.model, batch, |scored| {
+            self.report_for_scored(scored)
         })
     }
 

@@ -84,27 +84,51 @@ fn all_three_pipeline_kinds_serve_through_a_trait_object() {
 
 #[test]
 fn detect_batch_equals_mapping_detect_over_rows() {
-    // Property test over random batches: for every pipeline kind and several
-    // random matrices, the parallel batch path must return exactly what the
-    // serial per-row path returns.
+    // Property test over random batches: for every backend × pipeline kind
+    // and several random matrices, the flat-engine batch path must return
+    // exactly what the serial per-row path returns — labels, probabilities
+    // and entropies bit-identical.
     let train = blobs(120, 4, 3);
-    for (i, config) in all_kind_configs(DetectorBackend::random_forest())
-        .into_iter()
-        .enumerate()
+    for (b, backend) in [
+        DetectorBackend::decision_tree(),
+        DetectorBackend::random_forest(),
+        DetectorBackend::logistic_regression(),
+        DetectorBackend::linear_svm(),
+    ]
+    .into_iter()
+    .enumerate()
     {
-        let detector = config.fit(&train, 11).expect("training succeeds");
-        for case in 0..8u64 {
-            let mut rng = StdRng::seed_from_u64(case * 31 + i as u64);
-            let rows = rng.gen_range(1..40usize);
-            let data: Vec<f64> = (0..rows * 4).map(|_| rng.gen_range(-4.0..4.0)).collect();
-            let batch = Matrix::from_vec(rows, 4, data).unwrap();
+        for (i, config) in all_kind_configs(backend).into_iter().enumerate() {
+            let detector = config.fit(&train, 11).expect("training succeeds");
+            for case in 0..6u64 {
+                let mut rng = StdRng::seed_from_u64(case * 31 + (b * 3 + i) as u64);
+                // Cross the flat engine's 64-row tile boundary sometimes.
+                let rows = rng.gen_range(1..100usize);
+                let data: Vec<f64> = (0..rows * 4).map(|_| rng.gen_range(-4.0..4.0)).collect();
+                let batch = Matrix::from_vec(rows, 4, data).unwrap();
 
-            let batched = detector.detect_batch(&batch).expect("batch path");
-            let mapped: Vec<_> = batch
-                .iter_rows()
-                .map(|row| detector.detect(row).expect("serial path"))
-                .collect();
-            assert_eq!(batched, mapped, "{} case {case}", detector.name());
+                let batched = detector.detect_batch(&batch).expect("batch path");
+                let mapped: Vec<_> = batch
+                    .iter_rows()
+                    .map(|row| detector.detect(row).expect("serial path"))
+                    .collect();
+                assert_eq!(batched.len(), mapped.len());
+                for (a, m) in batched.iter().zip(&mapped) {
+                    assert_eq!(
+                        a.prediction.entropy.to_bits(),
+                        m.prediction.entropy.to_bits(),
+                        "{} case {case}",
+                        detector.name()
+                    );
+                    assert_eq!(
+                        a.prediction.malware_vote_fraction.to_bits(),
+                        m.prediction.malware_vote_fraction.to_bits(),
+                        "{} case {case}",
+                        detector.name()
+                    );
+                    assert_eq!(a, m, "{} case {case}", detector.name());
+                }
+            }
         }
     }
 }

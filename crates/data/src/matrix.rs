@@ -97,21 +97,25 @@ impl Matrix {
     }
 
     /// Number of rows (samples).
+    #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns (features).
+    #[inline]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// `(rows, cols)` pair.
+    #[inline]
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
     }
 
     /// `true` when the matrix has no elements.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
@@ -121,6 +125,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `r >= self.rows()`.
+    #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
         assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
         &self.data[r * self.cols..(r + 1) * self.cols]
@@ -131,6 +136,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `r >= self.rows()`.
+    #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
         assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
         &mut self.data[r * self.cols..(r + 1) * self.cols]
@@ -153,11 +159,13 @@ impl Matrix {
     }
 
     /// Iterator over rows as slices.
+    #[inline]
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
         self.data.chunks_exact(self.cols.max(1))
     }
 
     /// Flat row-major view of the underlying buffer.
+    #[inline]
     pub fn as_slice(&self) -> &[f64] {
         &self.data
     }
@@ -371,6 +379,7 @@ impl JsonCodec for Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
+    #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
         assert!(
             r < self.rows && c < self.cols,
@@ -381,6 +390,7 @@ impl Index<(usize, usize)> for Matrix {
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
         assert!(
             r < self.rows && c < self.cols,

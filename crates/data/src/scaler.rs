@@ -69,14 +69,17 @@ impl StandardScaler {
                 found: matrix.cols(),
             });
         }
-        let mut out = matrix.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            for (c, v) in row.iter_mut().enumerate() {
-                *v = (*v - self.means[c]) / self.stds[c];
-            }
+        // Single pass: read each source row once, write each scaled value
+        // once (no clone-then-mutate double traversal on the batch path).
+        let mut data = Vec::with_capacity(matrix.rows() * matrix.cols());
+        for row in matrix.iter_rows() {
+            data.extend(
+                row.iter()
+                    .zip(self.means.iter().zip(&self.stds))
+                    .map(|(v, (mean, std))| (v - mean) / std),
+            );
         }
-        Ok(out)
+        Matrix::from_vec(matrix.rows(), matrix.cols(), data)
     }
 
     /// Applies the inverse of the fitted transform.
@@ -93,14 +96,15 @@ impl StandardScaler {
                 found: matrix.cols(),
             });
         }
-        let mut out = matrix.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            for (c, v) in row.iter_mut().enumerate() {
-                *v = *v * self.stds[c] + self.means[c];
-            }
+        let mut data = Vec::with_capacity(matrix.rows() * matrix.cols());
+        for row in matrix.iter_rows() {
+            data.extend(
+                row.iter()
+                    .zip(self.means.iter().zip(&self.stds))
+                    .map(|(v, (mean, std))| v * std + mean),
+            );
         }
-        Ok(out)
+        Matrix::from_vec(matrix.rows(), matrix.cols(), data)
     }
 
     /// Transforms a single feature vector in place.
@@ -117,8 +121,8 @@ impl StandardScaler {
                 found: row.len(),
             });
         }
-        for (c, v) in row.iter_mut().enumerate() {
-            *v = (*v - self.means[c]) / self.stds[c];
+        for (v, (mean, std)) in row.iter_mut().zip(self.means.iter().zip(&self.stds)) {
+            *v = (*v - mean) / std;
         }
         Ok(())
     }
@@ -220,14 +224,15 @@ impl MinMaxScaler {
                 found: matrix.cols(),
             });
         }
-        let mut out = matrix.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            for (c, v) in row.iter_mut().enumerate() {
-                *v = (*v - self.mins[c]) / self.ranges[c];
-            }
+        let mut data = Vec::with_capacity(matrix.rows() * matrix.cols());
+        for row in matrix.iter_rows() {
+            data.extend(
+                row.iter()
+                    .zip(self.mins.iter().zip(&self.ranges))
+                    .map(|(v, (min, range))| (v - min) / range),
+            );
         }
-        Ok(out)
+        Matrix::from_vec(matrix.rows(), matrix.cols(), data)
     }
 }
 

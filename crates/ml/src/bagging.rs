@@ -7,10 +7,11 @@
 //! [`BaggingEnsemble::estimators`], mirroring sklearn's `estimators_`
 //! attribute that the uncertainty estimator reads.
 
+use crate::flat::{compile_groups, FlatForest};
 use crate::{Classifier, Estimator, MlError};
 use hmd_codec::{CodecError, Json, JsonCodec};
 use hmd_data::split::bootstrap_indices;
-use hmd_data::{Dataset, Label};
+use hmd_data::{Dataset, Label, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -111,10 +112,7 @@ impl<E: Estimator> BaggingParams<E> {
                 self.base.fit(&training, estimator_seed)
             })
             .collect();
-        Ok(BaggingEnsemble {
-            estimators: models?,
-            base_name: self.base.name(),
-        })
+        Ok(BaggingEnsemble::from_estimators(models?, self.base.name()))
     }
 
     /// Name of the base learner (e.g. `"random-forest"`).
@@ -149,12 +147,30 @@ impl<E: Estimator> BaggingParams<E> {
 pub struct BaggingEnsemble<M> {
     estimators: Vec<M>,
     base_name: &'static str,
+    /// Compiled flat-engine form when every base classifier is tree-based:
+    /// one voting group per estimator. Never persisted, rebuilt on load.
+    flat: Option<FlatForest>,
 }
 
 impl<M: Classifier> BaggingEnsemble<M> {
+    fn from_estimators(estimators: Vec<M>, base_name: &'static str) -> BaggingEnsemble<M> {
+        let flat = compile_groups(&estimators);
+        BaggingEnsemble {
+            estimators,
+            base_name,
+            flat,
+        }
+    }
+
     /// The trained base classifiers (sklearn's `estimators_`).
     pub fn estimators(&self) -> &[M] {
         &self.estimators
+    }
+
+    /// The compiled flat-engine form, when every base classifier is
+    /// tree-based (decision trees or random forests).
+    pub fn flat(&self) -> Option<&FlatForest> {
+        self.flat.as_ref()
     }
 
     /// Number of base classifiers.
@@ -171,7 +187,8 @@ impl<M: Classifier> BaggingEnsemble<M> {
     ///
     /// This is the raw material of the paper's uncertainty estimator: the
     /// frequency distribution of these votes approximates the predictive
-    /// posterior of Eq. 3.
+    /// posterior of Eq. 3. Always walks the nested base classifiers — it is
+    /// the reference path the flat engine is tested against.
     pub fn votes(&self, features: &[f64]) -> Vec<Label> {
         self.estimators
             .iter()
@@ -180,12 +197,55 @@ impl<M: Classifier> BaggingEnsemble<M> {
     }
 
     /// Counts of votes per class, indexed by [`Label::index`].
+    ///
+    /// Serves from the compiled flat forest when the base classifiers are
+    /// tree-based, with bit-identical counts to the nested walk.
     pub fn vote_counts(&self, features: &[f64]) -> [usize; Label::NUM_CLASSES] {
+        if let Some(flat) = &self.flat {
+            let malware = flat.group_votes_one(features);
+            return [self.estimators.len() - malware, malware];
+        }
         let mut counts = [0usize; Label::NUM_CLASSES];
         for vote in self.votes(features) {
             counts[vote.index()] += 1;
         }
         counts
+    }
+
+    /// Malware vote counts — one integer per row — for a feature matrix: the
+    /// ensemble's leanest batch shape (every estimator votes, so the benign
+    /// count is always `num_estimators - malware`).
+    ///
+    /// Tree-based ensembles serve from the flat engine (tiled traversal,
+    /// parallel across row blocks); other base learners fall back to scoring
+    /// rows in parallel through the nested path. Counts are bit-identical to
+    /// calling [`BaggingEnsemble::vote_counts`] per row.
+    pub fn malware_votes_batch(&self, batch: &Matrix) -> Vec<u32> {
+        if let Some(flat) = &self.flat {
+            return flat.group_votes_batch(batch);
+        }
+        let rows: Vec<&[f64]> = batch.iter_rows().collect();
+        let mut votes: Vec<u32> = rows
+            .par_iter()
+            .map(|row| self.vote_counts(row)[1] as u32)
+            .collect();
+        // A zero-width batch yields no row slices; keep the row-count contract.
+        votes.resize(batch.rows(), 0);
+        votes
+    }
+
+    /// Per-class vote counts for every row of a feature matrix, indexed by
+    /// [`Label::index`] — [`BaggingEnsemble::malware_votes_batch`] in the
+    /// same shape [`BaggingEnsemble::vote_counts`] reports.
+    pub fn vote_counts_batch(&self, batch: &Matrix) -> Vec<[usize; Label::NUM_CLASSES]> {
+        let total = self.estimators.len();
+        self.malware_votes_batch(batch)
+            .into_iter()
+            .map(|malware| {
+                let malware = malware as usize;
+                [total - malware, malware]
+            })
+            .collect()
     }
 
     /// Restricts the ensemble to its first `n` base classifiers (used by the
@@ -198,10 +258,10 @@ impl<M: Classifier> BaggingEnsemble<M> {
         if n == 0 || n > self.estimators.len() {
             return None;
         }
-        Some(BaggingEnsemble {
-            estimators: self.estimators[..n].to_vec(),
-            base_name: self.base_name,
-        })
+        Some(BaggingEnsemble::from_estimators(
+            self.estimators[..n].to_vec(),
+            self.base_name,
+        ))
     }
 }
 
@@ -223,8 +283,11 @@ fn intern_base_name(name: &str) -> &'static str {
     "custom"
 }
 
-impl<M: JsonCodec> JsonCodec for BaggingEnsemble<M> {
+impl<M: Classifier + JsonCodec> JsonCodec for BaggingEnsemble<M> {
     fn to_json(&self) -> Json {
+        // The flat form is derived state: omitted here, recompiled on load so
+        // saved documents stay minimal and restored ensembles serve from the
+        // flat engine with bit-identical votes.
         Json::object(vec![
             ("base_name", self.base_name.to_string().to_json()),
             ("estimators", self.estimators.to_json()),
@@ -236,10 +299,10 @@ impl<M: JsonCodec> JsonCodec for BaggingEnsemble<M> {
         if estimators.is_empty() {
             return Err(CodecError::new("bagging ensemble has no estimators"));
         }
-        Ok(BaggingEnsemble {
+        Ok(BaggingEnsemble::from_estimators(
             estimators,
-            base_name: intern_base_name(json.get("base_name")?.as_str()?),
-        })
+            intern_base_name(json.get("base_name")?.as_str()?),
+        ))
     }
 }
 
@@ -260,6 +323,27 @@ impl<M: Classifier> Classifier for BaggingEnsemble<M> {
             Label::from(counts[1] >= counts[0]),
             counts[1] as f64 / self.estimators.len() as f64,
         )
+    }
+
+    fn predict_proba_batch(&self, batch: &Matrix, out: &mut Vec<f64>) {
+        let total = self.estimators.len() as f64;
+        out.clear();
+        out.extend(
+            self.vote_counts_batch(batch)
+                .into_iter()
+                .map(|counts| counts[1] as f64 / total),
+        );
+    }
+
+    fn predict_with_proba_batch(&self, batch: &Matrix, out: &mut Vec<(Label, f64)>) {
+        let total = self.estimators.len() as f64;
+        out.clear();
+        out.extend(self.vote_counts_batch(batch).into_iter().map(|counts| {
+            (
+                Label::from(counts[1] >= counts[0]),
+                counts[1] as f64 / total,
+            )
+        }));
     }
 
     fn input_width(&self) -> Option<usize> {

@@ -1,0 +1,563 @@
+//! The compiled flat-node inference engine.
+//!
+//! Training grows [`crate::tree::DecisionTree`]s as vectors of tagged-enum
+//! nodes — a layout that is convenient to build but hostile to serve: every
+//! step of a traversal loads a 40-byte enum, branches on its discriminant and
+//! chases children scattered across the allocation. This module compiles
+//! fitted tree models into a struct-of-arrays form designed for the batch
+//! hot path:
+//!
+//! * Split nodes live in four parallel arrays — `feature: Vec<u32>`,
+//!   `threshold: Vec<f64>`, `left`/`right: Vec<u32>` — so the traversal loop
+//!   touches exactly the bytes it needs and the hot node range of a tree
+//!   stays cache-dense.
+//! * Leaves are stored out-of-line in a `leaf_value` array and encoded as
+//!   *tagged child indices* (high bit set), so the inner loop has a single
+//!   exit test and no enum discriminant branch.
+//! * Batches are traversed in tiles of [`BLOCK`] samples: the engine walks
+//!   one tree for a whole tile before moving to the next tree, keeping that
+//!   tree's nodes hot in L1/L2, and accumulates ensemble votes into reusable
+//!   stack buffers — no per-sample allocation.
+//!
+//! [`FlatTree`] compiles a single decision tree; [`FlatForest`] compiles any
+//! collection of trees partitioned into *voting groups* (one group per
+//! ensemble member). A random forest is a flat forest whose groups are single
+//! trees; a bagging ensemble of forests is a flat forest whose groups are
+//! whole forests. Predictions are **bit-identical** to the nested walk: the
+//! same `<=` split predicate, the same leaf fractions, the same integer vote
+//! arithmetic (see `tests/flat_equivalence.rs`).
+
+use crate::tree::{DecisionTree, Node};
+use crate::Classifier;
+use hmd_data::{Label, Matrix};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// High bit of a child index, tagging a reference into the leaf-value array
+/// instead of the split-node arrays.
+const LEAF_BIT: u32 = 1 << 31;
+
+/// Tile width of the batch traversal: samples are processed in blocks of this
+/// many rows so one tree's node range is reused across the whole tile.
+pub const BLOCK: usize = 64;
+
+/// Row count below which batch kernels stay on the calling thread; smaller
+/// batches finish faster than a hand-off to the worker pool would take.
+const PAR_MIN_ROWS: usize = 256;
+
+/// Incrementally builds a [`FlatForest`] from nested tree node storage.
+///
+/// Callers open a voting group with [`FlatForestBuilder::begin_group`], then
+/// let each model append its trees via
+/// [`Classifier::append_flat_group`](crate::Classifier::append_flat_group).
+#[derive(Debug)]
+pub struct FlatForestBuilder {
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    leaf_value: Vec<f64>,
+    leaf_vote: Vec<u8>,
+    roots: Vec<u32>,
+    group_starts: Vec<u32>,
+    num_features: usize,
+}
+
+impl FlatForestBuilder {
+    /// Starts an empty builder for models trained on `num_features` inputs.
+    pub fn new(num_features: usize) -> FlatForestBuilder {
+        FlatForestBuilder {
+            feature: Vec::new(),
+            threshold: Vec::new(),
+            left: Vec::new(),
+            right: Vec::new(),
+            leaf_value: Vec::new(),
+            leaf_vote: Vec::new(),
+            roots: Vec::new(),
+            group_starts: Vec::new(),
+            num_features,
+        }
+    }
+
+    /// Opens a new voting group; every tree appended until the next
+    /// `begin_group` (or [`FlatForestBuilder::finish`]) votes as one member.
+    pub fn begin_group(&mut self) {
+        self.group_starts.push(self.roots.len() as u32);
+    }
+
+    /// Appends one nested tree to the current group.
+    pub(crate) fn push_tree(&mut self, nodes: &[Node]) {
+        assert!(
+            !self.group_starts.is_empty(),
+            "push_tree called before begin_group"
+        );
+        let split_base = self.feature.len() as u32;
+        let leaf_base = self.leaf_value.len() as u32;
+        // First pass: assign flat indices in nested order (parent before
+        // children, preorder), tagging leaves with the high bit.
+        let mut map = Vec::with_capacity(nodes.len());
+        let mut splits = 0u32;
+        let mut leaves = 0u32;
+        for node in nodes {
+            match node {
+                Node::Split { .. } => {
+                    map.push(split_base + splits);
+                    splits += 1;
+                }
+                Node::Leaf { .. } => {
+                    map.push((leaf_base + leaves) | LEAF_BIT);
+                    leaves += 1;
+                }
+            }
+        }
+        assert!(
+            (self.feature.len() + nodes.len()) < LEAF_BIT as usize,
+            "flat forest exceeds 2^31 nodes"
+        );
+        // Second pass: emit the struct-of-arrays node storage.
+        for node in nodes {
+            match node {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    self.feature.push(*feature as u32);
+                    self.threshold.push(*threshold);
+                    self.left.push(map[*left]);
+                    self.right.push(map[*right]);
+                }
+                Node::Leaf {
+                    malware_fraction, ..
+                } => {
+                    self.leaf_value.push(*malware_fraction);
+                    // The hard vote is precompiled so the vote kernel reads
+                    // one byte instead of comparing an f64 per leaf.
+                    self.leaf_vote.push(u8::from(*malware_fraction >= 0.5));
+                }
+            }
+        }
+        self.roots.push(map[0]);
+    }
+
+    /// Closes the builder into an immutable forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no group was opened or a group received no trees — both
+    /// indicate a broken [`Classifier::append_flat_group`] implementation.
+    pub fn finish(self) -> FlatForest {
+        let mut group_offsets = self.group_starts;
+        assert!(
+            !group_offsets.is_empty(),
+            "flat forest has no voting groups"
+        );
+        group_offsets.push(self.roots.len() as u32);
+        for pair in group_offsets.windows(2) {
+            assert!(pair[0] < pair[1], "flat forest voting group has no trees");
+        }
+        FlatForest {
+            feature: self.feature,
+            threshold: self.threshold,
+            left: self.left,
+            right: self.right,
+            leaf_value: self.leaf_value,
+            leaf_vote: self.leaf_vote,
+            roots: self.roots,
+            group_offsets,
+            num_features: self.num_features,
+        }
+    }
+}
+
+/// A fitted ensemble of decision trees compiled into cache-dense
+/// struct-of-arrays node storage, partitioned into voting groups.
+///
+/// Each group casts one hard vote per sample (the majority of its trees'
+/// leaves); the malware probability of a sample is the fraction of groups
+/// voting malware. Compiling a [`crate::forest::RandomForest`] produces one
+/// single-tree group per tree — reproducing the forest's soft vote — while a
+/// bagging ensemble compiles each base model into one group, reproducing the
+/// ensemble's per-estimator hard votes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatForest {
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    leaf_value: Vec<f64>,
+    /// Precompiled hard vote (`leaf_value >= 0.5`) per leaf, so the vote
+    /// kernel's footprint per leaf is one byte.
+    leaf_vote: Vec<u8>,
+    roots: Vec<u32>,
+    /// Prefix offsets into `roots`; group `g` owns `roots[offsets[g]..offsets[g+1]]`.
+    group_offsets: Vec<u32>,
+    num_features: usize,
+}
+
+impl FlatForest {
+    /// Number of voting groups (ensemble members).
+    pub fn num_groups(&self) -> usize {
+        self.group_offsets.len() - 1
+    }
+
+    /// Total number of compiled trees across all groups.
+    pub fn num_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total number of split nodes in the packed arrays.
+    pub fn num_split_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Number of input features the compiled models expect.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Walks one tree (identified by its possibly leaf-tagged root reference)
+    /// down to its leaf index for one sample.
+    #[inline]
+    fn leaf_index_of(&self, root: u32, row: &[f64]) -> usize {
+        let mut index = root;
+        while index & LEAF_BIT == 0 {
+            let i = index as usize;
+            // Same predicate as the nested walk (`<=` goes left), so NaN and
+            // boundary inputs take identical paths.
+            index = if row[self.feature[i] as usize] <= self.threshold[i] {
+                self.left[i]
+            } else {
+                self.right[i]
+            };
+        }
+        (index & !LEAF_BIT) as usize
+    }
+
+    /// Walks one tree down to its leaf fraction for one sample.
+    #[inline]
+    fn leaf_of(&self, root: u32, row: &[f64]) -> f64 {
+        self.leaf_value[self.leaf_index_of(root, row)]
+    }
+
+    /// Walks one tree down to its precompiled hard vote for one sample.
+    #[inline]
+    fn vote_of(&self, root: u32, row: &[f64]) -> u32 {
+        u32::from(self.leaf_vote[self.leaf_index_of(root, row)])
+    }
+
+    /// Hard vote of one group on one sample: the exact integer form of
+    /// `malware_trees / trees >= 0.5`, with an early exit once the majority
+    /// is mathematically decided (a 3-tree group never walks its third tree
+    /// when the first two agree).
+    #[inline]
+    fn group_vote(&self, lo: usize, hi: usize, row: &[f64]) -> u32 {
+        let size = hi - lo;
+        let mut malware = 0usize;
+        for (walked, &root) in (1..=size).zip(&self.roots[lo..hi]) {
+            malware += self.vote_of(root, row) as usize;
+            if 2 * malware >= size {
+                return 1; // majority reached; later trees cannot undo it
+            }
+            if 2 * (malware + (size - walked)) < size {
+                return 0; // unreachable even if every remaining tree votes malware
+            }
+        }
+        0
+    }
+
+    /// Malware group-vote count for a single sample.
+    #[inline]
+    pub fn group_votes_one(&self, row: &[f64]) -> usize {
+        let mut votes = 0usize;
+        for g in 0..self.num_groups() {
+            let lo = self.group_offsets[g] as usize;
+            let hi = self.group_offsets[g + 1] as usize;
+            votes += self.group_vote(lo, hi, row) as usize;
+        }
+        votes
+    }
+
+    /// Tiled kernel: malware group votes for rows `start..end` (at most
+    /// [`BLOCK`] of them) written into `votes`.
+    ///
+    /// The tile bounds the working set — [`BLOCK`] rows of features plus the
+    /// packed node arrays stay L1/L2-resident while the kernel sweeps the
+    /// ensemble — and votes accumulate into the caller's reusable buffer, so
+    /// the hot loop performs no per-sample allocation.
+    fn block_group_votes(&self, batch: &Matrix, start: usize, end: usize, votes: &mut [u32]) {
+        let n = end - start;
+        debug_assert!(n <= BLOCK && votes.len() == n);
+        let cols = batch.cols();
+        let data = batch.as_slice();
+        let tile = &data[start * cols..end * cols];
+        votes.fill(0);
+        for (vote, row) in votes.iter_mut().zip(tile.chunks_exact(cols.max(1))) {
+            *vote = self.group_votes_one(row) as u32;
+        }
+    }
+
+    /// Malware group-vote counts for every row of a batch.
+    ///
+    /// Small batches run on the calling thread; larger ones are tiled into
+    /// [`BLOCK`]-row blocks and spread across the persistent worker pool.
+    pub fn group_votes_batch(&self, batch: &Matrix) -> Vec<u32> {
+        let rows = batch.rows();
+        if rows < PAR_MIN_ROWS || rayon::current_num_threads() == 1 {
+            let mut votes = vec![0u32; rows];
+            for start in (0..rows).step_by(BLOCK) {
+                let end = (start + BLOCK).min(rows);
+                self.block_group_votes(batch, start, end, &mut votes[start..end]);
+            }
+            return votes;
+        }
+        let blocks: Vec<(usize, usize)> = (0..rows)
+            .step_by(BLOCK)
+            .map(|start| (start, (start + BLOCK).min(rows)))
+            .collect();
+        let tiles: Vec<Vec<u32>> = blocks
+            .par_iter()
+            .map(|&(start, end)| {
+                let mut votes = vec![0u32; end - start];
+                self.block_group_votes(batch, start, end, &mut votes);
+                votes
+            })
+            .collect();
+        tiles.concat()
+    }
+}
+
+impl Classifier for FlatForest {
+    fn predict_one(&self, features: &[f64]) -> Label {
+        Label::from(self.predict_proba_one(features) >= 0.5)
+    }
+
+    fn predict_proba_one(&self, features: &[f64]) -> f64 {
+        self.group_votes_one(features) as f64 / self.num_groups() as f64
+    }
+
+    fn predict_with_proba_one(&self, features: &[f64]) -> (Label, f64) {
+        let p = self.predict_proba_one(features);
+        (Label::from(p >= 0.5), p)
+    }
+
+    fn predict_proba_batch(&self, batch: &Matrix, out: &mut Vec<f64>) {
+        let groups = self.num_groups() as f64;
+        out.clear();
+        out.extend(
+            self.group_votes_batch(batch)
+                .into_iter()
+                .map(|votes| votes as f64 / groups),
+        );
+    }
+
+    fn predict_with_proba_batch(&self, batch: &Matrix, out: &mut Vec<(Label, f64)>) {
+        let groups = self.num_groups() as f64;
+        out.clear();
+        out.extend(self.group_votes_batch(batch).into_iter().map(|votes| {
+            let p = votes as f64 / groups;
+            (Label::from(p >= 0.5), p)
+        }));
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        Some(self.num_features)
+    }
+}
+
+/// A single fitted decision tree compiled into flat node storage.
+///
+/// Unlike [`FlatForest`] — whose probability is a vote fraction — a flat
+/// tree's probability is the raw malware fraction of the reached leaf,
+/// mirroring [`crate::tree::DecisionTree`] exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatTree {
+    forest: FlatForest,
+}
+
+impl FlatTree {
+    pub(crate) fn from_nodes(nodes: &[Node], num_features: usize) -> FlatTree {
+        let mut builder = FlatForestBuilder::new(num_features);
+        builder.begin_group();
+        builder.push_tree(nodes);
+        FlatTree {
+            forest: builder.finish(),
+        }
+    }
+
+    /// Number of split nodes in the packed arrays.
+    pub fn num_split_nodes(&self) -> usize {
+        self.forest.num_split_nodes()
+    }
+
+    /// Number of input features the compiled tree expects.
+    pub fn num_features(&self) -> usize {
+        self.forest.num_features()
+    }
+
+    /// Malware fraction of the leaf reached by one sample.
+    #[inline]
+    pub fn leaf_value(&self, row: &[f64]) -> f64 {
+        self.forest.leaf_of(self.forest.roots[0], row)
+    }
+
+    /// Leaf fractions for every row of a batch, tiled over the packed arrays.
+    pub fn leaf_values_batch(&self, batch: &Matrix, out: &mut Vec<f64>) {
+        let cols = batch.cols().max(1);
+        let root = self.forest.roots[0];
+        out.clear();
+        out.extend(
+            batch
+                .as_slice()
+                .chunks_exact(cols)
+                .map(|row| self.forest.leaf_of(root, row)),
+        );
+        // An empty matrix yields no chunks; keep the row-count contract.
+        out.resize(batch.rows(), 0.0);
+    }
+}
+
+impl From<&DecisionTree> for FlatTree {
+    fn from(tree: &DecisionTree) -> FlatTree {
+        tree.compile()
+    }
+}
+
+impl Classifier for FlatTree {
+    fn predict_one(&self, features: &[f64]) -> Label {
+        Label::from(self.leaf_value(features) >= 0.5)
+    }
+
+    fn predict_proba_one(&self, features: &[f64]) -> f64 {
+        self.leaf_value(features)
+    }
+
+    fn predict_with_proba_one(&self, features: &[f64]) -> (Label, f64) {
+        let p = self.leaf_value(features);
+        (Label::from(p >= 0.5), p)
+    }
+
+    fn predict_proba_batch(&self, batch: &Matrix, out: &mut Vec<f64>) {
+        self.leaf_values_batch(batch, out);
+    }
+
+    fn predict_with_proba_batch(&self, batch: &Matrix, out: &mut Vec<(Label, f64)>) {
+        let mut probas = Vec::new();
+        self.leaf_values_batch(batch, &mut probas);
+        out.clear();
+        out.extend(probas.into_iter().map(|p| (Label::from(p >= 0.5), p)));
+    }
+
+    fn input_width(&self) -> Option<usize> {
+        Some(self.forest.num_features)
+    }
+}
+
+/// Compiles a slice of tree-based ensemble members into one flat forest with
+/// one voting group per member. Returns `None` when any member is not
+/// tree-based (e.g. logistic regression) or does not report its input width.
+pub fn compile_groups<M: Classifier>(members: &[M]) -> Option<FlatForest> {
+    let width = members.first()?.input_width()?;
+    let mut builder = FlatForestBuilder::new(width);
+    for member in members {
+        builder.begin_group();
+        if !member.append_flat_group(&mut builder) {
+            return None;
+        }
+    }
+    Some(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DecisionTreeParams;
+    use crate::Estimator;
+    use hmd_data::Dataset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let malware = rng.gen_bool(0.5);
+            let c = if malware { 0.7 } else { 0.3 };
+            rows.push((0..d).map(|_| c + rng.gen_range(-0.5..0.5)).collect());
+            labels.push(Label::from(malware));
+        }
+        Dataset::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    #[test]
+    fn flat_tree_matches_nested_walk() {
+        let ds = random_dataset(120, 5, 1);
+        let tree = DecisionTreeParams::new().fit(&ds, 2).unwrap();
+        let flat = tree.compile();
+        for row in ds.features().iter_rows() {
+            assert_eq!(flat.leaf_value(row).to_bits(), {
+                // The nested reference: DecisionTree's own leaf walk.
+                crate::Classifier::predict_proba_one(&tree, row).to_bits()
+            });
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree_compiles() {
+        let ds = random_dataset(30, 2, 3);
+        let stump = DecisionTreeParams::new()
+            .with_max_depth(0)
+            .fit(&ds, 0)
+            .unwrap();
+        let flat = stump.compile();
+        assert_eq!(flat.num_split_nodes(), 0);
+        let p = flat.leaf_value(&[0.0, 0.0]);
+        assert_eq!(
+            p.to_bits(),
+            crate::Classifier::predict_proba_one(&stump, &[0.0, 0.0]).to_bits()
+        );
+    }
+
+    #[test]
+    fn batch_kernel_matches_single_row_kernel_across_block_boundaries() {
+        let ds = random_dataset(BLOCK * 3 + 17, 4, 4);
+        let trees: Vec<DecisionTree> = (0..5)
+            .map(|i| DecisionTreeParams::new().fit(&ds, i).unwrap())
+            .collect();
+        let flat = compile_groups(&trees).expect("trees compile");
+        assert_eq!(flat.num_groups(), 5);
+        let batch = flat.group_votes_batch(ds.features());
+        for (row, &votes) in ds.features().iter_rows().zip(&batch) {
+            assert_eq!(flat.group_votes_one(row), votes as usize);
+        }
+    }
+
+    #[test]
+    fn group_votes_never_exceed_group_count() {
+        let ds = random_dataset(40, 3, 7);
+        let trees: Vec<DecisionTree> = (0..7)
+            .map(|i| DecisionTreeParams::new().fit(&ds, i).unwrap())
+            .collect();
+        let flat = compile_groups(&trees).unwrap();
+        for votes in flat.group_votes_batch(ds.features()) {
+            assert!(votes as usize <= flat.num_groups());
+        }
+    }
+
+    #[test]
+    fn non_tree_members_do_not_compile() {
+        use crate::logistic::LogisticRegressionParams;
+        let ds = random_dataset(40, 2, 9);
+        let models: Vec<_> = (0..3)
+            .map(|i| {
+                LogisticRegressionParams::new()
+                    .with_epochs(10)
+                    .fit(&ds, i)
+                    .unwrap()
+            })
+            .collect();
+        assert!(compile_groups(&models).is_none());
+    }
+}

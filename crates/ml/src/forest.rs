@@ -5,6 +5,7 @@
 //! [`RandomForest`] is also usable stand-alone as the "Untrusted HMD"
 //! black-box detector.
 
+use crate::flat::{compile_groups, FlatForest, FlatForestBuilder};
 use crate::tree::{DecisionTree, DecisionTreeParams, MaxFeatures};
 use crate::{Classifier, Estimator, MlError, ModelTag};
 use hmd_codec::{CodecError, Json, JsonCodec};
@@ -96,10 +97,15 @@ impl Estimator for RandomForestParams {
 /// A trained random forest.
 ///
 /// Prediction is by majority vote of the trees; [`Classifier::predict_proba_one`]
-/// reports the fraction of trees voting malware (soft vote).
+/// reports the fraction of trees voting malware (soft vote). At construction
+/// (and again after deserialisation) the trees are compiled into a
+/// [`FlatForest`] — struct-of-arrays node storage with one single-tree voting
+/// group per tree — and every inference path serves from that flat form.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
+    /// Compiled inference engine; never persisted, rebuilt on load.
+    flat: FlatForest,
 }
 
 impl RandomForest {
@@ -135,17 +141,34 @@ impl RandomForest {
                 DecisionTree::fit(&training, &params.tree, tree_seed)
             })
             .collect();
-        Ok(RandomForest { trees: trees? })
+        Ok(RandomForest::from_trees(trees?))
     }
 
-    /// The individual trees of the forest.
+    fn from_trees(trees: Vec<DecisionTree>) -> RandomForest {
+        let flat = compile_groups(&trees).expect("decision trees always compile");
+        RandomForest { trees, flat }
+    }
+
+    /// The individual trees of the forest (the nested training-time form; the
+    /// reference implementation the flat engine is tested against).
     pub fn trees(&self) -> &[DecisionTree] {
         &self.trees
+    }
+
+    /// The compiled flat-node inference engine serving this forest.
+    pub fn flat(&self) -> &FlatForest {
+        &self.flat
     }
 
     /// Number of trees.
     pub fn num_trees(&self) -> usize {
         self.trees.len()
+    }
+}
+
+impl From<&RandomForest> for FlatForest {
+    fn from(forest: &RandomForest) -> FlatForest {
+        forest.flat.clone()
     }
 }
 
@@ -176,7 +199,7 @@ impl JsonCodec for RandomForest {
                 )));
             }
         }
-        Ok(RandomForest { trees })
+        Ok(RandomForest::from_trees(trees))
     }
 }
 
@@ -186,17 +209,31 @@ impl Classifier for RandomForest {
     }
 
     fn predict_proba_one(&self, features: &[f64]) -> f64 {
-        let votes = self
-            .trees
-            .iter()
-            .filter(|t| t.predict_one(features).is_malware())
-            .count();
-        votes as f64 / self.trees.len() as f64
+        // Flat single-tree groups vote exactly like the nested
+        // `trees().iter().filter(is_malware).count()` walk.
+        self.flat.predict_proba_one(features)
     }
 
     fn predict_with_proba_one(&self, features: &[f64]) -> (Label, f64) {
         let p = self.predict_proba_one(features);
         (Label::from(p >= 0.5), p)
+    }
+
+    fn predict_proba_batch(&self, batch: &hmd_data::Matrix, out: &mut Vec<f64>) {
+        self.flat.predict_proba_batch(batch, out);
+    }
+
+    fn predict_with_proba_batch(&self, batch: &hmd_data::Matrix, out: &mut Vec<(Label, f64)>) {
+        self.flat.predict_with_proba_batch(batch, out);
+    }
+
+    fn append_flat_group(&self, builder: &mut FlatForestBuilder) -> bool {
+        // As an ensemble member the whole forest casts one vote: all of its
+        // trees join a single voting group.
+        for tree in &self.trees {
+            tree.append_flat_group(builder);
+        }
+        true
     }
 
     fn input_width(&self) -> Option<usize> {

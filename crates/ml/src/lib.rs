@@ -13,6 +13,10 @@
 //! * [`bagging::BaggingEnsemble`] — Breiman bagging over any [`Estimator`],
 //!   exposing the individual base classifiers exactly like scikit-learn's
 //!   `estimators_` attribute (which the paper's uncertainty estimator reads).
+//! * [`flat`] — the compiled inference engine: fitted tree models flatten
+//!   into cache-packed struct-of-arrays node storage ([`flat::FlatTree`],
+//!   [`flat::FlatForest`]) that every batch hot path serves from, with
+//!   bit-identical predictions to the nested training-time structures.
 //! * [`metrics`] — accuracy, precision, recall, F1, ROC-AUC, confusion matrix.
 //! * [`pca::Pca`] — principal component analysis via a Jacobi eigensolver.
 //! * [`tsne::Tsne`] — exact t-SNE for the latent-space visualisations (Fig. 8).
@@ -42,6 +46,7 @@
 
 pub mod bagging;
 mod error;
+pub mod flat;
 pub mod forest;
 pub mod linalg;
 pub mod logistic;

@@ -1,5 +1,11 @@
+use crate::flat::FlatForestBuilder;
 use crate::MlError;
 use hmd_data::{Dataset, Label, Matrix};
+use rayon::prelude::*;
+
+/// Row count from which the default batch implementations fan rows out
+/// across the persistent worker pool instead of scoring serially.
+const PAR_BATCH_MIN_ROWS: usize = 512;
 
 /// A trained binary classifier.
 ///
@@ -47,6 +53,64 @@ pub trait Classifier: Send + Sync {
     /// batch hot paths do not walk the model twice per row.
     fn predict_with_proba_one(&self, features: &[f64]) -> (Label, f64) {
         (self.predict_one(features), self.predict_proba_one(features))
+    }
+
+    /// Malware probabilities for every row of a feature matrix, written into
+    /// a caller-owned buffer — the batch-first hot path.
+    ///
+    /// The default scores rows through [`Classifier::predict_proba_one`] —
+    /// serially for small batches, across the worker pool for large ones.
+    /// Models backed by the [`crate::flat`] engine override this with a
+    /// tiled traversal over cache-packed node arrays.
+    fn predict_proba_batch(&self, batch: &Matrix, out: &mut Vec<f64>) {
+        out.clear();
+        if batch.rows() >= PAR_BATCH_MIN_ROWS {
+            let rows: Vec<&[f64]> = batch.iter_rows().collect();
+            let scored: Vec<f64> = rows
+                .par_iter()
+                .map(|row| self.predict_proba_one(row))
+                .collect();
+            out.extend(scored);
+            out.resize(batch.rows(), 0.0); // zero-width batches yield no rows
+            return;
+        }
+        out.extend(batch.iter_rows().map(|row| self.predict_proba_one(row)));
+    }
+
+    /// Labels and probabilities for every row of a feature matrix in one
+    /// pass, written into a caller-owned buffer.
+    ///
+    /// The default calls [`Classifier::predict_with_proba_one`] per row
+    /// (parallel for large batches); flat-engine models override it so the
+    /// batch walks the model once.
+    fn predict_with_proba_batch(&self, batch: &Matrix, out: &mut Vec<(Label, f64)>) {
+        out.clear();
+        if batch.rows() >= PAR_BATCH_MIN_ROWS {
+            let rows: Vec<&[f64]> = batch.iter_rows().collect();
+            let scored: Vec<(Label, f64)> = rows
+                .par_iter()
+                .map(|row| self.predict_with_proba_one(row))
+                .collect();
+            out.extend(scored);
+            out.resize(batch.rows(), (Label::Benign, 0.0));
+            return;
+        }
+        out.extend(
+            batch
+                .iter_rows()
+                .map(|row| self.predict_with_proba_one(row)),
+        );
+    }
+
+    /// Appends this model's decision trees to a flat-forest builder as one
+    /// voting group, returning `true` on success.
+    ///
+    /// Tree-based models (decision trees, random forests) override this so
+    /// ensembles containing them can compile into a single
+    /// [`crate::flat::FlatForest`]. The default returns `false`: the model is
+    /// not tree-based and the caller must keep the generic path.
+    fn append_flat_group(&self, _builder: &mut FlatForestBuilder) -> bool {
+        false
     }
 
     /// Number of input features the trained model expects, when the model
@@ -106,6 +170,18 @@ impl Classifier for Box<dyn Classifier> {
 
     fn predict_with_proba_one(&self, features: &[f64]) -> (Label, f64) {
         self.as_ref().predict_with_proba_one(features)
+    }
+
+    fn predict_proba_batch(&self, batch: &Matrix, out: &mut Vec<f64>) {
+        self.as_ref().predict_proba_batch(batch, out);
+    }
+
+    fn predict_with_proba_batch(&self, batch: &Matrix, out: &mut Vec<(Label, f64)>) {
+        self.as_ref().predict_with_proba_batch(batch, out);
+    }
+
+    fn append_flat_group(&self, builder: &mut FlatForestBuilder) -> bool {
+        self.as_ref().append_flat_group(builder)
     }
 
     fn input_width(&self) -> Option<usize> {

@@ -7,7 +7,7 @@
 
 use crate::{Classifier, Estimator, MlError, ModelTag};
 use hmd_codec::{CodecError, Json, JsonCodec};
-use hmd_data::{Dataset, Label};
+use hmd_data::{Dataset, Label, Matrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -170,7 +170,7 @@ impl Estimator for DecisionTreeParams {
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         /// Fraction of malware samples that reached this leaf.
         malware_fraction: f64,
@@ -266,6 +266,13 @@ impl DecisionTree {
     /// Number of features the tree was trained on.
     pub fn num_features(&self) -> usize {
         self.num_features
+    }
+
+    /// Compiles the fitted tree into the cache-packed flat-node form used by
+    /// the batch inference engine (see [`crate::flat`]). The compiled tree
+    /// predicts bit-identically to the nested walk.
+    pub fn compile(&self) -> crate::flat::FlatTree {
+        crate::flat::FlatTree::from_nodes(&self.nodes, self.num_features)
     }
 
     fn leaf_for(&self, features: &[f64]) -> (f64, usize) {
@@ -400,6 +407,29 @@ impl Classifier for DecisionTree {
     fn predict_with_proba_one(&self, features: &[f64]) -> (Label, f64) {
         let p = self.leaf_for(features).0;
         (Label::from(p >= 0.5), p)
+    }
+
+    fn predict_proba_batch(&self, features: &Matrix, out: &mut Vec<f64>) {
+        // Compiling costs one pass over the nodes, so it only pays once the
+        // batch outnumbers them; smaller batches walk the nested nodes.
+        if features.rows() >= self.nodes.len().max(64) {
+            self.compile().leaf_values_batch(features, out);
+        } else {
+            out.clear();
+            out.extend(features.iter_rows().map(|row| self.leaf_for(row).0));
+        }
+    }
+
+    fn predict_with_proba_batch(&self, features: &Matrix, out: &mut Vec<(Label, f64)>) {
+        let mut probas = Vec::new();
+        self.predict_proba_batch(features, &mut probas);
+        out.clear();
+        out.extend(probas.into_iter().map(|p| (Label::from(p >= 0.5), p)));
+    }
+
+    fn append_flat_group(&self, builder: &mut crate::flat::FlatForestBuilder) -> bool {
+        builder.push_tree(&self.nodes);
+        true
     }
 
     fn input_width(&self) -> Option<usize> {
