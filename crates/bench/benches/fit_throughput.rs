@@ -1,0 +1,172 @@
+//! Throughput of the training hot path: the fast-fit engine vs the retained
+//! pre-optimisation reference fitter.
+//!
+//! Regenerating any paper figure retrains the smoke 15-estimator
+//! bagged-forest pipeline (and its variants) from scratch, so fit throughput
+//! dominates experiment wall-clock. This bench measures complete ensemble
+//! fits per second — and the equivalent training samples per second — for
+//! both paths on the same DVFS smoke split:
+//!
+//! * `fit_reference` — per-node sorting, row-major feature reads,
+//!   materialised bootstrap replicates (the pre-PR baseline, re-measured in
+//!   the same run so the comparison always reflects this machine).
+//! * `fit` — presorted columnar split finding with zero-copy bootstrap
+//!   views (the default path).
+//!
+//! Results land in `BENCH_fit.json` at the repository root next to the
+//! serving-path numbers in `BENCH_detect_batch.json`. Set
+//! `HMD_BENCH_QUICK=1` for the fast CI smoke run.
+//!
+//! ```text
+//! cargo bench -p hmd_bench --bench fit_throughput
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hmd_bench::pipelines::forest_params;
+use hmd_bench::ExperimentScale;
+use hmd_data::Dataset;
+use hmd_ml::bagging::{BaggingEnsemble, BaggingParams};
+use hmd_ml::forest::RandomForest;
+use hmd_ml::tree::DecisionTreeParams;
+use std::time::Instant;
+
+/// Where the machine-readable results land: the repository root, so the file
+/// is committed alongside the code whose performance it documents.
+const JSON_REPORT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fit.json");
+
+fn quick_mode() -> bool {
+    std::env::var("HMD_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Fits per second of two fitting routines, measured in alternating
+/// wall-clock slices so machine-speed drift (thermal throttling, noisy
+/// neighbours) hits both paths equally.
+fn paired_fits_per_sec(budget_ms: u64, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    const SLICES: u64 = 8;
+    let slice = std::time::Duration::from_millis(budget_ms / SLICES);
+    let mut counts = [0usize; 2];
+    let mut elapsed = [std::time::Duration::ZERO; 2];
+    for _ in 0..SLICES {
+        for (side, routine) in [&mut a as &mut dyn FnMut(), &mut b].into_iter().enumerate() {
+            let start = Instant::now();
+            loop {
+                routine();
+                counts[side] += 1;
+                if start.elapsed() >= slice {
+                    break;
+                }
+            }
+            elapsed[side] += start.elapsed();
+        }
+    }
+    (
+        counts[0] as f64 / elapsed[0].as_secs_f64(),
+        counts[1] as f64 / elapsed[1].as_secs_f64(),
+    )
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let scale = ExperimentScale::Smoke;
+    let split = scale
+        .dvfs_builder()
+        .build_split(2021)
+        .expect("DVFS corpus generation");
+    let train: &Dataset = &split.train;
+    let params = BaggingParams::new(forest_params()).with_num_estimators(scale.num_estimators());
+    let tree_params = DecisionTreeParams::new();
+    let budget_ms: u64 = if quick_mode() { 400 } else { 2400 };
+
+    // The two paths must agree exactly before their speeds are compared.
+    let fast: BaggingEnsemble<RandomForest> = params.fit(train, 7).expect("fast fit");
+    let reference = params.fit_reference(train, 7).expect("reference fit");
+    assert_eq!(
+        fast.estimators(),
+        reference.estimators(),
+        "fast-fit must stay bit-identical to the reference fitter"
+    );
+
+    c.json_note("bench", "fit_throughput");
+    c.json_note(
+        "pipeline",
+        format!("bagging[{}x random-forest]", scale.num_estimators()),
+    );
+    c.json_note("scale", scale.name());
+    c.json_note("train_samples", format!("{}", train.len()));
+    c.json_note("train_features", format!("{}", train.num_features()));
+
+    println!(
+        "\nfit throughput — bagging[{}x random-forest], {} samples x {} features",
+        scale.num_estimators(),
+        train.len(),
+        train.num_features()
+    );
+
+    let (baseline, fastfit) = paired_fits_per_sec(
+        budget_ms,
+        || {
+            params.fit_reference(train, 7).expect("reference fit");
+        },
+        || {
+            params.fit(train, 7).expect("fast fit");
+        },
+    );
+    let speedup = fastfit / baseline;
+    let samples = train.len() as f64;
+    println!("  baseline (per-node sorts, copies): {baseline:>8.2} fits/sec");
+    println!("  fast-fit (presorted, views):       {fastfit:>8.2} fits/sec");
+    println!("  speedup: {speedup:.2}x");
+    c.json_note("baseline_fits_per_sec", format!("{baseline:.2}"));
+    c.json_note(
+        "baseline_train_samples_per_sec",
+        format!("{:.0}", baseline * samples),
+    );
+    c.json_note("fastfit_fits_per_sec", format!("{fastfit:.2}"));
+    c.json_note(
+        "fastfit_train_samples_per_sec",
+        format!("{:.0}", fastfit * samples),
+    );
+    c.json_note("speedup", format!("{speedup:.2}"));
+
+    // Single deep tree on the full set: isolates the split-finding core
+    // (no bootstrap, no ensemble parallelism).
+    let (tree_baseline, tree_fastfit) = paired_fits_per_sec(
+        budget_ms / 2,
+        || {
+            hmd_ml::tree::DecisionTree::fit_reference(train, &tree_params, 3).expect("tree fit");
+        },
+        || {
+            hmd_ml::tree::DecisionTree::fit(train, &tree_params, 3).expect("tree fit");
+        },
+    );
+    println!(
+        "  single tree: {tree_baseline:>8.2} -> {tree_fastfit:>8.2} fits/sec ({:.2}x)",
+        tree_fastfit / tree_baseline
+    );
+    c.json_note("tree_baseline_fits_per_sec", format!("{tree_baseline:.2}"));
+    c.json_note("tree_fastfit_fits_per_sec", format!("{tree_fastfit:.2}"));
+    c.json_note(
+        "tree_speedup",
+        format!("{:.2}", tree_fastfit / tree_baseline),
+    );
+
+    c.throughput(Throughput::Elements(train.len() as u64));
+    c.bench_function("fit_reference_bagged_forest", |b| {
+        b.iter(|| params.fit_reference(train, 7).expect("reference fit"))
+    });
+    c.throughput(Throughput::Elements(train.len() as u64));
+    c.bench_function("fit_bagged_forest", |b| {
+        b.iter(|| params.fit(train, 7).expect("fast fit"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = {
+        let samples = if quick_mode() { 5 } else { 10 };
+        Criterion::default()
+            .sample_size(samples)
+            .with_json_report(JSON_REPORT)
+    };
+    targets = bench_fit
+}
+criterion_main!(benches);

@@ -92,11 +92,7 @@ impl RejectionCurve {
         self.points
             .iter()
             .filter(|p| p.known_rejected_pct <= max_known_rejection_pct)
-            .min_by(|a, b| {
-                a.threshold
-                    .partial_cmp(&b.threshold)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .min_by(|a, b| a.threshold.total_cmp(&b.threshold))
             .copied()
     }
 

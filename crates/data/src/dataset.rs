@@ -1,3 +1,4 @@
+use crate::matrix::{ColumnarView, PresortedView};
 use crate::{DataError, Label, Matrix};
 use serde::{Deserialize, Serialize};
 
@@ -163,6 +164,22 @@ impl Dataset {
     /// The feature matrix.
     pub fn features(&self) -> &Matrix {
         &self.features
+    }
+
+    /// Column-major view of the feature matrix, built lazily and cached (see
+    /// [`Matrix::columnar`]). The fast-fit training engine reads features
+    /// through this view, so every zero-copy bootstrap replicate of this
+    /// dataset shares one transposed copy.
+    pub fn columnar(&self) -> ColumnarView<'_> {
+        self.features.columnar()
+    }
+
+    /// Per-feature sorted row orders of the feature matrix, built lazily and
+    /// cached (see [`Matrix::presorted_rows`]). The fast-fit training engine
+    /// derives every tree's — and every bootstrap replicate's — presorted
+    /// index arrays from this single shared sort.
+    pub fn presorted_rows(&self) -> PresortedView<'_> {
+        self.features.presorted_rows()
     }
 
     /// The label vector.

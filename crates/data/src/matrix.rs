@@ -3,6 +3,7 @@ use hmd_codec::{CodecError, Json, JsonCodec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
+use std::sync::OnceLock;
 
 /// Dense row-major matrix of `f64` values.
 ///
@@ -23,11 +24,102 @@ use std::ops::{Index, IndexMut};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+    /// Lazily built column-major copy of `data`, serving the fast-fit
+    /// training engine. Derived state: built on first [`Matrix::columnar`]
+    /// call, reset by clone and by mutable row access, never persisted and
+    /// ignored by equality.
+    columns: DerivedCache<Vec<f64>>,
+    /// Lazily built per-column `total_cmp`-sorted row orders (see
+    /// [`Matrix::presorted_rows`]). Same derived-state rules as `columns`.
+    sort_orders: DerivedCache<Vec<u32>>,
+}
+
+/// Cache cell for state derived from a [`Matrix`]'s data.
+///
+/// Cloning yields a fresh empty cache (derived state is cheap to rebuild
+/// relative to carrying extra full-size copies of the data around), and the
+/// cell is ignored by `PartialEq` on [`Matrix`].
+#[derive(Debug)]
+struct DerivedCache<T>(OnceLock<T>);
+
+impl<T> DerivedCache<T> {
+    fn invalidate(&mut self) {
+        self.0.take();
+    }
+}
+
+impl<T> Default for DerivedCache<T> {
+    fn default() -> DerivedCache<T> {
+        DerivedCache(OnceLock::new())
+    }
+}
+
+impl<T> Clone for DerivedCache<T> {
+    fn clone(&self) -> DerivedCache<T> {
+        DerivedCache::default()
+    }
+}
+
+/// Borrowed column-major view of a [`Matrix`] (see [`Matrix::columnar`]).
+///
+/// Column `c` is a contiguous `&[f64]` of length [`Matrix::rows`], so sweeps
+/// over one feature touch consecutive bytes instead of striding across rows.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnarView<'a> {
+    data: &'a [f64],
+    rows: usize,
+}
+
+impl<'a> ColumnarView<'a> {
+    /// Column `c` as a contiguous slice, indexed by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    #[inline]
+    pub fn col(&self, c: usize) -> &'a [f64] {
+        &self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Number of rows in each column.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+/// Borrowed per-column sorted row orders of a [`Matrix`] (see
+/// [`Matrix::presorted_rows`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PresortedView<'a> {
+    data: &'a [u32],
+    rows: usize,
+}
+
+impl<'a> PresortedView<'a> {
+    /// Row indices of column `c`, ordered so the column's values ascend in
+    /// `f64::total_cmp` order with ties broken by ascending row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    #[inline]
+    pub fn order(&self, c: usize) -> &'a [u32] {
+        &self.data[c * self.rows..(c + 1) * self.rows]
+    }
+}
+
+/// Maps an `f64` to a `u64` whose unsigned order equals `f64::total_cmp`
+/// order (the standard sign-flip trick), so sort keys compare branchlessly.
+#[inline]
+fn total_cmp_key(v: f64) -> u64 {
+    let bits = v.to_bits();
+    bits ^ ((((bits as i64) >> 63) as u64) | 0x8000_0000_0000_0000)
 }
 
 impl Matrix {
@@ -37,6 +129,8 @@ impl Matrix {
             rows,
             cols,
             data: vec![0.0; rows * cols],
+            columns: DerivedCache::default(),
+            sort_orders: DerivedCache::default(),
         }
     }
 
@@ -46,6 +140,8 @@ impl Matrix {
             rows,
             cols,
             data: vec![value; rows * cols],
+            columns: DerivedCache::default(),
+            sort_orders: DerivedCache::default(),
         }
     }
 
@@ -62,7 +158,13 @@ impl Matrix {
                 found: data.len(),
             });
         }
-        Ok(Matrix { rows, cols, data })
+        Ok(Matrix {
+            rows,
+            cols,
+            data,
+            columns: DerivedCache::default(),
+            sort_orders: DerivedCache::default(),
+        })
     }
 
     /// Builds a matrix from a slice of equally sized rows.
@@ -93,6 +195,8 @@ impl Matrix {
             rows: rows.len(),
             cols,
             data,
+            columns: DerivedCache::default(),
+            sort_orders: DerivedCache::default(),
         })
     }
 
@@ -139,6 +243,8 @@ impl Matrix {
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
         assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        self.columns.invalidate();
+        self.sort_orders.invalidate();
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -162,6 +268,75 @@ impl Matrix {
     #[inline]
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
         self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Column-major view of the matrix, built lazily on first use and cached.
+    ///
+    /// The cache is derived state — rebuilt on demand after cloning or
+    /// mutation, never persisted — and is shared by every borrower of the
+    /// matrix, which is what lets zero-copy bootstrap replicates of one
+    /// training set reuse a single transposed copy. Building it costs one
+    /// pass over the data; every later call is a pointer read.
+    pub fn columnar(&self) -> ColumnarView<'_> {
+        let data = self.columns.0.get_or_init(|| {
+            let mut buf = vec![0.0; self.data.len()];
+            for (r, row) in self.iter_rows().enumerate() {
+                for (c, &v) in row.iter().enumerate() {
+                    buf[c * self.rows + r] = v;
+                }
+            }
+            buf
+        });
+        ColumnarView {
+            data,
+            rows: self.rows,
+        }
+    }
+
+    /// Per-column row orders sorted by `f64::total_cmp` (ties broken by
+    /// ascending row index), built lazily on first use and cached.
+    ///
+    /// This is the presort behind the fast-fit training engine: every tree
+    /// grown on this matrix — including every zero-copy bootstrap replicate —
+    /// derives its per-feature sorted index arrays from this one shared sort
+    /// with a linear gather, so the `O(rows log rows)` sorting cost is paid
+    /// once per column per matrix, not once per candidate feature per tree
+    /// node. Derived state like [`Matrix::columnar`]: rebuilt on demand
+    /// after cloning or mutation, never persisted, ignored by equality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has more than `u32::MAX` rows (the orders are
+    /// stored as `u32` indices).
+    pub fn presorted_rows(&self) -> PresortedView<'_> {
+        let data = self.sort_orders.0.get_or_init(|| {
+            assert!(
+                u32::try_from(self.rows).is_ok(),
+                "presorted row orders require at most u32::MAX rows"
+            );
+            let cols = self.columnar();
+            let mut orders = Vec::with_capacity(self.data.len());
+            // (total_cmp key, row) pairs sort with plain integer compares;
+            // the row component makes the unstable sort deterministic and
+            // reproduces stable-sort tie order.
+            let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(self.rows);
+            for c in 0..self.cols {
+                keyed.clear();
+                keyed.extend(
+                    cols.col(c)
+                        .iter()
+                        .enumerate()
+                        .map(|(r, &v)| (total_cmp_key(v), r as u32)),
+                );
+                keyed.sort_unstable();
+                orders.extend(keyed.iter().map(|&(_, r)| r));
+            }
+            orders
+        });
+        PresortedView {
+            data,
+            rows: self.rows,
+        }
     }
 
     /// Flat row-major view of the underlying buffer.
@@ -190,6 +365,8 @@ impl Matrix {
             rows: indices.len(),
             cols: self.cols,
             data,
+            columns: DerivedCache::default(),
+            sort_orders: DerivedCache::default(),
         }
     }
 
@@ -215,6 +392,8 @@ impl Matrix {
             rows: self.rows,
             cols: indices.len(),
             data,
+            columns: DerivedCache::default(),
+            sort_orders: DerivedCache::default(),
         }
     }
 
@@ -355,7 +534,17 @@ impl Matrix {
             rows: self.rows + other.rows,
             cols: self.cols,
             data,
+            columns: DerivedCache::default(),
+            sort_orders: DerivedCache::default(),
         })
+    }
+}
+
+impl PartialEq for Matrix {
+    /// Shape and element equality; the lazily built column cache is derived
+    /// state and deliberately ignored.
+    fn eq(&self, other: &Matrix) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
     }
 }
 
@@ -396,6 +585,8 @@ impl IndexMut<(usize, usize)> for Matrix {
             r < self.rows && c < self.cols,
             "index ({r}, {c}) out of bounds"
         );
+        self.columns.invalidate();
+        self.sort_orders.invalidate();
         &mut self.data[r * self.cols + c]
     }
 }
@@ -514,5 +705,85 @@ mod tests {
     fn display_is_not_empty() {
         let text = sample().to_string();
         assert!(text.contains("Matrix 2x3"));
+    }
+
+    #[test]
+    fn columnar_view_matches_column_copies() {
+        let m = sample();
+        let view = m.columnar();
+        assert_eq!(view.rows(), 2);
+        for c in 0..m.cols() {
+            assert_eq!(view.col(c), m.column(c).as_slice());
+        }
+        // A second call serves the cached buffer and agrees with the first.
+        let again = m.columnar();
+        assert_eq!(again.col(0), view.col(0));
+    }
+
+    #[test]
+    fn columnar_cache_is_invalidated_by_mutation() {
+        let mut m = sample();
+        assert_eq!(m.columnar().col(0), &[1.0, 4.0]);
+        m.row_mut(0)[0] = 9.0;
+        assert_eq!(m.columnar().col(0), &[9.0, 4.0]);
+        m[(1, 0)] = -3.0;
+        assert_eq!(m.columnar().col(0), &[9.0, -3.0]);
+    }
+
+    #[test]
+    fn columnar_cache_is_ignored_by_equality_and_reset_by_clone() {
+        let a = sample();
+        let b = sample();
+        let _ = a.columnar();
+        assert_eq!(a, b, "cache state must not affect equality");
+        let c = a.clone();
+        assert_eq!(c.columnar().col(2), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn presorted_rows_sort_each_column_with_stable_ties() {
+        let m = Matrix::from_rows(&[
+            vec![3.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+            vec![1.0, 0.0],
+        ])
+        .unwrap();
+        let view = m.presorted_rows();
+        // Column 0: values [3,1,2,1] -> rows 1 and 3 tie at 1.0, ascending
+        // row order breaks the tie.
+        assert_eq!(view.order(0), &[1, 3, 2, 0]);
+        // Column 1: three-way tie at 1.0 keeps ascending rows.
+        assert_eq!(view.order(1), &[3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn presorted_rows_order_special_values_like_total_cmp() {
+        let m = Matrix::from_rows(&[
+            vec![0.0],
+            vec![f64::NEG_INFINITY],
+            vec![-0.0],
+            vec![f64::INFINITY],
+            vec![-1.5],
+        ])
+        .unwrap();
+        // total_cmp: -inf < -1.5 < -0.0 < +0.0 < +inf.
+        assert_eq!(m.presorted_rows().order(0), &[1, 4, 2, 0, 3]);
+    }
+
+    #[test]
+    fn presorted_rows_cache_is_invalidated_by_mutation() {
+        let mut m = Matrix::from_rows(&[vec![2.0], vec![1.0]]).unwrap();
+        assert_eq!(m.presorted_rows().order(0), &[1, 0]);
+        m.row_mut(1)[0] = 5.0;
+        assert_eq!(m.presorted_rows().order(0), &[0, 1]);
+    }
+
+    #[test]
+    fn columnar_view_handles_degenerate_shapes() {
+        let empty = Matrix::zeros(0, 4);
+        assert_eq!(empty.columnar().col(3), &[] as &[f64]);
+        let single = Matrix::from_rows(&[vec![7.0]]).unwrap();
+        assert_eq!(single.columnar().col(0), &[7.0]);
     }
 }

@@ -190,15 +190,22 @@ pub fn split_by_apps<R: Rng>(
 /// Draws a bootstrap replicate (sampling with replacement, same size as the
 /// input) and also reports the out-of-bag indices.
 pub fn bootstrap_indices<R: Rng>(len: usize, rng: &mut R) -> (Vec<usize>, Vec<usize>) {
+    // Delegating the draw makes the identical-RNG-consumption guarantee of
+    // `bootstrap_draw` hold by construction, not by test.
+    let indices = bootstrap_draw(len, rng);
     let mut chosen = vec![false; len];
-    let mut indices = Vec::with_capacity(len);
-    for _ in 0..len {
-        let i = rng.gen_range(0..len);
+    for &i in &indices {
         chosen[i] = true;
-        indices.push(i);
     }
     let oob = (0..len).filter(|&i| !chosen[i]).collect();
     (indices, oob)
+}
+
+/// Draws the same bootstrap replicate as [`bootstrap_indices`] — identical
+/// RNG consumption, identical indices — without the out-of-bag bookkeeping.
+/// Training hot paths that never look at the out-of-bag set use this.
+pub fn bootstrap_draw<R: Rng>(len: usize, rng: &mut R) -> Vec<usize> {
+    (0..len).map(|_| rng.gen_range(0..len)).collect()
 }
 
 fn validate_fraction(test_fraction: f64) -> Result<(), DataError> {
@@ -313,6 +320,17 @@ mod tests {
         // Expected OOB fraction is (1 - 1/n)^n -> 1/e ~ 0.368.
         let frac = oob.len() as f64 / 1000.0;
         assert!((frac - 0.368).abs() < 0.05, "oob fraction {frac}");
+    }
+
+    #[test]
+    fn bootstrap_draw_matches_bootstrap_indices() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let (indices, _) = bootstrap_indices(50, &mut a);
+        let draw = bootstrap_draw(50, &mut b);
+        assert_eq!(indices, draw);
+        // Identical RNG consumption: the streams stay in lockstep after.
+        assert_eq!(bootstrap_draw(7, &mut a), bootstrap_draw(7, &mut b));
     }
 
     #[test]

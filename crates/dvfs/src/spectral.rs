@@ -55,7 +55,7 @@ pub fn dominant_frequency_bin(signal: &[f64], num_bins: usize) -> usize {
     magnitudes
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i + 1)
         .unwrap_or(0)
 }
@@ -77,7 +77,7 @@ mod tests {
         let peak_bin = mags
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(peak_bin + 1, 5);

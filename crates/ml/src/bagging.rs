@@ -10,7 +10,7 @@
 use crate::flat::{compile_groups, FlatForest};
 use crate::{Classifier, Estimator, MlError};
 use hmd_codec::{CodecError, Json, JsonCodec};
-use hmd_data::split::bootstrap_indices;
+use hmd_data::split::{bootstrap_draw, bootstrap_indices};
 use hmd_data::{Dataset, Label, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,13 +85,54 @@ impl<E: Estimator> BaggingParams<E> {
     /// Fits the ensemble on the training dataset.
     ///
     /// Base classifiers are trained in parallel with decorrelated seeds
-    /// derived from `seed`.
+    /// derived from `seed`. Bootstrap replicates are **zero-copy views**:
+    /// each draw stays an index array handed to
+    /// [`Estimator::fit_resampled`], so tree-based bases share the parent
+    /// dataset's columnar feature cache instead of copying the data per
+    /// replicate. The trained ensemble is bit-identical to the retained
+    /// copy-based path ([`BaggingParams::fit_reference`]).
     ///
     /// # Errors
     ///
     /// Returns configuration errors from [`BaggingParams::validate`] and
     /// propagates the first base-training failure.
     pub fn fit(&self, dataset: &Dataset, seed: u64) -> Result<BaggingEnsemble<E::Model>, MlError> {
+        self.validate()?;
+        let mut seeder = StdRng::seed_from_u64(seed);
+        let seeds: Vec<u64> = (0..self.num_estimators).map(|_| seeder.gen()).collect();
+        let replicate_len = ((dataset.len() as f64) * self.sample_fraction)
+            .round()
+            .max(1.0) as usize;
+        let models: Result<Vec<E::Model>, MlError> = seeds
+            .par_iter()
+            .map(|&estimator_seed| {
+                let mut rng = StdRng::seed_from_u64(estimator_seed);
+                if self.bootstrap {
+                    let mut indices = bootstrap_draw(dataset.len(), &mut rng);
+                    indices.truncate(replicate_len);
+                    self.base.fit_resampled(dataset, &indices, estimator_seed)
+                } else {
+                    self.base.fit(dataset, estimator_seed)
+                }
+            })
+            .collect();
+        Ok(BaggingEnsemble::from_estimators(models?, self.base.name()))
+    }
+
+    /// The pre-optimisation training path: materialises every bootstrap
+    /// replicate with [`Dataset::select`] and trains the bases through
+    /// [`Estimator::fit_reference`]. Retained for the equivalence suite and
+    /// the `fit_throughput` bench; everything else should call
+    /// [`BaggingParams::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BaggingParams::fit`].
+    pub fn fit_reference(
+        &self,
+        dataset: &Dataset,
+        seed: u64,
+    ) -> Result<BaggingEnsemble<E::Model>, MlError> {
         self.validate()?;
         let mut seeder = StdRng::seed_from_u64(seed);
         let seeds: Vec<u64> = (0..self.num_estimators).map(|_| seeder.gen()).collect();
@@ -109,7 +150,7 @@ impl<E: Estimator> BaggingParams<E> {
                 } else {
                     dataset.clone()
                 };
-                self.base.fit(&training, estimator_seed)
+                self.base.fit_reference(&training, estimator_seed)
             })
             .collect();
         Ok(BaggingEnsemble::from_estimators(models?, self.base.name()))

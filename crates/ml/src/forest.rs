@@ -5,11 +5,12 @@
 //! [`RandomForest`] is also usable stand-alone as the "Untrusted HMD"
 //! black-box detector.
 
+use crate::fastfit::View;
 use crate::flat::{compile_groups, FlatForest, FlatForestBuilder};
 use crate::tree::{DecisionTree, DecisionTreeParams, MaxFeatures};
 use crate::{Classifier, Estimator, MlError, ModelTag};
 use hmd_codec::{CodecError, Json, JsonCodec};
-use hmd_data::split::bootstrap_indices;
+use hmd_data::split::{bootstrap_draw, bootstrap_indices};
 use hmd_data::{Dataset, Label};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -89,6 +90,19 @@ impl Estimator for RandomForestParams {
         RandomForest::fit(dataset, self, seed)
     }
 
+    fn fit_resampled(
+        &self,
+        dataset: &Dataset,
+        rows: &[usize],
+        seed: u64,
+    ) -> Result<RandomForest, MlError> {
+        RandomForest::fit_rows(dataset, Some(rows), self, seed)
+    }
+
+    fn fit_reference(&self, dataset: &Dataset, seed: u64) -> Result<RandomForest, MlError> {
+        RandomForest::fit_reference(dataset, self, seed)
+    }
+
     fn name(&self) -> &'static str {
         "random-forest"
     }
@@ -111,11 +125,81 @@ pub struct RandomForest {
 impl RandomForest {
     /// Fits a forest on the dataset.
     ///
+    /// Every tree trains on the presorted columnar engine through a
+    /// **zero-copy bootstrap view**: the bootstrap draw is kept as a row
+    /// index array into `dataset` and all replicates share the dataset's
+    /// lazily built column-major feature cache — nothing is materialised.
+    /// The grown forest is bit-identical to the retained copy-based
+    /// reference path ([`RandomForest::fit_reference`]).
+    ///
     /// # Errors
     ///
     /// Returns [`MlError::InvalidHyperparameter`] when `num_trees == 0` or the
     /// tree parameters are invalid, and propagates tree-training failures.
     pub fn fit(
+        dataset: &Dataset,
+        params: &RandomForestParams,
+        seed: u64,
+    ) -> Result<RandomForest, MlError> {
+        RandomForest::fit_rows(dataset, None, params, seed)
+    }
+
+    /// Fits a forest on a zero-copy view of `dataset` (training row `i` is
+    /// dataset row `rows[i]`, repeats allowed). Per-tree bootstrap draws are
+    /// composed with `rows`, so even bagged forests never materialise a
+    /// replicate. Produces exactly the forest
+    /// `fit(&dataset.select(rows), ..)` would.
+    pub(crate) fn fit_rows(
+        dataset: &Dataset,
+        rows: Option<&[usize]>,
+        params: &RandomForestParams,
+        seed: u64,
+    ) -> Result<RandomForest, MlError> {
+        if params.num_trees == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "num_trees",
+                message: "a forest needs at least one tree".into(),
+            });
+        }
+        let mut seeder = StdRng::seed_from_u64(seed);
+        let tree_seeds: Vec<u64> = (0..params.num_trees).map(|_| seeder.gen()).collect();
+        let len = rows.map_or(dataset.len(), <[usize]>::len);
+        let trees: Result<Vec<DecisionTree>, MlError> = tree_seeds
+            .par_iter()
+            .map(|&tree_seed| {
+                let mut rng = StdRng::seed_from_u64(tree_seed);
+                if params.bootstrap {
+                    // The draw composes symbolically with the outer view, so
+                    // the tree's samples index the shared parent dataset
+                    // without materialising either level.
+                    let draw = bootstrap_draw(len, &mut rng);
+                    let view = match rows {
+                        Some(outer) => View::Composed { outer, draw: &draw },
+                        None => View::Rows(&draw),
+                    };
+                    DecisionTree::fit_view(dataset, view, &params.tree, tree_seed)
+                } else {
+                    let view = match rows {
+                        Some(outer) => View::Rows(outer),
+                        None => View::Full,
+                    };
+                    DecisionTree::fit_view(dataset, view, &params.tree, tree_seed)
+                }
+            })
+            .collect();
+        Ok(RandomForest::from_trees(trees?))
+    }
+
+    /// The pre-optimisation training path: materialises every bootstrap
+    /// replicate with [`Dataset::select`] and grows trees with the
+    /// per-node-sorting reference fitter. Retained for the equivalence suite
+    /// and the `fit_throughput` bench; everything else should call
+    /// [`RandomForest::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RandomForest::fit`].
+    pub fn fit_reference(
         dataset: &Dataset,
         params: &RandomForestParams,
         seed: u64,
@@ -138,7 +222,7 @@ impl RandomForest {
                 } else {
                     dataset.clone()
                 };
-                DecisionTree::fit(&training, &params.tree, tree_seed)
+                DecisionTree::fit_reference(&training, &params.tree, tree_seed)
             })
             .collect();
         Ok(RandomForest::from_trees(trees?))

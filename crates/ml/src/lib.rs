@@ -17,6 +17,12 @@
 //!   into cache-packed struct-of-arrays node storage ([`flat::FlatTree`],
 //!   [`flat::FlatForest`]) that every batch hot path serves from, with
 //!   bit-identical predictions to the nested training-time structures.
+//! * [`fastfit`] — the presorted columnar training engine behind
+//!   [`tree::DecisionTree::fit`]: each feature is sorted once per tree, the
+//!   sorted index arrays are partitioned down the tree, features are read
+//!   through the dataset's lazy column-major cache, and bootstrap replicates
+//!   train as zero-copy row views — with trees bit-identical to the retained
+//!   per-node-sorting reference fitter.
 //! * [`metrics`] — accuracy, precision, recall, F1, ROC-AUC, confusion matrix.
 //! * [`pca::Pca`] — principal component analysis via a Jacobi eigensolver.
 //! * [`tsne::Tsne`] — exact t-SNE for the latent-space visualisations (Fig. 8).
@@ -46,6 +52,7 @@
 
 pub mod bagging;
 mod error;
+pub mod fastfit;
 pub mod flat;
 pub mod forest;
 pub mod linalg;

@@ -130,11 +130,7 @@ pub fn jacobi_eigen(matrix: &Matrix, max_sweeps: usize) -> Result<SymmetricEigen
     }
 
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| {
-        a[(j, j)]
-            .partial_cmp(&a[(i, i)])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&i, &j| a[(j, j)].total_cmp(&a[(i, i)]));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
     let mut eigenvectors = Matrix::zeros(n, n);
     for (new_col, &old_col) in order.iter().enumerate() {

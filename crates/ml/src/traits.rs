@@ -140,6 +140,38 @@ pub trait Estimator: Send + Sync + Clone {
     /// training data cannot be learned from (e.g. empty dataset).
     fn fit(&self, dataset: &Dataset, seed: u64) -> Result<Self::Model, MlError>;
 
+    /// Fits on a resampled view of `dataset`: training row `i` is dataset
+    /// row `rows[i]`, repeats allowed — the shape bootstrap resampling
+    /// draws. Produces exactly the model `fit(&dataset.select(rows), seed)`
+    /// would (the default does just that); tree-based learners override it
+    /// with a zero-copy row view that shares the parent's columnar feature
+    /// cache, so replicates cost index arrays instead of dataset copies.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::fit`].
+    fn fit_resampled(
+        &self,
+        dataset: &Dataset,
+        rows: &[usize],
+        seed: u64,
+    ) -> Result<Self::Model, MlError> {
+        self.fit(&dataset.select(rows), seed)
+    }
+
+    /// The pre-optimisation training path, retained so the equivalence suite
+    /// and the `fit_throughput` bench can compare against it. Tree-based
+    /// learners override this with the per-node-sorting fitter and
+    /// materialised bootstrap copies; learners with a single training path
+    /// default to [`Estimator::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::fit`].
+    fn fit_reference(&self, dataset: &Dataset, seed: u64) -> Result<Self::Model, MlError> {
+        self.fit(dataset, seed)
+    }
+
     /// Short human-readable name of the learner (used in reports and figures).
     fn name(&self) -> &'static str;
 }

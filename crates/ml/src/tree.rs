@@ -25,7 +25,7 @@ pub enum MaxFeatures {
 }
 
 impl MaxFeatures {
-    fn resolve(self, num_features: usize) -> usize {
+    pub(crate) fn resolve(self, num_features: usize) -> usize {
         match self {
             MaxFeatures::All => num_features,
             MaxFeatures::Sqrt => (num_features as f64).sqrt().ceil() as usize,
@@ -164,6 +164,19 @@ impl Estimator for DecisionTreeParams {
         DecisionTree::fit(dataset, self, seed)
     }
 
+    fn fit_resampled(
+        &self,
+        dataset: &Dataset,
+        rows: &[usize],
+        seed: u64,
+    ) -> Result<DecisionTree, MlError> {
+        DecisionTree::fit_view(dataset, crate::fastfit::View::Rows(rows), self, seed)
+    }
+
+    fn fit_reference(&self, dataset: &Dataset, seed: u64) -> Result<DecisionTree, MlError> {
+        DecisionTree::fit_reference(dataset, self, seed)
+    }
+
     fn name(&self) -> &'static str {
         "decision-tree"
     }
@@ -217,11 +230,60 @@ struct TreeBuilder<'a> {
 impl DecisionTree {
     /// Fits a tree on the dataset with the given parameters.
     ///
+    /// Training runs on the presorted columnar engine ([`crate::fastfit`]):
+    /// each feature is sorted once per tree and the sorted index arrays are
+    /// partitioned down the tree, with feature values read through the
+    /// dataset's lazily built column-major cache. The grown tree is
+    /// bit-identical — structure, thresholds, leaf fractions — to the
+    /// retained per-node-sorting reference fitter
+    /// ([`DecisionTree::fit_reference`]), which `tests/fit_equivalence.rs`
+    /// enforces.
+    ///
     /// # Errors
     ///
     /// Returns [`MlError::InvalidHyperparameter`] for invalid parameters and
     /// [`MlError::TrainingFailed`] when the dataset is unusable.
     pub fn fit(
+        dataset: &Dataset,
+        params: &DecisionTreeParams,
+        seed: u64,
+    ) -> Result<DecisionTree, MlError> {
+        DecisionTree::fit_view(dataset, crate::fastfit::View::Full, params, seed)
+    }
+
+    /// Fits a tree on a zero-copy view of `dataset` (see
+    /// [`crate::fastfit::View`]): bootstrap replicates — even replicates of
+    /// replicates, the bagged-forest shape — train without materialising a
+    /// copy. Produces exactly the tree fitting on the selected rows would.
+    pub(crate) fn fit_view(
+        dataset: &Dataset,
+        view: crate::fastfit::View<'_>,
+        params: &DecisionTreeParams,
+        seed: u64,
+    ) -> Result<DecisionTree, MlError> {
+        params.validate()?;
+        if view.len(dataset.len()) == 0 {
+            return Err(MlError::TrainingFailed {
+                message: "cannot fit a tree on an empty dataset".into(),
+            });
+        }
+        Ok(DecisionTree {
+            nodes: crate::fastfit::grow_tree(dataset, view, params, seed),
+            num_features: dataset.num_features(),
+        })
+    }
+
+    /// The pre-optimisation recursive fitter: sorts the node's samples for
+    /// every candidate feature at every node, reading features row-major.
+    ///
+    /// Retained as the reference path the presorted columnar engine is
+    /// proven against (`tests/fit_equivalence.rs`) and benchmarked against
+    /// (`fit_throughput`); everything else should call [`DecisionTree::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DecisionTree::fit`].
+    pub fn fit_reference(
         dataset: &Dataset,
         params: &DecisionTreeParams,
         seed: u64,
@@ -495,23 +557,30 @@ impl<'a> TreeBuilder<'a> {
         let mut best: Option<SplitCandidate> = None;
         for &feature in &feature_pool {
             // Sort the node's samples by this feature and sweep all midpoints.
+            // total_cmp gives a NaN-safe total order; the stable sort breaks
+            // value ties by ascending sample position, which the presorted
+            // engine's partition scheme preserves identically.
             let mut order: Vec<usize> = indices.to_vec();
             order.sort_by(|&a, &b| {
                 let va = self.dataset.features().row(a)[feature];
                 let vb = self.dataset.features().row(b)[feature];
-                va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+                va.total_cmp(&vb)
             });
 
             let mut left_count = 0usize;
             let mut left_malware = 0usize;
+            // Each value is read once and carried to the next step as the
+            // run predecessor instead of being fetched twice per sweep step.
+            let mut carried = self.dataset.features().row(order[0])[feature];
             for w in 0..total - 1 {
                 let i = order[w];
                 left_count += 1;
                 if labels[i].is_malware() {
                     left_malware += 1;
                 }
-                let current = self.dataset.features().row(order[w])[feature];
+                let current = carried;
                 let next = self.dataset.features().row(order[w + 1])[feature];
+                carried = next;
                 if next <= current {
                     continue; // identical values cannot be separated here
                 }

@@ -44,6 +44,24 @@
 //! samples/s at batch 1 and from ~2.4M to ~4.2M samples/s at batch 4096
 //! (single-core container; see `BENCH_detect_batch.json`).
 //!
+//! # The fast-fit training engine
+//!
+//! Training is presorted and columnar ([`ml::fastfit`]): every feature of a
+//! training matrix is sorted once per dataset into a cached per-column row
+//! order ([`data::Matrix::presorted_rows`], built next to the lazy
+//! column-major cache [`data::Matrix::columnar`] — derived state, never
+//! persisted), each tree derives its per-feature index arrays from that
+//! shared sort with a linear gather and partitions them down the tree, and
+//! bootstrap replicates train as **weighted zero-copy views** (unique rows +
+//! multiplicities) that share the parent's caches instead of materialising
+//! copies. The engine sits behind the unchanged `fit` signatures and grows
+//! trees **bit-identical** to the retained pre-optimisation fitters (the
+//! `fit_reference` paths), which `crates/ml/tests/fit_equivalence.rs`
+//! enforces. On the smoke 15-estimator bagged-forest pipeline this lifted
+//! training from ~91 to ~409 fits/s (4.5×, single-core container; see
+//! `BENCH_fit.json`); cross-validation folds also run in parallel over the
+//! same views.
+//!
 //! ```
 //! use hmd::core::detector::{load, save, DetectorBackend, DetectorConfig, MonitorSession};
 //! use hmd::prelude::*;
