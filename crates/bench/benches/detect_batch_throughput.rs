@@ -18,6 +18,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hmd_bench::pipelines::{detector_config, BaseModel};
 use hmd_bench::ExperimentScale;
+use hmd_core::detector::DetectorExt;
 use hmd_data::Matrix;
 use std::time::Instant;
 

@@ -1,0 +1,167 @@
+//! Throughput of the fleet serving layer vs the direct batch path.
+//!
+//! The serving question this answers: how much of the flat engine's
+//! batch-4096 throughput survives when requests arrive **one row at a
+//! time**? Direct `detect_batch` at batch 1 pays the whole per-call
+//! front-end and dispatch cost per sample (the ~50× single-row gap the
+//! fleet exists to close); the `DetectorFleet` micro-batches single-row
+//! `score()` calls into per-endpoint tiles that drain through the same
+//! batch hot path.
+//!
+//! Measures, on the trusted random-forest DVFS pipeline:
+//! * `direct_batch_{1,64,4096}` — `Detector::detect_batch` baselines;
+//! * `fleet_score1_tile{64,4096}` — single-row `score()` request
+//!   granularity with `max_batch` 64 / 4096 tiles.
+//!
+//! Machine-readable results land in `BENCH_serve.json` at the repository
+//! root, including the `direct_batch_4096 / best fleet score(1)` ratio the
+//! acceptance gate reads (fleet micro-batching must stay within 2× of the
+//! direct batch-4096 path). Set `HMD_BENCH_QUICK=1` for the CI smoke run.
+//!
+//! ```text
+//! cargo bench -p hmd_bench --bench serve_throughput
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hmd_bench::pipelines::{detector_config, BaseModel};
+use hmd_bench::ExperimentScale;
+use hmd_core::detector::DetectorExt;
+use hmd_data::Matrix;
+use hmd_serve::{DetectorFleet, FlushPolicy};
+use std::time::{Duration, Instant};
+
+/// Where the machine-readable results land: the repository root, committed
+/// alongside the code whose performance it documents.
+const JSON_REPORT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+
+fn quick_mode() -> bool {
+    std::env::var("HMD_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Builds a batch of the requested size by cycling the unknown set's rows.
+fn batch_of(source: &Matrix, size: usize) -> Matrix {
+    let rows: Vec<Vec<f64>> = (0..size)
+        .map(|i| source.row(i % source.rows()).to_vec())
+        .collect();
+    Matrix::from_rows(&rows).expect("uniform rows")
+}
+
+/// One full pass of single-row `score()` requests over `requests`, waiting
+/// every ticket; returns the reports' total decision count as a liveness
+/// check. The pass length is a multiple of the tile size, so every tile
+/// drains inline on its filling caller — the max-wait path never triggers.
+fn fleet_pass(fleet: &DetectorFleet, requests: &Matrix) -> usize {
+    let mut tickets = Vec::with_capacity(requests.rows());
+    for row in 0..requests.rows() {
+        tickets.push(fleet.score("hmd", requests.row(row)).expect("enqueue"));
+    }
+    tickets
+        .into_iter()
+        .map(|t| {
+            t.wait().expect("fleet scores");
+            1
+        })
+        .sum()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let scale = ExperimentScale::Smoke;
+    let split = scale
+        .dvfs_builder()
+        .build_split(2021)
+        .expect("DVFS corpus generation");
+    let detector = detector_config(BaseModel::RandomForest, scale.num_estimators(), false)
+        .fit(&split.train, 7)
+        .expect("RF pipeline trains");
+    let budget_ms = if quick_mode() { 60 } else { 300 };
+
+    c.json_note("bench", "serve_throughput");
+    c.json_note("pipeline", detector.name());
+    c.json_note("scale", scale.name());
+
+    println!("\nserve throughput — {}", detector.name());
+    let mut direct_per_sec = std::collections::HashMap::new();
+    for &size in &[1usize, 64, 4096] {
+        let batch = batch_of(split.unknown.features(), size);
+        let mut iterations = 0usize;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < budget_ms {
+            let reports = detector.detect_batch(&batch).expect("batch inference");
+            assert_eq!(reports.len(), size);
+            iterations += 1;
+        }
+        let per_sec = (iterations * size) as f64 / start.elapsed().as_secs_f64();
+        direct_per_sec.insert(size, per_sec);
+        println!("  direct batch {size:>5}:          {per_sec:>12.0} samples/sec");
+        c.json_note(
+            &format!("direct_batch_{size}_samples_per_sec"),
+            format!("{per_sec:.0}"),
+        );
+
+        c.throughput(Throughput::Elements(size as u64));
+        c.bench_function(&format!("direct_batch_{size}"), |b| {
+            b.iter(|| detector.detect_batch(&batch).expect("batch inference"))
+        });
+    }
+
+    // Fleet path: identical workload at single-row request granularity.
+    let requests = batch_of(split.unknown.features(), 4096);
+    let mut fleet_best_per_sec = 0.0f64;
+    for &tile in &[64usize, 4096] {
+        let fleet = DetectorFleet::with_policy(FlushPolicy::new(tile, Duration::from_secs(5)));
+        fleet.deploy(
+            "hmd",
+            detector_config(BaseModel::RandomForest, scale.num_estimators(), false)
+                .fit(&split.train, 7)
+                .expect("RF pipeline trains"),
+        );
+
+        let mut scored = 0usize;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < budget_ms {
+            scored += fleet_pass(&fleet, &requests);
+        }
+        let per_sec = scored as f64 / start.elapsed().as_secs_f64();
+        fleet_best_per_sec = fleet_best_per_sec.max(per_sec);
+        println!("  fleet score(1) tile {tile:>5}:  {per_sec:>12.0} samples/sec");
+        c.json_note(
+            &format!("fleet_score1_tile{tile}_samples_per_sec"),
+            format!("{per_sec:.0}"),
+        );
+
+        c.throughput(Throughput::Elements(requests.rows() as u64));
+        c.bench_function(&format!("fleet_score1_tile{tile}"), |b| {
+            b.iter(|| fleet_pass(&fleet, &requests))
+        });
+    }
+
+    // The acceptance gate: micro-batched single-row requests vs the direct
+    // batch-4096 hot path, at the fleet's best-performing tile size (the
+    // default 64-row tile stays cache-resident and wins; a 4096-row tile
+    // round-trips ~900 KB through memory per drain). The bar is ≤ 2×; the
+    // pre-flat-engine PR-1 gap at single-row granularity was ~25-50×.
+    let direct_4096 = direct_per_sec[&4096];
+    let ratio = direct_4096 / fleet_best_per_sec.max(1.0);
+    println!(
+        "  direct_4096 / best fleet score(1) = {ratio:.2}x (gate: <= 2x); \
+         direct_4096 / direct_1 = {:.1}x",
+        direct_4096 / direct_per_sec[&1].max(1.0)
+    );
+    c.json_note("direct4096_over_best_fleet_score1", format!("{ratio:.3}"));
+    c.json_note(
+        "direct4096_over_direct1",
+        format!("{:.3}", direct_4096 / direct_per_sec[&1].max(1.0)),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = {
+        let samples = if quick_mode() { 5 } else { 10 };
+        Criterion::default()
+            .sample_size(samples)
+            .with_json_report(JSON_REPORT)
+    };
+    targets = bench_serve
+}
+criterion_main!(benches);

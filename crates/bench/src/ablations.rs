@@ -12,7 +12,7 @@
 
 use crate::pipelines::{detector_config, logistic_params, BaseModel};
 use crate::scale::ExperimentScale;
-use hmd_core::detector::{DetectorBackend, DetectorConfig};
+use hmd_core::detector::{DetectorBackend, DetectorConfig, DetectorExt};
 use hmd_core::platt_baseline::{ConfidencePrediction, PlattConfidenceBaseline};
 use hmd_core::rejection::{threshold_grid, RejectionCurve};
 use hmd_data::scaler::StandardScaler;
@@ -115,11 +115,11 @@ pub fn platt_vs_entropy(scale: ExperimentScale, seed: u64) -> PlattAblation {
         .fit(&split.train, seed ^ 0x99)
         .expect("RF pipeline trains");
     let known_preds = hmd_core::detector::predictions(
-        hmd.detect_batch(split.test_known.features())
+        &hmd.detect_batch(split.test_known.features())
             .expect("known predictions"),
     );
     let unknown_preds = hmd_core::detector::predictions(
-        hmd.detect_batch(split.unknown.features())
+        &hmd.detect_batch(split.unknown.features())
             .expect("unknown predictions"),
     );
     let entropy_curve = RejectionCurve::sweep(

@@ -8,7 +8,7 @@
 //! [`Detector::detect_batch`] produces the predictions behind every figure.
 
 use crate::scale::ExperimentScale;
-use hmd_core::detector::{Detector, DetectorBackend, DetectorConfig};
+use hmd_core::detector::{Detector, DetectorBackend, DetectorConfig, DetectorExt};
 use hmd_core::estimator::UncertainPrediction;
 use hmd_data::split::KnownUnknownSplit;
 use hmd_ml::forest::RandomForestParams;
@@ -119,8 +119,8 @@ fn predictions(
     split: &KnownUnknownSplit,
 ) -> Result<(Vec<UncertainPrediction>, Vec<UncertainPrediction>), MlError> {
     Ok((
-        hmd_core::detector::predictions(detector.detect_batch(split.test_known.features())?),
-        hmd_core::detector::predictions(detector.detect_batch(split.unknown.features())?),
+        hmd_core::detector::predictions(&detector.detect_batch(split.test_known.features())?),
+        hmd_core::detector::predictions(&detector.detect_batch(split.unknown.features())?),
     ))
 }
 

@@ -7,9 +7,15 @@
 //! them behind one polymorphic contract so that serving code, benchmarks and
 //! examples are written once:
 //!
-//! * [`Detector`] — the object-safe inference trait. [`Detector::detect_batch`]
-//!   is the hot path (one front-end pass over the whole matrix, rows scored
-//!   in parallel); [`Detector::detect`] is the degenerate single-window case.
+//! * [`Detector`] — the object-safe inference trait. Its required hot path is
+//!   [`Detector::detect_rows`], which scores a borrowed
+//!   [`RowsView`](hmd_data::RowsView) — a whole matrix, any row range of one,
+//!   or a single borrowed signature — with zero input copies.
+//!   [`Detector::detect`] is the provided single-window case, routed through
+//!   a 1×d view of the caller's slice.
+//! * [`DetectorExt::detect_batch`] — the ergonomic batch entry point: a
+//!   blanket extension accepting `impl Into<RowsView>`, so existing
+//!   `detector.detect_batch(&matrix)` call sites keep working unchanged.
 //! * [`DetectorConfig`] — a serialisable description (kind × backend ×
 //!   ensemble size × PCA × threshold) compiled by [`DetectorConfig::fit`]
 //!   into a `Box<dyn Detector>`.
@@ -18,12 +24,13 @@
 //!   **bit-identical** reports.
 //! * [`MonitorSession`] — the online deployment loop: feed signatures one
 //!   window (or one batch) at a time, keep running accept/escalate/entropy
-//!   statistics.
+//!   statistics. (The `hmd_serve` fleet wraps the same loop behind named,
+//!   versioned, micro-batching endpoints.)
 //!
 //! # Example
 //!
 //! ```
-//! use hmd_core::detector::{load, save, DetectorBackend, DetectorConfig};
+//! use hmd_core::detector::{load, save, DetectorBackend, DetectorConfig, DetectorExt};
 //! use hmd_data::{Dataset, Label, Matrix};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,7 +63,7 @@ pub use session::{MonitorSession, MonitorStats};
 use crate::platt_baseline::PlattHmd;
 use crate::trusted::{DetectionReport, TrustedHmd, TrustedHmdBuilder, UntrustedHmd};
 use hmd_codec::{CodecError, Json, JsonCodec};
-use hmd_data::{Dataset, Matrix};
+use hmd_data::{Dataset, RowsView};
 use hmd_ml::forest::{RandomForest, RandomForestParams};
 use hmd_ml::logistic::{LogisticRegression, LogisticRegressionParams};
 use hmd_ml::svm::{LinearSvm, LinearSvmParams};
@@ -74,10 +81,12 @@ const VERSION: i64 = 1;
 ///
 /// The trait is object-safe; production code passes detectors around as
 /// `Box<dyn Detector>` and never mentions the concrete pipeline or base
-/// learner again. All built-in implementations are batch-first: the matrix
-/// path applies the preprocessing front end once and scores rows in
-/// parallel, so prefer [`Detector::detect_batch`] whenever more than one
-/// window is available.
+/// learner again. All built-in implementations are batch-first and
+/// **view-first**: [`Detector::detect_rows`] scores a borrowed
+/// [`RowsView`] — a whole matrix, any row range of one, or one borrowed
+/// signature — applying the preprocessing front end once and scoring rows in
+/// parallel. Prefer the batch path whenever more than one window is
+/// available; `&Matrix` callers go through [`DetectorExt::detect_batch`].
 pub trait Detector: Send + Sync {
     /// Human-readable description, e.g. `trusted[25x random-forest]`.
     fn name(&self) -> String;
@@ -86,20 +95,30 @@ pub trait Detector: Send + Sync {
     /// conventional pipeline never escalates and reports `f64::INFINITY`).
     fn entropy_threshold(&self) -> f64;
 
+    /// Scores a borrowed view of raw signature rows — the object-safe hot
+    /// path. One report per view row, in row order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the view's feature count does not match the
+    /// training data.
+    fn detect_rows(&self, batch: RowsView<'_>) -> Result<Vec<DetectionReport>, MlError>;
+
     /// Scores one raw (unscaled) signature.
+    ///
+    /// The default wraps the slice in a zero-copy 1×d [`RowsView`] and routes
+    /// it through [`Detector::detect_rows`], so single-row scoring shares the
+    /// batch path bit for bit and copies nothing on the way in.
     ///
     /// # Errors
     ///
     /// Returns an error when the feature vector has the wrong length.
-    fn detect(&self, features: &[f64]) -> Result<DetectionReport, MlError>;
-
-    /// Scores a whole matrix of raw signatures — the hot path.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when the batch's feature count does not match the
-    /// training data.
-    fn detect_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError>;
+    fn detect(&self, features: &[f64]) -> Result<DetectionReport, MlError> {
+        let mut reports = self.detect_rows(RowsView::single(features))?;
+        Ok(reports
+            .pop()
+            .expect("detect_rows returns one report per row"))
+    }
 
     /// Serialises the fitted pipeline as a tagged document, when this
     /// implementation supports persistence. Built-in detectors all do;
@@ -109,13 +128,37 @@ pub trait Detector: Send + Sync {
     }
 }
 
+/// Ergonomic batch entry points for every [`Detector`], including trait
+/// objects.
+///
+/// The core trait stays object-safe by taking the concrete [`RowsView`]
+/// type; this blanket extension restores the convenient generic signature,
+/// so `detector.detect_batch(&matrix)`, `detector.detect_batch(view)` and
+/// `detector.detect_batch(matrix.rows_view(a..b))` all work on `dyn
+/// Detector` without copies.
+pub trait DetectorExt: Detector {
+    /// Scores anything convertible to a borrowed row view — `&Matrix`, a
+    /// [`RowsView`], or a row range of a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the batch's feature count does not match the
+    /// training data.
+    fn detect_batch<'a>(
+        &self,
+        batch: impl Into<RowsView<'a>>,
+    ) -> Result<Vec<DetectionReport>, MlError> {
+        self.detect_rows(batch.into())
+    }
+}
+
+impl<D: Detector + ?Sized> DetectorExt for D {}
+
 /// Projects batch reports down to their uncertainty predictions — the shape
-/// the rejection-curve, F1 and entropy analyses consume.
-pub fn predictions(reports: Vec<DetectionReport>) -> Vec<crate::estimator::UncertainPrediction> {
-    reports
-        .into_iter()
-        .map(|report| report.prediction)
-        .collect()
+/// the rejection-curve, F1 and entropy analyses consume. Borrows the reports
+/// (they are `Copy`), so callers keep ownership of the full envelope.
+pub fn predictions(reports: &[DetectionReport]) -> Vec<crate::estimator::UncertainPrediction> {
+    reports.iter().map(|report| report.prediction).collect()
 }
 
 fn saved_document(kind: &str, backend: &str, model: Json) -> Json {
@@ -140,11 +183,7 @@ where
         self.policy().entropy_threshold
     }
 
-    fn detect(&self, features: &[f64]) -> Result<DetectionReport, MlError> {
-        TrustedHmd::detect(self, features)
-    }
-
-    fn detect_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
+    fn detect_rows(&self, batch: RowsView<'_>) -> Result<Vec<DetectionReport>, MlError> {
         TrustedHmd::detect_batch(self, batch)
     }
 
@@ -166,11 +205,7 @@ where
         f64::INFINITY
     }
 
-    fn detect(&self, features: &[f64]) -> Result<DetectionReport, MlError> {
-        self.report(features)
-    }
-
-    fn detect_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
+    fn detect_rows(&self, batch: RowsView<'_>) -> Result<Vec<DetectionReport>, MlError> {
         self.report_batch(batch)
     }
 
@@ -195,11 +230,7 @@ where
         PlattHmd::entropy_threshold(self)
     }
 
-    fn detect(&self, features: &[f64]) -> Result<DetectionReport, MlError> {
-        PlattHmd::detect(self, features)
-    }
-
-    fn detect_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
+    fn detect_rows(&self, batch: RowsView<'_>) -> Result<Vec<DetectionReport>, MlError> {
         PlattHmd::detect_batch(self, batch)
     }
 
@@ -209,7 +240,11 @@ where
 }
 
 /// Which pipeline family a [`DetectorConfig`] builds.
+///
+/// Marked `#[non_exhaustive]`: the serving layer is expected to grow pipeline
+/// families (sharded, cascaded, …) without breaking downstream matches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum DetectorKind {
     /// The paper's pipeline: bagging ensemble + entropy + rejection policy.
     Trusted,
@@ -239,7 +274,11 @@ impl DetectorKind {
 }
 
 /// The base learner (with its hyper-parameters) a [`DetectorConfig`] trains.
+///
+/// Marked `#[non_exhaustive]` so new base learners can be added without a
+/// breaking change; downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum DetectorBackend {
     /// CART decision trees.
     DecisionTree(DecisionTreeParams),
@@ -451,7 +490,12 @@ impl JsonCodec for DetectorConfig {
 }
 
 /// Errors of the persistence layer.
+///
+/// Marked `#[non_exhaustive]`: the fleet layer can introduce new failure
+/// modes (endpoint registry, version conflicts) without breaking downstream
+/// matches.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DetectorError {
     /// The detector implementation does not support persistence.
     Unsupported {

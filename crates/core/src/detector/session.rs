@@ -3,7 +3,7 @@
 
 use super::Detector;
 use crate::trusted::DetectionReport;
-use hmd_data::Matrix;
+use hmd_data::RowsView;
 use hmd_ml::MlError;
 
 /// Running statistics of a [`MonitorSession`].
@@ -42,7 +42,12 @@ impl Default for MonitorStats {
 }
 
 impl MonitorStats {
-    fn record(&mut self, report: &DetectionReport) {
+    /// Folds one detection outcome into the running statistics.
+    ///
+    /// Public so owners of detector state other than [`MonitorSession`] —
+    /// notably the serving fleet's per-endpoint monitors — can maintain the
+    /// same statistics without re-implementing the counting rules.
+    pub fn record(&mut self, report: &DetectionReport) {
         let entropy = report.prediction.entropy;
         if self.windows == 0 {
             self.max_entropy = entropy;
@@ -144,7 +149,9 @@ impl<'d> MonitorSession<'d> {
     }
 
     /// Feeds one signature through the detector and folds the outcome into
-    /// the running statistics.
+    /// the running statistics. The signature travels as a zero-copy 1×d
+    /// [`RowsView`] through the detector's batch path — no per-call matrix
+    /// or row copy is built on the way in.
     ///
     /// # Errors
     ///
@@ -156,15 +163,18 @@ impl<'d> MonitorSession<'d> {
         Ok(report)
     }
 
-    /// Feeds a whole batch of signatures through the detector's batch hot
-    /// path, recording every outcome.
+    /// Feeds a whole batch of signatures — any borrowed row view — through
+    /// the detector's batch hot path, recording every outcome.
     ///
     /// # Errors
     ///
     /// Returns an error when the batch's feature count does not match the
     /// training data; the statistics are unchanged in that case.
-    pub fn observe_batch(&mut self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
-        let reports = self.detector.detect_batch(batch)?;
+    pub fn observe_batch<'a>(
+        &mut self,
+        batch: impl Into<RowsView<'a>>,
+    ) -> Result<Vec<DetectionReport>, MlError> {
+        let reports = self.detector.detect_rows(batch.into())?;
         for report in &reports {
             self.stats.record(report);
         }
@@ -188,7 +198,7 @@ mod tests {
     use super::*;
     use crate::estimator::UncertainPrediction;
     use crate::trusted::Decision;
-    use hmd_data::Label;
+    use hmd_data::{Label, Matrix};
 
     /// A deterministic fake detector: entropy = first feature, escalates
     /// above 0.5.
@@ -222,7 +232,7 @@ mod tests {
             })
         }
 
-        fn detect_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
+        fn detect_rows(&self, batch: RowsView<'_>) -> Result<Vec<DetectionReport>, MlError> {
             batch.iter_rows().map(|row| self.detect(row)).collect()
         }
     }

@@ -1,7 +1,7 @@
 //! The ensemble-based uncertainty estimator (Section III of the paper).
 
 use crate::entropy::vote_entropy;
-use hmd_data::{Dataset, Label, Matrix};
+use hmd_data::{Dataset, Label};
 use hmd_ml::bagging::BaggingEnsemble;
 use hmd_ml::Classifier;
 use serde::{Deserialize, Serialize};
@@ -116,11 +116,14 @@ impl<M: Classifier> EnsembleUncertaintyEstimator<M> {
             .collect()
     }
 
-    /// Predicts every row of a feature matrix with uncertainty — the batch
-    /// hot path, served by the ensemble's compiled flat engine (with a
+    /// Predicts every row of a borrowed batch view with uncertainty — the
+    /// batch hot path, served by the ensemble's compiled flat engine (with a
     /// parallel nested fallback for non-tree base learners).
-    pub fn predict_batch(&self, features: &Matrix) -> Vec<UncertainPrediction> {
-        let votes = self.ensemble.malware_votes_batch(features);
+    pub fn predict_batch<'a>(
+        &self,
+        features: impl Into<hmd_data::RowsView<'a>>,
+    ) -> Vec<UncertainPrediction> {
+        let votes = self.ensemble.malware_votes_batch(features.into());
         self.map_vote_batch(votes, |prediction| prediction)
     }
 

@@ -14,8 +14,10 @@
 //! subsystem — one polymorphic, batch-first API that every deployable
 //! pipeline serves behind:
 //!
-//! * [`detector`] — the object-safe [`detector::Detector`] trait
-//!   (`detect` / parallel `detect_batch`), the serialisable
+//! * [`detector`] — the object-safe [`detector::Detector`] trait (view-first
+//!   `detect_rows` over borrowed [`hmd_data::RowsView`] batches, `detect` as
+//!   the provided single-window case, ergonomic
+//!   [`detector::DetectorExt::detect_batch`]), the serialisable
 //!   [`detector::DetectorConfig`] factory (pipeline kind × base learner),
 //!   model persistence ([`detector::save`] / [`detector::load`]) and the
 //!   [`detector::MonitorSession`] streaming API,
@@ -35,7 +37,7 @@
 //! # Example: config → fit → save → load → batch detect
 //!
 //! ```
-//! use hmd_core::detector::{load, save, DetectorBackend, DetectorConfig};
+//! use hmd_core::detector::{load, save, DetectorBackend, DetectorConfig, DetectorExt};
 //! use hmd_data::{Dataset, Label, Matrix};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -77,7 +79,9 @@ pub mod rejection;
 pub mod trusted;
 
 pub use analysis::EntropySummary;
-pub use detector::{Detector, DetectorBackend, DetectorConfig, DetectorKind, MonitorSession};
+pub use detector::{
+    Detector, DetectorBackend, DetectorConfig, DetectorExt, DetectorKind, MonitorSession,
+};
 pub use estimator::{EnsembleUncertaintyEstimator, UncertainPrediction};
 pub use platt_baseline::PlattHmd;
 pub use rejection::{F1Curve, RejectionCurve, RejectionPolicy};

@@ -16,7 +16,7 @@ use crate::trusted::{
 };
 use hmd_codec::{CodecError, Json, JsonCodec};
 use hmd_data::scaler::StandardScaler;
-use hmd_data::{Dataset, Label, Matrix};
+use hmd_data::{Dataset, Label};
 use hmd_ml::pca::Pca;
 use hmd_ml::{Classifier, MlError};
 use serde::{Deserialize, Serialize};
@@ -190,18 +190,25 @@ impl<M: Classifier> PlattHmd<M> {
         Ok(self.report_for_proba(self.model.predict_proba_one(&processed)))
     }
 
-    /// Runs a whole matrix of raw signatures through the pipeline: one front
-    /// end pass, one batch walk of the classifier (flat engine for tree
+    /// Runs a borrowed view of raw signature rows through the pipeline: one
+    /// front end pass, one batch walk of the classifier (flat engine for tree
     /// backends), then the confidence decision per row.
     ///
     /// # Errors
     ///
     /// Returns an error when the batch's feature count does not match the
     /// training data.
-    pub fn detect_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
-        single_model_reports(&self.scaler, &self.pca, &self.model, batch, |(_, proba)| {
-            self.report_for_proba(proba)
-        })
+    pub fn detect_batch<'a>(
+        &self,
+        batch: impl Into<hmd_data::RowsView<'a>>,
+    ) -> Result<Vec<DetectionReport>, MlError> {
+        single_model_reports(
+            &self.scaler,
+            &self.pca,
+            &self.model,
+            batch.into(),
+            |(_, proba)| self.report_for_proba(proba),
+        )
     }
 }
 
@@ -232,6 +239,7 @@ impl<M: Classifier + JsonCodec> JsonCodec for PlattHmd<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hmd_data::Matrix;
     use hmd_ml::logistic::LogisticRegressionParams;
     use hmd_ml::Estimator;
 

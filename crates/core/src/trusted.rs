@@ -12,7 +12,7 @@ use crate::platt_baseline::PlattHmd;
 use crate::rejection::RejectionPolicy;
 use hmd_codec::{CodecError, Json, JsonCodec};
 use hmd_data::scaler::StandardScaler;
-use hmd_data::{Dataset, Label, Matrix};
+use hmd_data::{Dataset, Label, Matrix, RowsView};
 use hmd_ml::bagging::BaggingParams;
 use hmd_ml::pca::Pca;
 use hmd_ml::{Classifier, Estimator, MlError};
@@ -175,12 +175,13 @@ impl<E: Estimator> TrustedHmdBuilder<E> {
     }
 }
 
-/// Applies a fitted front end (scaling, optional PCA) to a whole matrix of
-/// raw signatures at once — the entry point of every batch inference path.
-pub(crate) fn preprocess_matrix(
+/// Applies a fitted front end (scaling, optional PCA) to a borrowed view of
+/// raw signature rows at once — the entry point of every batch inference
+/// path. The input stays zero-copy: only the scaled output is materialised.
+pub(crate) fn preprocess_rows(
     scaler: &StandardScaler,
     pca: &Option<Pca>,
-    batch: &Matrix,
+    batch: RowsView<'_>,
 ) -> Result<Matrix, MlError> {
     let scaled = scaler.transform(batch)?;
     match pca {
@@ -243,16 +244,16 @@ pub(crate) fn single_model_reports<M, F>(
     scaler: &StandardScaler,
     pca: &Option<Pca>,
     model: &M,
-    batch: &Matrix,
+    batch: RowsView<'_>,
     report: F,
 ) -> Result<Vec<DetectionReport>, MlError>
 where
     M: Classifier,
     F: Fn((Label, f64)) -> DetectionReport,
 {
-    let processed = preprocess_matrix(scaler, pca, batch)?;
+    let processed = preprocess_rows(scaler, pca, batch)?;
     let mut scored = Vec::new();
-    model.predict_with_proba_batch(&processed, &mut scored);
+    model.predict_with_proba_batch(processed.view(), &mut scored);
     Ok(scored.into_iter().map(report).collect())
 }
 
@@ -326,10 +327,11 @@ impl<M: Classifier> TrustedHmd<M> {
         Ok(self.report_for_processed(&processed))
     }
 
-    /// Runs a whole matrix of raw signatures through the pipeline — the
+    /// Runs a borrowed view of raw signature rows — a whole matrix, any row
+    /// range of one, or a single-signature view — through the pipeline: the
     /// batch-first hot path.
     ///
-    /// The front end (scaling, optional PCA) is applied to the matrix in one
+    /// The front end (scaling, optional PCA) is applied to the view in one
     /// pass, then the ensemble's compiled flat engine scores all rows (tiled
     /// traversal, parallel across row blocks). Per-sample
     /// [`TrustedHmd::detect`] is the degenerate single-row case of this
@@ -339,8 +341,11 @@ impl<M: Classifier> TrustedHmd<M> {
     ///
     /// Returns an error when the batch's feature count does not match the
     /// training data.
-    pub fn detect_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
-        let processed = preprocess_matrix(&self.scaler, &self.pca, batch)?;
+    pub fn detect_batch<'a>(
+        &self,
+        batch: impl Into<RowsView<'a>>,
+    ) -> Result<Vec<DetectionReport>, MlError> {
+        let processed = preprocess_rows(&self.scaler, &self.pca, batch.into())?;
         let votes = self.estimator.ensemble().malware_votes_batch(&processed);
         Ok(self
             .estimator
@@ -421,8 +426,8 @@ impl<M: Classifier> UntrustedHmd<M> {
         Ok(self.model.predict_one(&processed))
     }
 
-    /// Classifies a whole matrix of raw signatures in one pass (batch front
-    /// end + parallel scoring). Named differently from the trait's
+    /// Classifies a borrowed view of raw signature rows in one pass (batch
+    /// front end + parallel scoring). Named differently from the trait's
     /// report-producing `detect_batch` so concrete and `dyn Detector` callers
     /// never resolve the same spelling to different return types.
     ///
@@ -430,7 +435,7 @@ impl<M: Classifier> UntrustedHmd<M> {
     ///
     /// Returns an error when the batch's feature count does not match the
     /// training data.
-    pub fn predict_batch(&self, batch: &Matrix) -> Result<Vec<Label>, MlError> {
+    pub fn predict_batch<'a>(&self, batch: impl Into<RowsView<'a>>) -> Result<Vec<Label>, MlError> {
         Ok(self
             .report_batch(batch)?
             .into_iter()
@@ -476,10 +481,17 @@ impl<M: Classifier> UntrustedHmd<M> {
     ///
     /// Returns an error when the batch's feature count does not match the
     /// training data.
-    pub fn report_batch(&self, batch: &Matrix) -> Result<Vec<DetectionReport>, MlError> {
-        single_model_reports(&self.scaler, &self.pca, &self.model, batch, |scored| {
-            self.report_for_scored(scored)
-        })
+    pub fn report_batch<'a>(
+        &self,
+        batch: impl Into<RowsView<'a>>,
+    ) -> Result<Vec<DetectionReport>, MlError> {
+        single_model_reports(
+            &self.scaler,
+            &self.pca,
+            &self.model,
+            batch.into(),
+            |scored| self.report_for_scored(scored),
+        )
     }
 
     /// Classifies every sample of a raw dataset.

@@ -3,7 +3,7 @@
 
 use hmd_codec::JsonCodec;
 use hmd_core::detector::{
-    load, save, save_to_file, Detector, DetectorBackend, DetectorConfig, DetectorKind,
+    load, save, save_to_file, Detector, DetectorBackend, DetectorConfig, DetectorExt, DetectorKind,
     MonitorSession,
 };
 use hmd_data::{Dataset, Label, Matrix};

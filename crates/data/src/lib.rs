@@ -39,4 +39,4 @@ pub mod taxonomy;
 pub use dataset::{AppId, Dataset, SampleMeta};
 pub use error::DataError;
 pub use label::Label;
-pub use matrix::{ColumnarView, Matrix, PresortedView};
+pub use matrix::{ColumnarView, Matrix, PresortedView, RowsView};

@@ -122,6 +122,174 @@ fn total_cmp_key(v: f64) -> u64 {
     bits ^ ((((bits as i64) >> 63) as u64) | 0x8000_0000_0000_0000)
 }
 
+/// A borrowed, stride-aware view of a contiguous range of matrix rows.
+///
+/// `RowsView` is the workspace's zero-copy batch currency: every batch-first
+/// inference entry point — [`crate::scaler::StandardScaler::transform`], the
+/// flat-engine kernels, `Detector::detect_rows` and the serving fleet — takes
+/// a view, so callers can score a whole [`Matrix`], any row range of one
+/// ([`Matrix::rows_view`]), or a single borrowed signature
+/// ([`RowsView::single`]) without copying rows into a fresh matrix first.
+///
+/// Row `r` starts at `data[r * stride]` and spans `cols` values. Views built
+/// from matrices are contiguous (`stride == cols`); the stride field keeps
+/// the type open to padded layouts without changing any signature.
+///
+/// # Example
+///
+/// ```
+/// use hmd_data::{Matrix, RowsView};
+///
+/// # fn main() -> Result<(), hmd_data::DataError> {
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]])?;
+/// let mid: RowsView<'_> = m.rows_view(1..3);
+/// assert_eq!(mid.rows(), 2);
+/// assert_eq!(mid.row(0), &[3.0, 4.0]);
+/// let whole: RowsView<'_> = (&m).into();
+/// assert_eq!(whole.rows(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RowsView<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+    /// Distance (in elements) between consecutive row starts; equals `cols`
+    /// for contiguous views.
+    stride: usize,
+}
+
+impl<'a> RowsView<'a> {
+    /// A view over one borrowed feature vector — the degenerate 1×d batch.
+    /// Single-row scoring paths use this so no per-call matrix is built.
+    #[inline]
+    pub fn single(row: &'a [f64]) -> RowsView<'a> {
+        RowsView {
+            data: row,
+            rows: 1,
+            cols: row.len(),
+            stride: row.len(),
+        }
+    }
+
+    /// Number of rows (samples) in the view.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features) per row.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` when the view contains no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrows row `r` of the view as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &'a [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.stride..r * self.stride + self.cols]
+    }
+
+    /// Iterator over the view's rows as slices. Unlike a `chunks`-based walk,
+    /// the iterator yields exactly [`RowsView::rows`] items even for
+    /// zero-width rows, so batch kernels keep the row-count contract without
+    /// resize fix-ups.
+    #[inline]
+    pub fn iter_rows(&self) -> impl ExactSizeIterator<Item = &'a [f64]> + '_ {
+        let view = *self;
+        (0..self.rows).map(move |r| view.row(r))
+    }
+
+    /// A sub-view over rows `start..end` of this view — still zero-copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.rows()`.
+    pub fn rows_view(&self, range: std::ops::Range<usize>) -> RowsView<'a> {
+        assert!(
+            range.start <= range.end && range.end <= self.rows,
+            "row range {}..{} out of bounds ({})",
+            range.start,
+            range.end,
+            self.rows
+        );
+        let rows = range.end - range.start;
+        let start = range.start * self.stride;
+        let end = if rows == 0 {
+            start
+        } else {
+            (range.end - 1) * self.stride + self.cols
+        };
+        RowsView {
+            data: &self.data[start.min(self.data.len())..end.min(self.data.len()).max(start)],
+            rows,
+            cols: self.cols,
+            stride: self.stride,
+        }
+    }
+
+    /// The backing buffer as one row-major slice when rows are contiguous
+    /// (`stride == cols`), which every view built from a [`Matrix`] is.
+    #[inline]
+    pub fn as_contiguous(&self) -> Option<&'a [f64]> {
+        (self.stride == self.cols).then(|| &self.data[..self.rows * self.cols])
+    }
+
+    /// Copies the viewed rows into an owned [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        if let Some(data) = self.as_contiguous() {
+            return Matrix {
+                rows: self.rows,
+                cols: self.cols,
+                data: data.to_vec(),
+                columns: DerivedCache::default(),
+                sort_orders: DerivedCache::default(),
+            };
+        }
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for row in self.iter_rows() {
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+            columns: DerivedCache::default(),
+            sort_orders: DerivedCache::default(),
+        }
+    }
+}
+
+impl<'a> From<&'a Matrix> for RowsView<'a> {
+    fn from(matrix: &'a Matrix) -> RowsView<'a> {
+        matrix.view()
+    }
+}
+
+impl<'a> From<&'a mut Matrix> for RowsView<'a> {
+    fn from(matrix: &'a mut Matrix) -> RowsView<'a> {
+        matrix.view()
+    }
+}
+
 impl Matrix {
     /// Creates a matrix of zeros with the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
@@ -268,6 +436,29 @@ impl Matrix {
     #[inline]
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
         self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Borrowed view of every row — the zero-copy currency of the batch
+    /// inference entry points. Equivalent to `RowsView::from(self)`.
+    #[inline]
+    pub fn view(&self) -> RowsView<'_> {
+        RowsView {
+            data: &self.data,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+        }
+    }
+
+    /// Borrowed view of rows `start..end`, so any row range of an existing
+    /// matrix can be scored without copying it into a fresh matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.rows()`.
+    #[inline]
+    pub fn rows_view(&self, range: std::ops::Range<usize>) -> RowsView<'_> {
+        self.view().rows_view(range)
     }
 
     /// Column-major view of the matrix, built lazily on first use and cached.
@@ -777,6 +968,63 @@ mod tests {
         assert_eq!(m.presorted_rows().order(0), &[1, 0]);
         m.row_mut(1)[0] = 5.0;
         assert_eq!(m.presorted_rows().order(0), &[0, 1]);
+    }
+
+    #[test]
+    fn rows_view_borrows_ranges_without_copying() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let whole = m.view();
+        assert_eq!(whole.shape(), (3, 2));
+        assert!(!whole.is_empty());
+        assert_eq!(whole.row(2), &[5.0, 6.0]);
+        assert_eq!(whole.as_contiguous(), Some(m.as_slice()));
+
+        let mid = m.rows_view(1..3);
+        assert_eq!(mid.rows(), 2);
+        assert_eq!(mid.cols(), 2);
+        assert_eq!(mid.row(0), m.row(1));
+        let collected: Vec<&[f64]> = mid.iter_rows().collect();
+        assert_eq!(collected, vec![m.row(1), m.row(2)]);
+
+        // Sub-views of sub-views still index into the original buffer.
+        let last = mid.rows_view(1..2);
+        assert_eq!(last.row(0), m.row(2));
+        assert_eq!(last.to_matrix().row(0), m.row(2));
+    }
+
+    #[test]
+    fn rows_view_single_wraps_a_borrowed_signature() {
+        let signature = [0.25, 0.5, 0.75];
+        let view = RowsView::single(&signature);
+        assert_eq!(view.shape(), (1, 3));
+        assert_eq!(view.row(0), &signature);
+        assert_eq!(view.iter_rows().len(), 1);
+        assert_eq!(
+            view.to_matrix(),
+            Matrix::from_rows(&[signature.to_vec()]).unwrap()
+        );
+    }
+
+    #[test]
+    fn rows_view_handles_empty_ranges_and_zero_width_rows() {
+        let m = sample();
+        let none = m.rows_view(1..1);
+        assert!(none.is_empty());
+        assert_eq!(none.iter_rows().count(), 0);
+        assert_eq!(none.to_matrix().shape(), (0, 3));
+
+        let wide = Matrix::zeros(4, 0);
+        let view = wide.view();
+        assert_eq!(view.rows(), 4);
+        assert_eq!(view.iter_rows().count(), 4, "zero-width rows still count");
+        assert!(view.iter_rows().all(|row| row.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rows_view_rejects_out_of_range() {
+        let m = sample();
+        let _ = m.rows_view(1..5);
     }
 
     #[test]

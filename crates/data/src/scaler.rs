@@ -5,7 +5,7 @@
 //! column to zero mean / unit variance, [`MinMaxScaler`] maps every column to
 //! `[0, 1]`.
 
-use crate::{DataError, Dataset, Matrix};
+use crate::{DataError, Dataset, Matrix, RowsView};
 use hmd_codec::{CodecError, Json, JsonCodec};
 use serde::{Deserialize, Serialize};
 
@@ -55,31 +55,33 @@ impl StandardScaler {
         &self.stds
     }
 
-    /// Applies the fitted transform to a matrix.
+    /// Applies the fitted transform to a batch of rows — a whole matrix, a
+    /// borrowed row range ([`Matrix::rows_view`]) or a single-signature view.
     ///
     /// # Errors
     ///
     /// Returns [`DataError::DimensionMismatch`] when the column count differs
     /// from the fitted one.
-    pub fn transform(&self, matrix: &Matrix) -> Result<Matrix, DataError> {
-        if matrix.cols() != self.means.len() {
+    pub fn transform<'a>(&self, batch: impl Into<RowsView<'a>>) -> Result<Matrix, DataError> {
+        let batch = batch.into();
+        if batch.cols() != self.means.len() {
             return Err(DataError::DimensionMismatch {
                 context: "scaler feature count",
                 expected: self.means.len(),
-                found: matrix.cols(),
+                found: batch.cols(),
             });
         }
         // Single pass: read each source row once, write each scaled value
         // once (no clone-then-mutate double traversal on the batch path).
-        let mut data = Vec::with_capacity(matrix.rows() * matrix.cols());
-        for row in matrix.iter_rows() {
+        let mut data = Vec::with_capacity(batch.rows() * batch.cols());
+        for row in batch.iter_rows() {
             data.extend(
                 row.iter()
                     .zip(self.means.iter().zip(&self.stds))
                     .map(|(v, (mean, std))| (v - mean) / std),
             );
         }
-        Matrix::from_vec(matrix.rows(), matrix.cols(), data)
+        Matrix::from_vec(batch.rows(), batch.cols(), data)
     }
 
     /// Applies the inverse of the fitted transform.

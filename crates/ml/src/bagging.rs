@@ -11,7 +11,7 @@ use crate::flat::{compile_groups, FlatForest};
 use crate::{Classifier, Estimator, MlError};
 use hmd_codec::{CodecError, Json, JsonCodec};
 use hmd_data::split::{bootstrap_draw, bootstrap_indices};
-use hmd_data::{Dataset, Label, Matrix};
+use hmd_data::{Dataset, Label, RowsView};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -253,32 +253,33 @@ impl<M: Classifier> BaggingEnsemble<M> {
         counts
     }
 
-    /// Malware vote counts — one integer per row — for a feature matrix: the
-    /// ensemble's leanest batch shape (every estimator votes, so the benign
-    /// count is always `num_estimators - malware`).
+    /// Malware vote counts — one integer per row — for a borrowed batch view
+    /// (a whole matrix, or any row range of one): the ensemble's leanest
+    /// batch shape (every estimator votes, so the benign count is always
+    /// `num_estimators - malware`).
     ///
     /// Tree-based ensembles serve from the flat engine (tiled traversal,
     /// parallel across row blocks); other base learners fall back to scoring
     /// rows in parallel through the nested path. Counts are bit-identical to
     /// calling [`BaggingEnsemble::vote_counts`] per row.
-    pub fn malware_votes_batch(&self, batch: &Matrix) -> Vec<u32> {
+    pub fn malware_votes_batch<'a>(&self, batch: impl Into<RowsView<'a>>) -> Vec<u32> {
+        let batch = batch.into();
         if let Some(flat) = &self.flat {
             return flat.group_votes_batch(batch);
         }
         let rows: Vec<&[f64]> = batch.iter_rows().collect();
-        let mut votes: Vec<u32> = rows
-            .par_iter()
+        rows.par_iter()
             .map(|row| self.vote_counts(row)[1] as u32)
-            .collect();
-        // A zero-width batch yields no row slices; keep the row-count contract.
-        votes.resize(batch.rows(), 0);
-        votes
+            .collect()
     }
 
-    /// Per-class vote counts for every row of a feature matrix, indexed by
-    /// [`Label::index`] — [`BaggingEnsemble::malware_votes_batch`] in the
+    /// Per-class vote counts for every row of a borrowed batch view, indexed
+    /// by [`Label::index`] — [`BaggingEnsemble::malware_votes_batch`] in the
     /// same shape [`BaggingEnsemble::vote_counts`] reports.
-    pub fn vote_counts_batch(&self, batch: &Matrix) -> Vec<[usize; Label::NUM_CLASSES]> {
+    pub fn vote_counts_batch<'a>(
+        &self,
+        batch: impl Into<RowsView<'a>>,
+    ) -> Vec<[usize; Label::NUM_CLASSES]> {
         let total = self.estimators.len();
         self.malware_votes_batch(batch)
             .into_iter()
@@ -366,7 +367,7 @@ impl<M: Classifier> Classifier for BaggingEnsemble<M> {
         )
     }
 
-    fn predict_proba_batch(&self, batch: &Matrix, out: &mut Vec<f64>) {
+    fn predict_proba_batch(&self, batch: RowsView<'_>, out: &mut Vec<f64>) {
         let total = self.estimators.len() as f64;
         out.clear();
         out.extend(
@@ -376,7 +377,7 @@ impl<M: Classifier> Classifier for BaggingEnsemble<M> {
         );
     }
 
-    fn predict_with_proba_batch(&self, batch: &Matrix, out: &mut Vec<(Label, f64)>) {
+    fn predict_with_proba_batch(&self, batch: RowsView<'_>, out: &mut Vec<(Label, f64)>) {
         let total = self.estimators.len() as f64;
         out.clear();
         out.extend(self.vote_counts_batch(batch).into_iter().map(|counts| {

@@ -29,7 +29,7 @@
 
 use crate::tree::{DecisionTree, Node};
 use crate::Classifier;
-use hmd_data::{Label, Matrix};
+use hmd_data::{Label, RowsView};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -279,36 +279,34 @@ impl FlatForest {
         votes
     }
 
-    /// Tiled kernel: malware group votes for rows `start..end` (at most
-    /// [`BLOCK`] of them) written into `votes`.
+    /// Tiled kernel: malware group votes for the rows of one borrowed tile
+    /// view (at most [`BLOCK`] rows) written into `votes`.
     ///
     /// The tile bounds the working set — [`BLOCK`] rows of features plus the
     /// packed node arrays stay L1/L2-resident while the kernel sweeps the
     /// ensemble — and votes accumulate into the caller's reusable buffer, so
     /// the hot loop performs no per-sample allocation.
-    fn block_group_votes(&self, batch: &Matrix, start: usize, end: usize, votes: &mut [u32]) {
-        let n = end - start;
-        debug_assert!(n <= BLOCK && votes.len() == n);
-        let cols = batch.cols();
-        let data = batch.as_slice();
-        let tile = &data[start * cols..end * cols];
+    fn block_group_votes(&self, tile: RowsView<'_>, votes: &mut [u32]) {
+        debug_assert!(tile.rows() <= BLOCK && votes.len() == tile.rows());
         votes.fill(0);
-        for (vote, row) in votes.iter_mut().zip(tile.chunks_exact(cols.max(1))) {
+        for (vote, row) in votes.iter_mut().zip(tile.iter_rows()) {
             *vote = self.group_votes_one(row) as u32;
         }
     }
 
-    /// Malware group-vote counts for every row of a batch.
+    /// Malware group-vote counts for every row of a borrowed batch view.
     ///
     /// Small batches run on the calling thread; larger ones are tiled into
     /// [`BLOCK`]-row blocks and spread across the persistent worker pool.
-    pub fn group_votes_batch(&self, batch: &Matrix) -> Vec<u32> {
+    /// Because the kernel operates on views, callers can score any row range
+    /// of an existing matrix without assembling a copy first.
+    pub fn group_votes_batch(&self, batch: RowsView<'_>) -> Vec<u32> {
         let rows = batch.rows();
         if rows < PAR_MIN_ROWS || rayon::current_num_threads() == 1 {
             let mut votes = vec![0u32; rows];
             for start in (0..rows).step_by(BLOCK) {
                 let end = (start + BLOCK).min(rows);
-                self.block_group_votes(batch, start, end, &mut votes[start..end]);
+                self.block_group_votes(batch.rows_view(start..end), &mut votes[start..end]);
             }
             return votes;
         }
@@ -320,7 +318,7 @@ impl FlatForest {
             .par_iter()
             .map(|&(start, end)| {
                 let mut votes = vec![0u32; end - start];
-                self.block_group_votes(batch, start, end, &mut votes);
+                self.block_group_votes(batch.rows_view(start..end), &mut votes);
                 votes
             })
             .collect();
@@ -342,7 +340,7 @@ impl Classifier for FlatForest {
         (Label::from(p >= 0.5), p)
     }
 
-    fn predict_proba_batch(&self, batch: &Matrix, out: &mut Vec<f64>) {
+    fn predict_proba_batch(&self, batch: RowsView<'_>, out: &mut Vec<f64>) {
         let groups = self.num_groups() as f64;
         out.clear();
         out.extend(
@@ -352,7 +350,7 @@ impl Classifier for FlatForest {
         );
     }
 
-    fn predict_with_proba_batch(&self, batch: &Matrix, out: &mut Vec<(Label, f64)>) {
+    fn predict_with_proba_batch(&self, batch: RowsView<'_>, out: &mut Vec<(Label, f64)>) {
         let groups = self.num_groups() as f64;
         out.clear();
         out.extend(self.group_votes_batch(batch).into_iter().map(|votes| {
@@ -402,19 +400,12 @@ impl FlatTree {
         self.forest.leaf_of(self.forest.roots[0], row)
     }
 
-    /// Leaf fractions for every row of a batch, tiled over the packed arrays.
-    pub fn leaf_values_batch(&self, batch: &Matrix, out: &mut Vec<f64>) {
-        let cols = batch.cols().max(1);
+    /// Leaf fractions for every row of a borrowed batch view, tiled over the
+    /// packed arrays.
+    pub fn leaf_values_batch(&self, batch: RowsView<'_>, out: &mut Vec<f64>) {
         let root = self.forest.roots[0];
         out.clear();
-        out.extend(
-            batch
-                .as_slice()
-                .chunks_exact(cols)
-                .map(|row| self.forest.leaf_of(root, row)),
-        );
-        // An empty matrix yields no chunks; keep the row-count contract.
-        out.resize(batch.rows(), 0.0);
+        out.extend(batch.iter_rows().map(|row| self.forest.leaf_of(root, row)));
     }
 }
 
@@ -438,11 +429,11 @@ impl Classifier for FlatTree {
         (Label::from(p >= 0.5), p)
     }
 
-    fn predict_proba_batch(&self, batch: &Matrix, out: &mut Vec<f64>) {
+    fn predict_proba_batch(&self, batch: RowsView<'_>, out: &mut Vec<f64>) {
         self.leaf_values_batch(batch, out);
     }
 
-    fn predict_with_proba_batch(&self, batch: &Matrix, out: &mut Vec<(Label, f64)>) {
+    fn predict_with_proba_batch(&self, batch: RowsView<'_>, out: &mut Vec<(Label, f64)>) {
         let mut probas = Vec::new();
         self.leaf_values_batch(batch, &mut probas);
         out.clear();
@@ -474,7 +465,7 @@ mod tests {
     use super::*;
     use crate::tree::DecisionTreeParams;
     use crate::Estimator;
-    use hmd_data::Dataset;
+    use hmd_data::{Dataset, Matrix};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -528,7 +519,7 @@ mod tests {
             .collect();
         let flat = compile_groups(&trees).expect("trees compile");
         assert_eq!(flat.num_groups(), 5);
-        let batch = flat.group_votes_batch(ds.features());
+        let batch = flat.group_votes_batch(ds.features().view());
         for (row, &votes) in ds.features().iter_rows().zip(&batch) {
             assert_eq!(flat.group_votes_one(row), votes as usize);
         }
@@ -541,7 +532,7 @@ mod tests {
             .map(|i| DecisionTreeParams::new().fit(&ds, i).unwrap())
             .collect();
         let flat = compile_groups(&trees).unwrap();
-        for votes in flat.group_votes_batch(ds.features()) {
+        for votes in flat.group_votes_batch(ds.features().view()) {
             assert!(votes as usize <= flat.num_groups());
         }
     }

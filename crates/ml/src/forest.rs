@@ -303,11 +303,11 @@ impl Classifier for RandomForest {
         (Label::from(p >= 0.5), p)
     }
 
-    fn predict_proba_batch(&self, batch: &hmd_data::Matrix, out: &mut Vec<f64>) {
+    fn predict_proba_batch(&self, batch: hmd_data::RowsView<'_>, out: &mut Vec<f64>) {
         self.flat.predict_proba_batch(batch, out);
     }
 
-    fn predict_with_proba_batch(&self, batch: &hmd_data::Matrix, out: &mut Vec<(Label, f64)>) {
+    fn predict_with_proba_batch(&self, batch: hmd_data::RowsView<'_>, out: &mut Vec<(Label, f64)>) {
         self.flat.predict_with_proba_batch(batch, out);
     }
 

@@ -1,6 +1,6 @@
 use crate::flat::FlatForestBuilder;
 use crate::MlError;
-use hmd_data::{Dataset, Label, Matrix};
+use hmd_data::{Dataset, Label, Matrix, RowsView};
 use rayon::prelude::*;
 
 /// Row count from which the default batch implementations fan rows out
@@ -55,14 +55,16 @@ pub trait Classifier: Send + Sync {
         (self.predict_one(features), self.predict_proba_one(features))
     }
 
-    /// Malware probabilities for every row of a feature matrix, written into
-    /// a caller-owned buffer — the batch-first hot path.
+    /// Malware probabilities for every row of a borrowed batch view, written
+    /// into a caller-owned buffer — the batch-first hot path. Taking a
+    /// [`RowsView`] keeps the trait object-safe while letting callers score
+    /// any row range of an existing matrix with zero copies.
     ///
     /// The default scores rows through [`Classifier::predict_proba_one`] —
     /// serially for small batches, across the worker pool for large ones.
     /// Models backed by the [`crate::flat`] engine override this with a
     /// tiled traversal over cache-packed node arrays.
-    fn predict_proba_batch(&self, batch: &Matrix, out: &mut Vec<f64>) {
+    fn predict_proba_batch(&self, batch: RowsView<'_>, out: &mut Vec<f64>) {
         out.clear();
         if batch.rows() >= PAR_BATCH_MIN_ROWS {
             let rows: Vec<&[f64]> = batch.iter_rows().collect();
@@ -71,19 +73,18 @@ pub trait Classifier: Send + Sync {
                 .map(|row| self.predict_proba_one(row))
                 .collect();
             out.extend(scored);
-            out.resize(batch.rows(), 0.0); // zero-width batches yield no rows
             return;
         }
         out.extend(batch.iter_rows().map(|row| self.predict_proba_one(row)));
     }
 
-    /// Labels and probabilities for every row of a feature matrix in one
+    /// Labels and probabilities for every row of a borrowed batch view in one
     /// pass, written into a caller-owned buffer.
     ///
     /// The default calls [`Classifier::predict_with_proba_one`] per row
     /// (parallel for large batches); flat-engine models override it so the
     /// batch walks the model once.
-    fn predict_with_proba_batch(&self, batch: &Matrix, out: &mut Vec<(Label, f64)>) {
+    fn predict_with_proba_batch(&self, batch: RowsView<'_>, out: &mut Vec<(Label, f64)>) {
         out.clear();
         if batch.rows() >= PAR_BATCH_MIN_ROWS {
             let rows: Vec<&[f64]> = batch.iter_rows().collect();
@@ -92,7 +93,6 @@ pub trait Classifier: Send + Sync {
                 .map(|row| self.predict_with_proba_one(row))
                 .collect();
             out.extend(scored);
-            out.resize(batch.rows(), (Label::Benign, 0.0));
             return;
         }
         out.extend(
@@ -204,11 +204,11 @@ impl Classifier for Box<dyn Classifier> {
         self.as_ref().predict_with_proba_one(features)
     }
 
-    fn predict_proba_batch(&self, batch: &Matrix, out: &mut Vec<f64>) {
+    fn predict_proba_batch(&self, batch: RowsView<'_>, out: &mut Vec<f64>) {
         self.as_ref().predict_proba_batch(batch, out);
     }
 
-    fn predict_with_proba_batch(&self, batch: &Matrix, out: &mut Vec<(Label, f64)>) {
+    fn predict_with_proba_batch(&self, batch: RowsView<'_>, out: &mut Vec<(Label, f64)>) {
         self.as_ref().predict_with_proba_batch(batch, out);
     }
 

@@ -7,7 +7,7 @@
 
 use crate::{Classifier, Estimator, MlError, ModelTag};
 use hmd_codec::{CodecError, Json, JsonCodec};
-use hmd_data::{Dataset, Label, Matrix};
+use hmd_data::{Dataset, Label};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -471,7 +471,7 @@ impl Classifier for DecisionTree {
         (Label::from(p >= 0.5), p)
     }
 
-    fn predict_proba_batch(&self, features: &Matrix, out: &mut Vec<f64>) {
+    fn predict_proba_batch(&self, features: hmd_data::RowsView<'_>, out: &mut Vec<f64>) {
         // Compiling costs one pass over the nodes, so it only pays once the
         // batch outnumbers them; smaller batches walk the nested nodes.
         if features.rows() >= self.nodes.len().max(64) {
@@ -482,7 +482,11 @@ impl Classifier for DecisionTree {
         }
     }
 
-    fn predict_with_proba_batch(&self, features: &Matrix, out: &mut Vec<(Label, f64)>) {
+    fn predict_with_proba_batch(
+        &self,
+        features: hmd_data::RowsView<'_>,
+        out: &mut Vec<(Label, f64)>,
+    ) {
         let mut probas = Vec::new();
         self.predict_proba_batch(features, &mut probas);
         out.clear();

@@ -85,7 +85,7 @@ fn flat_tree_is_bit_identical_to_nested_walk() {
 
         // The tiled batch override matches the per-row walks exactly.
         let mut batched = Vec::new();
-        flat.predict_proba_batch(&batch, &mut batched);
+        flat.predict_proba_batch(batch.view(), &mut batched);
         let per_row: Vec<f64> = batch
             .iter_rows()
             .map(|r| tree.predict_proba_one(r))
@@ -98,7 +98,7 @@ fn flat_tree_is_bit_identical_to_nested_walk() {
         // The tree's own batch override (which compiles on demand for large
         // batches) agrees too.
         let mut tree_batched = Vec::new();
-        tree.predict_proba_batch(&batch, &mut tree_batched);
+        tree.predict_proba_batch(batch.view(), &mut tree_batched);
         for (a, b) in tree_batched.iter().zip(&per_row) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
@@ -136,7 +136,7 @@ fn flat_forest_votes_match_nested_tree_majorities() {
 
         // Batch override vs nested reference, spanning a block boundary.
         let mut batched = Vec::new();
-        forest.predict_proba_batch(&batch, &mut batched);
+        forest.predict_proba_batch(batch.view(), &mut batched);
         for (row, proba) in batch.iter_rows().zip(&batched) {
             let nested = forest
                 .trees()
@@ -255,8 +255,8 @@ fn persistence_round_trip_recompiles_the_flat_engine() {
 
         let mut a = Vec::new();
         let mut b = Vec::new();
-        ensemble.predict_proba_batch(&batch, &mut a);
-        restored.predict_proba_batch(&batch, &mut b);
+        ensemble.predict_proba_batch(batch.view(), &mut a);
+        restored.predict_proba_batch(batch.view(), &mut b);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
@@ -277,8 +277,8 @@ fn forest_codec_round_trip_preserves_flat_predictions() {
     let batch = probes(d, 96, &mut rng);
     let mut a = Vec::new();
     let mut b = Vec::new();
-    forest.predict_proba_batch(&batch, &mut a);
-    restored.predict_proba_batch(&batch, &mut b);
+    forest.predict_proba_batch(batch.view(), &mut a);
+    restored.predict_proba_batch(batch.view(), &mut b);
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.to_bits(), y.to_bits());
     }

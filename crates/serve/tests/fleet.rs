@@ -1,0 +1,286 @@
+//! Fleet behaviour tests: the seeded multi-threaded equivalence proof
+//! (fleet-routed single-row scoring is bit-identical to direct
+//! `detect_batch`), hot swap mid-stream, and flush-policy edge cases.
+
+use hmd_core::detector::{
+    load, save, Detector, DetectorBackend, DetectorConfig, DetectorExt, MonitorSession,
+};
+use hmd_data::{Dataset, Label, Matrix};
+use hmd_serve::{DetectorFleet, FleetError, FlushPolicy, VersionedReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn blobs(n: usize, features: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for _ in 0..n {
+        let malware = rng.gen_bool(0.5);
+        let c = if malware { 2.0 } else { -2.0 };
+        rows.push(
+            (0..features)
+                .map(|f| {
+                    if f < 2 {
+                        c + rng.gen_range(-0.8..0.8)
+                    } else {
+                        rng.gen_range(-1.0..1.0)
+                    }
+                })
+                .collect(),
+        );
+        labels.push(Label::from(malware));
+    }
+    Dataset::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+}
+
+/// A matrix of scoring requests straddling both blobs and the space between,
+/// so reports mix confident accepts with escalations.
+fn request_matrix(rows: usize, features: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * features)
+        .map(|_| rng.gen_range(-3.0..3.0))
+        .collect();
+    Matrix::from_vec(rows, features, data).unwrap()
+}
+
+fn trained(num_estimators: usize, seed: u64) -> Box<dyn Detector> {
+    DetectorConfig::trusted(DetectorBackend::random_forest())
+        .with_num_estimators(num_estimators)
+        .with_entropy_threshold(0.4)
+        .fit(&blobs(140, 4, 11), seed)
+        .expect("training succeeds")
+}
+
+fn assert_reports_bit_identical(
+    a: &hmd_core::trusted::DetectionReport,
+    b: &hmd_core::trusted::DetectionReport,
+    context: &str,
+) {
+    assert_eq!(
+        a.prediction.entropy.to_bits(),
+        b.prediction.entropy.to_bits(),
+        "{context}: entropy"
+    );
+    assert_eq!(
+        a.prediction.malware_vote_fraction.to_bits(),
+        b.prediction.malware_vote_fraction.to_bits(),
+        "{context}: vote fraction"
+    );
+    assert_eq!(a, b, "{context}");
+}
+
+/// The acceptance-criteria test: interleaved single-row `score()` calls from
+/// multiple threads produce reports bit-identical to one direct
+/// `detect_batch` over the same rows — regardless of how the micro-batcher
+/// grouped them into tiles. The deployed copy is a save/load round trip of
+/// the directly-scored detector, exactly the registry deployment scenario.
+#[test]
+fn interleaved_multithreaded_scoring_is_bit_identical_to_direct_batch() {
+    let detector = trained(15, 21);
+    let deployed = load(&save(detector.as_ref()).expect("persistable")).expect("loads");
+
+    let requests = request_matrix(173, 4, 22);
+    let direct = detector.detect_batch(&requests).expect("direct batch");
+
+    // max_batch 7 deliberately misaligns with the request count and thread
+    // interleaving, so tiles mix rows from every thread.
+    let fleet = Arc::new(DetectorFleet::with_policy(FlushPolicy::new(
+        7,
+        Duration::from_millis(20),
+    )));
+    fleet.deploy("hmd", deployed);
+
+    let threads = 4;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let fleet = Arc::clone(&fleet);
+            let requests = requests.clone();
+            std::thread::spawn(move || {
+                let mut results: Vec<(usize, VersionedReport)> = Vec::new();
+                for row in (t..requests.rows()).step_by(threads) {
+                    let ticket = fleet.score("hmd", requests.row(row)).expect("enqueue");
+                    results.push((row, ticket.wait().expect("scores")));
+                }
+                results
+            })
+        })
+        .collect();
+
+    let mut by_row: Vec<Option<VersionedReport>> = vec![None; requests.rows()];
+    for handle in handles {
+        for (row, report) in handle.join().expect("thread completes") {
+            assert!(
+                by_row[row].replace(report).is_none(),
+                "row {row} scored once"
+            );
+        }
+    }
+
+    for (row, scored) in by_row.iter().enumerate() {
+        let scored = scored.as_ref().expect("every row scored");
+        assert_eq!(scored.version, 1);
+        assert_reports_bit_identical(&scored.report, &direct[row], &format!("row {row}"));
+    }
+
+    // The fleet's owned monitor stats match a MonitorSession fed the same
+    // reports — the per-tenant session state now lives behind the fleet.
+    // Counters and extremes are order-independent and compared exactly; the
+    // mean folds an f64 sum whose value depends on which order the threads
+    // won the enqueue lock, so it gets a tolerance.
+    let mut session = MonitorSession::new(detector.as_ref());
+    session.observe_batch(&requests).expect("session batch");
+    let fleet_stats = fleet.stats("hmd").expect("stats");
+    let session_stats = session.stats();
+    assert_eq!(fleet_stats.windows, session_stats.windows);
+    assert_eq!(fleet_stats.accepted, session_stats.accepted);
+    assert_eq!(fleet_stats.escalated, session_stats.escalated);
+    assert_eq!(fleet_stats.accepted_malware, session_stats.accepted_malware);
+    assert_eq!(fleet_stats.accepted_benign, session_stats.accepted_benign);
+    assert_eq!(
+        fleet_stats.min_entropy.to_bits(),
+        session_stats.min_entropy.to_bits()
+    );
+    assert_eq!(
+        fleet_stats.max_entropy.to_bits(),
+        session_stats.max_entropy.to_bits()
+    );
+    assert!((fleet_stats.mean_entropy() - session_stats.mean_entropy()).abs() < 1e-12);
+}
+
+/// Hot swap mid-stream: requests keep flowing while a new version is
+/// published. Every report must be attributable — stamped v1 results match
+/// the v1 detector's direct output for that row, stamped v2 results match
+/// the v2 detector's.
+#[test]
+fn hot_swap_mid_stream_keeps_every_report_attributable() {
+    let v1 = trained(9, 31);
+    let v2 = trained(15, 32); // different ensemble size => different reports
+    let requests = request_matrix(120, 4, 33);
+    let direct_v1 = v1.detect_batch(&requests).expect("v1 direct");
+    let direct_v2 = v2.detect_batch(&requests).expect("v2 direct");
+
+    let fleet = Arc::new(DetectorFleet::with_policy(FlushPolicy::new(
+        5,
+        Duration::from_millis(10),
+    )));
+    fleet.deploy("hmd", v1);
+
+    let scorer = {
+        let fleet = Arc::clone(&fleet);
+        let requests = requests.clone();
+        std::thread::spawn(move || {
+            let mut results = Vec::new();
+            for row in 0..requests.rows() {
+                let ticket = fleet.score("hmd", requests.row(row)).expect("enqueue");
+                results.push((row, ticket.wait().expect("scores")));
+            }
+            results
+        })
+    };
+    // Publish v2 while the scorer is mid-stream.
+    std::thread::sleep(Duration::from_millis(2));
+    assert_eq!(fleet.deploy("hmd", v2), 2);
+
+    let results = scorer.join().expect("scorer completes");
+    assert_eq!(results.len(), requests.rows());
+    let mut v2_seen = false;
+    for (row, scored) in results {
+        match scored.version {
+            1 => {
+                assert!(!v2_seen, "versions must not interleave backwards mid-tile");
+                assert_reports_bit_identical(&scored.report, &direct_v1[row], "v1 row");
+            }
+            2 => {
+                v2_seen = true;
+                assert_reports_bit_identical(&scored.report, &direct_v2[row], "v2 row");
+            }
+            other => panic!("unexpected version {other}"),
+        }
+    }
+
+    // Roll back and prove new traffic reverts to bit-identical v1 behaviour.
+    assert_eq!(fleet.rollback("hmd").expect("previous version exists"), 1);
+    let after = fleet.score_batch("hmd", &requests).expect("post-rollback");
+    for (row, scored) in after.iter().enumerate() {
+        assert_eq!(scored.version, 1);
+        assert_reports_bit_identical(&scored.report, &direct_v1[row], "rolled-back row");
+    }
+}
+
+/// A lone request on an idle endpoint resolves through the max-wait
+/// deadline: its own `wait()` drains the tile — no background thread, no
+/// hang, and the result still matches the direct path bit for bit.
+#[test]
+fn max_wait_deadline_drains_a_lonely_request() {
+    let detector = trained(7, 41);
+    let requests = request_matrix(1, 4, 42);
+    let direct = detector.detect_batch(&requests).expect("direct");
+
+    let max_wait = Duration::from_millis(30);
+    let fleet = DetectorFleet::with_policy(FlushPolicy::new(4096, max_wait));
+    fleet.deploy("hmd", detector);
+
+    let start = Instant::now();
+    let ticket = fleet.score("hmd", requests.row(0)).expect("enqueue");
+    let scored = ticket.wait().expect("max-wait flush scores the tile");
+    assert!(
+        start.elapsed() >= max_wait,
+        "the result cannot arrive before the flush deadline"
+    );
+    assert_reports_bit_identical(&scored.report, &direct[0], "lonely request");
+    assert_eq!(fleet.stats("hmd").expect("stats").windows, 1);
+}
+
+/// An oversized burst from one producer drains tile by tile: every
+/// `max_batch`-th enqueue flushes inline, the remainder drains on demand,
+/// and nothing is lost or reordered.
+#[test]
+fn oversized_burst_drains_in_max_batch_tiles() {
+    let detector = trained(7, 51);
+    let requests = request_matrix(43, 4, 52);
+    let direct = detector.detect_batch(&requests).expect("direct");
+
+    let fleet = DetectorFleet::with_policy(FlushPolicy::new(8, Duration::from_secs(10)));
+    fleet.deploy("hmd", detector);
+
+    let tickets: Vec<_> = (0..requests.rows())
+        .map(|row| fleet.score("hmd", requests.row(row)).expect("enqueue"))
+        .collect();
+    // 43 = 5 full tiles of 8 drained inline + 3 rows still pending.
+    assert_eq!(fleet.stats("hmd").expect("stats").windows, 40);
+    assert_eq!(fleet.flush("hmd").expect("flush"), 3);
+    assert_eq!(fleet.stats("hmd").expect("stats").windows, 43);
+    // An empty flush afterwards is a no-op, not an error.
+    assert_eq!(fleet.flush("hmd").expect("empty flush"), 0);
+
+    for (row, ticket) in tickets.into_iter().enumerate() {
+        let scored = ticket
+            .try_wait()
+            .expect("all tiles drained")
+            .expect("scores");
+        assert_reports_bit_identical(&scored.report, &direct[row], "burst row");
+    }
+}
+
+/// Two endpoints serve independent detectors with independent statistics.
+#[test]
+fn endpoints_are_isolated() {
+    let fleet = DetectorFleet::new();
+    fleet.deploy("small", trained(5, 61));
+    fleet.deploy("large", trained(15, 62));
+    assert_eq!(
+        fleet.endpoints(),
+        vec!["large".to_string(), "small".to_string()]
+    );
+
+    let requests = request_matrix(12, 4, 63);
+    fleet.score_batch("small", &requests).expect("small scores");
+    assert_eq!(fleet.stats("small").expect("stats").windows, 12);
+    assert_eq!(fleet.stats("large").expect("stats").windows, 0);
+    assert!(matches!(
+        fleet.score_batch("ghost", &requests),
+        Err(FleetError::UnknownEndpoint { .. })
+    ));
+}

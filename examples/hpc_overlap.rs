@@ -31,9 +31,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     .fit(&split.train, 5)?;
 
     let known =
-        hmd::core::detector::predictions(detector.detect_batch(split.test_known.features())?);
+        hmd::core::detector::predictions(&detector.detect_batch(split.test_known.features())?);
     let unknown =
-        hmd::core::detector::predictions(detector.detect_batch(split.unknown.features())?);
+        hmd::core::detector::predictions(&detector.detect_batch(split.unknown.features())?);
 
     // Entropy distributions (Fig. 5): known data is already uncertain.
     let pair = KnownUnknownEntropy::new(

@@ -1,13 +1,24 @@
-//! Online monitoring: the deployment scenario the paper motivates.
+//! Online monitoring through the serving fleet: the deployment scenario the
+//! paper motivates, served the way a production DAQ central unit would.
 //!
 //! A trusted HMD is described by a `DetectorConfig`, trained offline, saved,
-//! and the *restored* copy — as it would be on the deployment host — watches
-//! a stream of fresh signatures through a `MonitorSession`. Known
-//! applications are classified confidently; when a zero-day (an application
-//! family the detector has never seen) starts running, its signatures arrive
-//! with high entropy and the detector escalates them for forensics instead
-//! of silently guessing. The session keeps the running statistics that an
-//! operations dashboard would display.
+//! and the *restored* copy — as it would be on the deployment host — is
+//! published as a named, versioned endpoint of a `DetectorFleet`. The
+//! monitored stream submits one signature at a time with `fleet.score`;
+//! the fleet micro-batches those single-row requests into per-endpoint
+//! tiles that drain through the detector's flat-engine batch path (at
+//! `max_batch` rows or after `max_wait`), and each ordered `Ticket` resolves
+//! to a version-stamped report that is bit-identical to direct scoring.
+//!
+//! Known applications are classified confidently; when a zero-day (an
+//! application family the detector has never seen) starts running, its
+//! signatures arrive with high entropy and the detector escalates them for
+//! forensics instead of silently guessing. Mid-stream the example hot-swaps
+//! a stricter model version — in-flight requests finish on the version that
+//! accepted them, and every printed report carries the version that scored
+//! it — then rolls back. The per-endpoint statistics a dashboard would
+//! display now live behind the fleet (`fleet.stats`), not in a borrowed
+//! per-tenant `MonitorSession`.
 //!
 //! ```text
 //! cargo run --release --example online_monitor
@@ -19,6 +30,11 @@ use hmd::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;
+use std::time::Duration;
+
+/// Windows per micro-batch burst: matches the fleet's `max_batch`, so each
+/// burst drains as one tile through the batch hot path.
+const BURST: usize = 3;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let builder = DvfsCorpusBuilder::new()
@@ -33,10 +49,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         .with_entropy_threshold(0.4);
     let trained = config.fit(&split.train, 13)?;
     let document = save(trained.as_ref())?;
-    let detector = load(&document)?;
+
+    let fleet = DetectorFleet::with_policy(FlushPolicy::new(BURST, Duration::from_millis(5)));
+    let v1 = fleet.deploy("edge-hmd", load(&document)?);
     println!(
-        "deployed {} ({} byte model document)\n",
-        detector.name(),
+        "deployed {} as edge-hmd v{v1} ({} byte model document)\n",
+        fleet.detector_name("edge-hmd")?,
         document.len()
     );
 
@@ -47,45 +65,70 @@ fn main() -> Result<(), Box<dyn Error>> {
     let unknown_apps: Vec<_> = catalog.unknown_apps().into_iter().cloned().collect();
     let mut rng = StdRng::seed_from_u64(99);
 
-    let mut session = MonitorSession::new(detector.as_ref());
     println!(
-        "{:<30} {:>9} {:>8} {:>9}   decision",
-        "application", "class", "entropy", "P(malware)"
+        "{:<30} {:>3} {:>9} {:>8} {:>9}   decision",
+        "application", "ver", "class", "entropy", "P(malware)"
     );
     let mut escalations_on_unknown = 0usize;
     let mut unknown_seen = 0usize;
-    for step in 0..30 {
-        // every third signature comes from a zero-day application
-        let (app, is_unknown) = if step % 3 == 2 {
-            (&unknown_apps[step % unknown_apps.len()], true)
-        } else {
-            (&known_apps[step % known_apps.len()], false)
-        };
-        let signature = builder.simulate_signature(app, &mut rng);
-        let report = session.observe(&signature)?;
-        let decision = match report.decision {
-            Decision::Accept(label) => format!("accept ({label})"),
-            Decision::Escalate => "ESCALATE to analyst".to_string(),
-        };
-        if is_unknown {
-            unknown_seen += 1;
-            if report.decision.is_escalation() {
-                escalations_on_unknown += 1;
-            }
+    for burst in 0..10 {
+        // Halfway through the stream, hot-swap a stricter version: a larger
+        // ensemble with a tighter escalation threshold. Requests already
+        // queued finish on v1; every later report is stamped v2.
+        if burst == 5 {
+            let stricter = DetectorConfig::trusted(DetectorBackend::decision_tree())
+                .with_num_estimators(35)
+                .with_entropy_threshold(0.3)
+                .fit(&split.train, 14)?;
+            let v2 = fleet.deploy("edge-hmd", stricter);
+            println!(
+                "--- hot swap: {} now serves as v{v2} ---",
+                fleet.detector_name("edge-hmd")?
+            );
         }
-        println!(
-            "{:<30} {:>9} {:>8.3} {:>9.2}   {}",
-            app.name,
-            app.label.to_string(),
-            report.prediction.entropy,
-            report.prediction.malware_vote_fraction,
-            decision
-        );
+
+        // One burst = BURST single-row score() calls; the tile drains through
+        // detect_rows when the BURST-th request lands.
+        let mut in_flight = Vec::new();
+        for slot in 0..BURST {
+            let step = burst * BURST + slot;
+            // every third signature comes from a zero-day application
+            let (app, is_unknown) = if step % 3 == 2 {
+                (&unknown_apps[step % unknown_apps.len()], true)
+            } else {
+                (&known_apps[step % known_apps.len()], false)
+            };
+            let signature = builder.simulate_signature(app, &mut rng);
+            let ticket = fleet.score("edge-hmd", &signature)?;
+            in_flight.push((app.name.clone(), app.label, is_unknown, ticket));
+        }
+        for (name, label, is_unknown, ticket) in in_flight {
+            let scored = ticket.wait()?;
+            let decision = match scored.report.decision {
+                Decision::Accept(label) => format!("accept ({label})"),
+                Decision::Escalate => "ESCALATE to analyst".to_string(),
+            };
+            if is_unknown {
+                unknown_seen += 1;
+                if scored.report.decision.is_escalation() {
+                    escalations_on_unknown += 1;
+                }
+            }
+            println!(
+                "{:<30} {:>3} {:>9} {:>8.3} {:>9.2}   {}",
+                name,
+                format!("v{}", scored.version),
+                label.to_string(),
+                scored.report.prediction.entropy,
+                scored.report.prediction.malware_vote_fraction,
+                decision
+            );
+        }
     }
 
-    let stats = session.stats();
+    let stats = fleet.stats("edge-hmd")?;
     println!(
-        "\nsession: {} windows, {} accepted ({} malware / {} benign), {} escalated",
+        "\nendpoint edge-hmd: {} windows, {} accepted ({} malware / {} benign), {} escalated",
         stats.windows,
         stats.accepted,
         stats.accepted_malware,
@@ -100,5 +143,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         100.0 * stats.escalation_rate()
     );
     println!("zero-day signatures escalated: {escalations_on_unknown}/{unknown_seen}");
+
+    // Operations can always back out: restore the previous version.
+    let restored = fleet.rollback("edge-hmd")?;
+    println!(
+        "rolled back to v{restored}: {} serves again",
+        fleet.detector_name("edge-hmd")?
+    );
     Ok(())
 }

@@ -48,8 +48,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // 4. On *unknown* applications the untrusted HMD silently guesses, while
-    //    the trusted HMD reports high uncertainty and escalates.
-    let reports = trusted.detect_batch(split.unknown.features())?;
+    //    the trusted HMD reports high uncertainty and escalates. Views make
+    //    scoring a sub-range of an existing matrix zero-copy.
+    let unknown = split.unknown.features();
+    let reports = trusted.detect_batch(unknown)?;
     let escalated = reports
         .iter()
         .filter(|r| r.decision.is_escalation())
@@ -61,5 +63,26 @@ fn main() -> Result<(), Box<dyn Error>> {
         100.0 * escalated as f64 / split.unknown.len() as f64
     );
     println!("the untrusted baseline emitted a (blind) verdict for every one of them");
+    let front_half = trusted.detect_batch(unknown.rows_view(0..unknown.rows() / 2))?;
+    assert_eq!(front_half, reports[..unknown.rows() / 2]);
+
+    // 5. Deployment surface: both pipelines serve behind a DetectorFleet as
+    //    named, versioned endpoints with per-endpoint statistics. Results
+    //    come back in a version-stamped envelope and are bit-identical to
+    //    the direct calls above.
+    let fleet = DetectorFleet::new();
+    fleet.deploy("trusted", trusted);
+    fleet.deploy("untrusted", untrusted);
+    let served = fleet.score_batch("trusted", unknown)?;
+    assert!(served
+        .iter()
+        .zip(&reports)
+        .all(|(s, d)| s.version == 1 && &s.report == d));
+    println!(
+        "fleet endpoints {:?}: trusted endpoint saw {} windows, {:.1}% escalated",
+        fleet.endpoints(),
+        fleet.stats("trusted")?.windows,
+        100.0 * fleet.stats("trusted")?.escalation_rate()
+    );
     Ok(())
 }

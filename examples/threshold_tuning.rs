@@ -66,7 +66,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         detector.entropy_threshold()
     );
     let combined = split.test_known.concat(&split.unknown)?;
-    let predictions = hmd::core::detector::predictions(detector.detect_batch(combined.features())?);
+    let predictions =
+        hmd::core::detector::predictions(&detector.detect_batch(combined.features())?);
     let f1_curve = F1Curve::sweep(
         "tuned",
         &predictions,

@@ -50,9 +50,9 @@ fn main() -> Result<(), Box<dyn Error>> {
             .with_num_estimators(25)
             .fit(&split.train, 3)?;
         let known =
-            hmd::core::detector::predictions(detector.detect_batch(split.test_known.features())?);
+            hmd::core::detector::predictions(&detector.detect_batch(split.test_known.features())?);
         let unknown =
-            hmd::core::detector::predictions(detector.detect_batch(split.unknown.features())?);
+            hmd::core::detector::predictions(&detector.detect_batch(split.unknown.features())?);
         curves.push(RejectionCurve::sweep(label, &known, &unknown, &thresholds));
     }
 

@@ -12,6 +12,8 @@
 //! * [`core`] ([`hmd_core`]) — the paper's contribution: online ensemble
 //!   uncertainty estimation, rejection policies, the trusted HMD pipeline and
 //!   the unified [`core::detector`] serving API.
+//! * [`serve`] ([`hmd_serve`]) — the fleet serving layer: named, versioned,
+//!   micro-batching detector endpoints with hot swap and rollback.
 //!
 //! # The `Detector` API
 //!
@@ -20,12 +22,41 @@
 //! one object-safe trait, [`core::detector::Detector`]. A serialisable
 //! [`core::detector::DetectorConfig`] describes *what* to train
 //! (pipeline kind × base learner × ensemble size × PCA × threshold);
-//! `config.fit(&train, seed)` compiles it into a `Box<dyn Detector>`; the
-//! batch-first [`core::detector::Detector::detect_batch`] is the hot path
-//! (front end applied once per matrix, rows scored by the flat engine); and
+//! `config.fit(&train, seed)` compiles it into a `Box<dyn Detector>`; and
 //! [`core::detector::save`] / [`core::detector::load`] persist a fitted
 //! pipeline so it can be trained once and served many times with
 //! bit-identical reports.
+//!
+//! The inference surface is **view-first**: the object-safe hot path
+//! [`core::detector::Detector::detect_rows`] scores a borrowed
+//! [`data::RowsView`] — a whole matrix, any row range of one
+//! ([`data::Matrix::rows_view`]), or a single borrowed signature — with zero
+//! input copies, and the blanket
+//! [`core::detector::DetectorExt::detect_batch`] accepts anything
+//! `Into<RowsView>` so `detector.detect_batch(&matrix)` keeps reading the
+//! way it always has. Single-window [`core::detector::Detector::detect`] is
+//! the provided 1×d-view case of the same path, so per-window and batch
+//! scoring are bit-identical by construction.
+//!
+//! # The serving fleet
+//!
+//! [`serve::DetectorFleet`] turns individual detectors into a deployment
+//! surface shaped like a DAQ central unit: producers submit signatures to
+//! *named endpoints*; each endpoint owns a versioned stack of
+//! `Box<dyn Detector>` models, its own running
+//! [`core::detector::MonitorStats`], and a micro-batching request tile.
+//! Single-row [`serve::DetectorFleet::score`] calls enqueue into the tile
+//! and return an ordered [`serve::Ticket`]; the tile drains through the
+//! detector's flat-engine batch path when it reaches
+//! [`serve::FlushPolicy::max_batch`] rows or the oldest waiter exceeds
+//! [`serve::FlushPolicy::max_wait`] — recovering batch-sized throughput at
+//! request granularity while staying **bit-identical** to direct
+//! `detect_batch` (enforced by a seeded multi-threaded equivalence test).
+//! [`serve::DetectorFleet::deploy`] hot-swaps a new model version while
+//! in-flight tickets finish on the version that accepted them,
+//! [`serve::DetectorFleet::rollback`] restores the previous one, and every
+//! result arrives as a version-stamped [`serve::VersionedReport`] envelope.
+//! `BENCH_serve.json` tracks the fleet-vs-direct throughput gap.
 //!
 //! # The flat inference engine
 //!
@@ -97,6 +128,14 @@
 //!     100.0 * session.stats().escalation_rate(),
 //!     session.stats().mean_entropy(),
 //! );
+//!
+//! // Or deploy it behind the serving fleet: a named, versioned endpoint
+//! // with micro-batched single-row scoring and per-endpoint statistics.
+//! let fleet = DetectorFleet::new();
+//! fleet.deploy("dvfs-hmd", served);
+//! let scored = fleet.score_batch("dvfs-hmd", split.unknown.features())?;
+//! assert!(scored.iter().all(|r| r.version == 1));
+//! assert_eq!(fleet.stats("dvfs-hmd")?.windows, split.unknown.len());
 //! # Ok(())
 //! # }
 //! ```
@@ -109,13 +148,15 @@ pub use hmd_data as data;
 pub use hmd_dvfs as dvfs;
 pub use hmd_hpc as hpc;
 pub use hmd_ml as ml;
+pub use hmd_serve as serve;
 
 /// Commonly used items, re-exported for convenient glob imports in examples
 /// and applications.
 pub mod prelude {
     pub use hmd_core::analysis::{EntropySummary, KnownUnknownEntropy};
     pub use hmd_core::detector::{
-        Detector, DetectorBackend, DetectorConfig, DetectorKind, MonitorSession, MonitorStats,
+        Detector, DetectorBackend, DetectorConfig, DetectorExt, DetectorKind, MonitorSession,
+        MonitorStats,
     };
     pub use hmd_core::estimator::{EnsembleUncertaintyEstimator, UncertainPrediction};
     pub use hmd_core::platt_baseline::PlattHmd;
@@ -123,7 +164,7 @@ pub mod prelude {
     pub use hmd_core::trusted::{
         Decision, DetectionReport, TrustedHmd, TrustedHmdBuilder, UntrustedHmd,
     };
-    pub use hmd_data::{Dataset, Label, Matrix};
+    pub use hmd_data::{Dataset, Label, Matrix, RowsView};
     pub use hmd_dvfs::dataset::DvfsCorpusBuilder;
     pub use hmd_hpc::dataset::HpcCorpusBuilder;
     pub use hmd_ml::bagging::BaggingParams;
@@ -133,6 +174,7 @@ pub mod prelude {
     pub use hmd_ml::svm::LinearSvmParams;
     pub use hmd_ml::tree::DecisionTreeParams;
     pub use hmd_ml::{Classifier, Estimator, ModelTag};
+    pub use hmd_serve::{DetectorFleet, FleetError, FlushPolicy, Ticket, VersionedReport};
 }
 
 #[cfg(test)]
