@@ -18,7 +18,7 @@
 //! | Ablations (bootstrap diversity, Platt baseline) | [`ablations`] | `ablation_*` |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ablations;
 pub mod ensemble_size;

@@ -5,7 +5,8 @@
 //! Every experiment goes through the unified [`Detector`] API: a
 //! [`DetectorConfig`] describes the pipeline, [`DetectorConfig::fit`] compiles
 //! it into a `Box<dyn Detector>`, and the batch hot path
-//! [`Detector::detect_batch`] produces the predictions behind every figure.
+//! [`DetectorExt::detect_batch`] produces the predictions behind every
+//! figure.
 
 use crate::scale::ExperimentScale;
 use hmd_core::detector::{Detector, DetectorBackend, DetectorConfig, DetectorExt};

@@ -9,7 +9,7 @@
 //!
 //! * [`Detector`] — the object-safe inference trait. Its required hot path is
 //!   [`Detector::detect_rows`], which scores a borrowed
-//!   [`RowsView`](hmd_data::RowsView) — a whole matrix, any row range of one,
+//!   [`RowsView`] — a whole matrix, any row range of one,
 //!   or a single borrowed signature — with zero input copies.
 //!   [`Detector::detect`] is the provided single-window case, routed through
 //!   a 1×d view of the caller's slice.

@@ -71,6 +71,32 @@ impl MonitorStats {
         }
     }
 
+    /// Folds another statistics block into this one, as if every window the
+    /// other block observed had been recorded here too.
+    ///
+    /// Counters add, entropy extremes take the joint min/max, and the mean
+    /// merges through the underlying sums — so merging the per-replica
+    /// statistics of a sharded endpoint yields the same counters and
+    /// extremes as recording every report into one block (the mean is the
+    /// same up to f64 summation order). Merging an empty block is a no-op.
+    pub fn merge(&mut self, other: &MonitorStats) {
+        if other.windows == 0 {
+            return;
+        }
+        if self.windows == 0 {
+            *self = *other;
+            return;
+        }
+        self.max_entropy = self.max_entropy.max(other.max_entropy);
+        self.min_entropy = self.min_entropy.min(other.min_entropy);
+        self.windows += other.windows;
+        self.accepted += other.accepted;
+        self.escalated += other.escalated;
+        self.accepted_malware += other.accepted_malware;
+        self.accepted_benign += other.accepted_benign;
+        self.entropy_sum += other.entropy_sum;
+    }
+
     /// Mean entropy over every observed window (0 when none).
     pub fn mean_entropy(&self) -> f64 {
         if self.windows == 0 {
@@ -270,6 +296,43 @@ mod tests {
         let mut batched = MonitorSession::new(&detector);
         batched.observe_batch(&batch).unwrap();
         assert_eq!(sequential.stats(), batched.stats());
+    }
+
+    #[test]
+    fn merged_stats_equal_jointly_recorded_stats() {
+        let detector = Fake;
+        let rows = [
+            vec![0.1, 1.0],
+            vec![0.6, 0.0],
+            vec![0.3, 1.0],
+            vec![0.9, 0.0],
+            vec![0.05, 0.0],
+        ];
+        // Record all five windows into one block...
+        let mut joint = MonitorSession::new(&detector);
+        for row in &rows {
+            joint.observe(row).unwrap();
+        }
+        // ...and split the same windows across two blocks, then merge.
+        let mut left = MonitorSession::new(&detector);
+        let mut right = MonitorSession::new(&detector);
+        for (i, row) in rows.iter().enumerate() {
+            if i % 2 == 0 {
+                left.observe(row).unwrap();
+            } else {
+                right.observe(row).unwrap();
+            }
+        }
+        let mut merged = *left.stats();
+        merged.merge(right.stats());
+        assert_eq!(&merged, joint.stats());
+
+        // Merging empty blocks in either direction changes nothing.
+        let mut empty = MonitorStats::default();
+        empty.merge(&merged);
+        assert_eq!(empty, merged);
+        merged.merge(&MonitorStats::default());
+        assert_eq!(&merged, joint.stats());
     }
 
     #[test]

@@ -94,7 +94,7 @@ impl<E: Estimator> BaggingParams<E> {
     ///
     /// # Errors
     ///
-    /// Returns configuration errors from [`BaggingParams::validate`] and
+    /// Returns configuration errors from the parameter validation and
     /// propagates the first base-training failure.
     pub fn fit(&self, dataset: &Dataset, seed: u64) -> Result<BaggingEnsemble<E::Model>, MlError> {
         self.validate()?;

@@ -49,7 +49,7 @@ const PAR_MIN_ROWS: usize = 256;
 ///
 /// Callers open a voting group with [`FlatForestBuilder::begin_group`], then
 /// let each model append its trees via
-/// [`Classifier::append_flat_group`](crate::Classifier::append_flat_group).
+/// [`crate::Classifier::append_flat_group`].
 #[derive(Debug)]
 pub struct FlatForestBuilder {
     feature: Vec<u32>,

@@ -4,10 +4,12 @@
 //! crate gives *many* pipelines one deployment surface, modelled after the
 //! central units of production DAQ systems: a registry that routes high-rate
 //! telemetry streams to versioned processing backends without stalling
-//! producers.
+//! producers. See `ARCHITECTURE.md` at the repository root for where this
+//! crate sits in the workspace's data flow.
 //!
 //! * [`DetectorFleet`] — a registry of named, versioned `Box<dyn Detector>`
-//!   endpoints. Every endpoint owns its own [`MonitorStats`] (the per-tenant
+//!   endpoints. Every endpoint owns its own
+//!   [`MonitorStats`](hmd_core::detector::MonitorStats) (the per-tenant
 //!   `MonitorSession` state of earlier PRs moves behind the fleet) and a
 //!   micro-batching request collector.
 //! * **Micro-batching**: single-row [`DetectorFleet::score`] calls enqueue
@@ -26,13 +28,21 @@
 //!   previous version. Every result is a version-stamped
 //!   [`VersionedReport`] envelope, so consumers can attribute each decision
 //!   to the exact model that made it.
+//! * **Sharding**: [`ShardedFleet`] replicates each endpoint across `N`
+//!   shards — every replica a full endpoint with its own tile and monitor —
+//!   and routes requests with a pluggable [`RoutePolicy`] (round-robin,
+//!   least-loaded by open-tile depth, or key affinity for session
+//!   stickiness). Replicas are bit-identical codec clones on lock-stepped
+//!   versions, so sharding changes *where* a request queues, never *what*
+//!   it scores; `tests/shard.rs` proves sharded scoring report-identical to
+//!   the single-endpoint fleet modulo replica attribution.
 //!
 //! # Example
 //!
 //! ```
 //! use hmd_core::detector::{DetectorBackend, DetectorConfig};
 //! use hmd_data::{Dataset, Label, Matrix};
-//! use hmd_serve::DetectorFleet;
+//! use hmd_serve::{DetectorFleet, ShardedFleet};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let x = Matrix::from_rows(&[
@@ -54,776 +64,25 @@
 //! let scored = ticket.wait()?;
 //! assert_eq!(scored.version, 1);
 //! assert_eq!(fleet.stats("dvfs-hmd")?.windows, 1);
+//!
+//! // Scale out: the same model replicated across two shards.
+//! let sharded = ShardedFleet::new(2);
+//! let detector = DetectorConfig::trusted(DetectorBackend::decision_tree())
+//!     .with_num_estimators(9)
+//!     .fit(&train, 3)?;
+//! sharded.deploy("dvfs-hmd", detector)?;
+//! let ticket = sharded.score("dvfs-hmd", &[0.15, 0.15])?;
+//! sharded.flush("dvfs-hmd")?;
+//! assert!(ticket.wait()?.replica < 2);
 //! # Ok(())
 //! # }
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
-use hmd_core::detector::{Detector, MonitorStats};
-use hmd_core::trusted::DetectionReport;
-use hmd_data::{Matrix, RowsView};
-use std::collections::HashMap;
-use std::fmt;
-use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::{Duration, Instant};
+mod fleet;
+mod shard;
 
-/// When a per-endpoint request tile drains through the batch hot path.
-///
-/// A tile flushes as soon as **either** bound is hit: it collected
-/// `max_batch` rows, or the oldest enqueued request has waited `max_wait`.
-/// Large `max_batch` + small `max_wait` trades a bounded latency floor for
-/// batch-sized throughput; `max_batch == 1` degenerates to direct scoring.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FlushPolicy {
-    /// Maximum rows collected before the enqueueing caller drains the tile.
-    pub max_batch: usize,
-    /// Maximum time the oldest request waits before its [`Ticket::wait`]
-    /// drains the tile itself.
-    pub max_wait: Duration,
-}
-
-impl FlushPolicy {
-    /// A policy flushing at `max_batch` rows or after `max_wait`.
-    pub fn new(max_batch: usize, max_wait: Duration) -> FlushPolicy {
-        FlushPolicy {
-            max_batch: max_batch.max(1),
-            max_wait,
-        }
-    }
-}
-
-impl Default for FlushPolicy {
-    /// 64 rows (one flat-engine tile) or 2 ms, whichever comes first.
-    fn default() -> FlushPolicy {
-        FlushPolicy::new(64, Duration::from_millis(2))
-    }
-}
-
-/// A [`DetectionReport`] stamped with the endpoint version that produced it,
-/// so every decision stays attributable across hot swaps and rollbacks.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct VersionedReport {
-    /// The endpoint version (1-based, monotonically increasing per endpoint)
-    /// that scored the request.
-    pub version: u64,
-    /// The detector's full report.
-    pub report: DetectionReport,
-}
-
-/// Errors of the fleet layer.
-///
-/// Cloneable (a failed micro-batch distributes the same error to every
-/// ticket) and `#[non_exhaustive]` like the rest of the detector error
-/// surface.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum FleetError {
-    /// No endpoint with the requested name is deployed.
-    UnknownEndpoint {
-        /// The requested endpoint name.
-        name: String,
-    },
-    /// `rollback` was called on an endpoint with no retired version.
-    NoPreviousVersion {
-        /// The endpoint name.
-        name: String,
-    },
-    /// A scored row's feature count disagrees with the rows already queued
-    /// in the endpoint's pending tile.
-    WidthMismatch {
-        /// Feature count of the rows already enqueued.
-        expected: usize,
-        /// Feature count of the rejected row.
-        found: usize,
-    },
-    /// The detector rejected the drained batch (e.g. wrong feature count
-    /// for the model). Carries the detector error's message.
-    Detector {
-        /// Display form of the underlying `MlError`.
-        message: String,
-    },
-}
-
-impl fmt::Display for FleetError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FleetError::UnknownEndpoint { name } => write!(f, "unknown endpoint `{name}`"),
-            FleetError::NoPreviousVersion { name } => {
-                write!(
-                    f,
-                    "endpoint `{name}` has no previous version to roll back to"
-                )
-            }
-            FleetError::WidthMismatch { expected, found } => write!(
-                f,
-                "row width {found} does not match the pending tile width {expected}"
-            ),
-            FleetError::Detector { message } => write!(f, "detector error: {message}"),
-        }
-    }
-}
-
-impl std::error::Error for FleetError {}
-
-impl From<hmd_ml::MlError> for FleetError {
-    fn from(err: hmd_ml::MlError) -> FleetError {
-        FleetError::Detector {
-            message: err.to_string(),
-        }
-    }
-}
-
-/// One published version of an endpoint's detector.
-struct Version {
-    number: u64,
-    detector: Box<dyn Detector>,
-}
-
-/// Result cell shared by every ticket of one micro-batch: one allocation per
-/// tile, not per request.
-struct BatchCell {
-    /// `None` while the batch is pending or in flight; per-row results after
-    /// the drain (each ticket reads its own index — tickets are moved into
-    /// `wait`, so an index is claimed at most once).
-    results: Mutex<Option<Vec<Result<VersionedReport, FleetError>>>>,
-    ready: Condvar,
-}
-
-impl BatchCell {
-    fn new() -> Arc<BatchCell> {
-        Arc::new(BatchCell {
-            results: Mutex::new(None),
-            ready: Condvar::new(),
-        })
-    }
-
-    fn fill(&self, results: Vec<Result<VersionedReport, FleetError>>) {
-        let mut guard = self.results.lock().expect("batch cell lock");
-        *guard = Some(results);
-        self.ready.notify_all();
-    }
-}
-
-/// The endpoint's request tile: rows flattened into one buffer, the shared
-/// result cell, and the version captured when the tile was opened.
-struct Pending {
-    width: usize,
-    rows: Vec<f64>,
-    count: usize,
-    cell: Option<Arc<BatchCell>>,
-    version: Option<Arc<Version>>,
-    deadline: Option<Instant>,
-}
-
-impl Pending {
-    fn empty() -> Pending {
-        Pending {
-            width: 0,
-            rows: Vec::new(),
-            count: 0,
-            cell: None,
-            version: None,
-            deadline: None,
-        }
-    }
-
-    fn take(&mut self) -> Option<TakenBatch> {
-        if self.count == 0 {
-            return None;
-        }
-        let taken = TakenBatch {
-            width: self.width,
-            rows: std::mem::take(&mut self.rows),
-            count: self.count,
-            cell: self.cell.take().expect("non-empty tile has a cell"),
-            version: self.version.take().expect("non-empty tile has a version"),
-        };
-        self.count = 0;
-        self.deadline = None;
-        taken.into()
-    }
-}
-
-/// A tile removed from the pending slot, ready to drain outside the lock.
-struct TakenBatch {
-    width: usize,
-    rows: Vec<f64>,
-    count: usize,
-    cell: Arc<BatchCell>,
-    version: Arc<Version>,
-}
-
-struct Endpoint {
-    policy: FlushPolicy,
-    versions: Mutex<VersionStack>,
-    pending: Mutex<Pending>,
-    stats: Mutex<MonitorStats>,
-}
-
-struct VersionStack {
-    active: Arc<Version>,
-    retired: Vec<Arc<Version>>,
-    next: u64,
-}
-
-impl Endpoint {
-    fn new(detector: Box<dyn Detector>, policy: FlushPolicy) -> Endpoint {
-        Endpoint {
-            policy,
-            versions: Mutex::new(VersionStack {
-                active: Arc::new(Version {
-                    number: 1,
-                    detector,
-                }),
-                retired: Vec::new(),
-                next: 2,
-            }),
-            pending: Mutex::new(Pending::empty()),
-            stats: Mutex::new(MonitorStats::default()),
-        }
-    }
-
-    fn active(&self) -> Arc<Version> {
-        Arc::clone(&self.versions.lock().expect("version lock").active)
-    }
-
-    /// How many retired versions an endpoint keeps for rollback. Bounded so
-    /// a long-running fleet that redeploys periodically does not retain
-    /// every fitted model it ever served.
-    const MAX_RETIRED: usize = 4;
-
-    /// Publishes a new version. The swap is atomic w.r.t. `active()`; a
-    /// pending tile keeps the version it captured when it opened, so
-    /// requests already enqueued finish on the old detector. The tile is
-    /// flushed first to bound how long the retired version keeps serving.
-    fn deploy(&self, detector: Box<dyn Detector>) -> u64 {
-        self.flush();
-        let mut versions = self.versions.lock().expect("version lock");
-        let number = versions.next;
-        versions.next += 1;
-        let old = std::mem::replace(&mut versions.active, Arc::new(Version { number, detector }));
-        versions.retired.push(old);
-        if versions.retired.len() > Self::MAX_RETIRED {
-            versions.retired.remove(0); // drop the oldest retained model
-        }
-        number
-    }
-
-    fn rollback(&self, name: &str) -> Result<u64, FleetError> {
-        self.flush();
-        let mut versions = self.versions.lock().expect("version lock");
-        let restored = versions
-            .retired
-            .pop()
-            .ok_or_else(|| FleetError::NoPreviousVersion {
-                name: name.to_string(),
-            })?;
-        versions.active = restored;
-        Ok(versions.active.number)
-    }
-
-    fn enqueue(self: &Arc<Endpoint>, features: &[f64]) -> Result<Ticket, FleetError> {
-        let (ticket, drained) = {
-            let mut pending = self.pending.lock().expect("pending lock");
-            if pending.count == 0 {
-                pending.width = features.len();
-                pending.cell = Some(BatchCell::new());
-                pending.version = Some(self.active());
-                pending.deadline = Some(Instant::now() + self.policy.max_wait);
-                pending.rows.clear();
-                // One up-front allocation per tile: draining moves the buffer
-                // out, so without this the vec would re-grow (and copy) its
-                // way up for every tile.
-                pending
-                    .rows
-                    .reserve(features.len() * self.policy.max_batch.min(1 << 16));
-            } else if features.len() != pending.width {
-                return Err(FleetError::WidthMismatch {
-                    expected: pending.width,
-                    found: features.len(),
-                });
-            }
-            pending.rows.extend_from_slice(features);
-            let index = pending.count;
-            pending.count += 1;
-            let ticket = Ticket {
-                endpoint: Arc::clone(self),
-                cell: Arc::clone(pending.cell.as_ref().expect("open tile has a cell")),
-                index,
-                deadline: pending.deadline.expect("open tile has a deadline"),
-            };
-            let drained = if pending.count >= self.policy.max_batch {
-                pending.take()
-            } else {
-                None
-            };
-            (ticket, drained)
-        };
-        if let Some(batch) = drained {
-            self.drain(batch);
-        }
-        Ok(ticket)
-    }
-
-    /// Drains whatever is pending; returns the number of rows scored.
-    fn flush(&self) -> usize {
-        let taken = self.pending.lock().expect("pending lock").take();
-        match taken {
-            Some(batch) => {
-                let rows = batch.count;
-                self.drain(batch);
-                rows
-            }
-            None => 0,
-        }
-    }
-
-    /// Scores one taken tile through the captured version's batch hot path
-    /// and fulfils its tickets in request order. Runs outside every lock, so
-    /// producers keep enqueueing while the batch is in flight.
-    fn drain(&self, batch: TakenBatch) {
-        let matrix = Matrix::from_vec(batch.count, batch.width, batch.rows)
-            .expect("tile buffer is count x width by construction");
-        match batch.version.detector.detect_rows(matrix.view()) {
-            Ok(reports) => {
-                let mut stats = self.stats.lock().expect("stats lock");
-                for report in &reports {
-                    stats.record(report);
-                }
-                drop(stats);
-                batch.cell.fill(
-                    reports
-                        .into_iter()
-                        .map(|report| {
-                            Ok(VersionedReport {
-                                version: batch.version.number,
-                                report,
-                            })
-                        })
-                        .collect(),
-                );
-            }
-            Err(err) => {
-                let error = FleetError::from(err);
-                batch
-                    .cell
-                    .fill((0..batch.count).map(|_| Err(error.clone())).collect());
-            }
-        }
-    }
-
-    fn score_rows(&self, batch: RowsView<'_>) -> Result<Vec<VersionedReport>, FleetError> {
-        let version = self.active();
-        let reports = version.detector.detect_rows(batch)?;
-        let mut stats = self.stats.lock().expect("stats lock");
-        for report in &reports {
-            stats.record(report);
-        }
-        drop(stats);
-        Ok(reports
-            .into_iter()
-            .map(|report| VersionedReport {
-                version: version.number,
-                report,
-            })
-            .collect())
-    }
-}
-
-/// An ordered claim on one micro-batched scoring request.
-///
-/// Tickets resolve in request order within their tile. [`Ticket::wait`]
-/// blocks until the tile drains — and *makes it drain* once the flush
-/// policy's `max_wait` deadline passes, so a lone request on an idle
-/// endpoint never hangs.
-pub struct Ticket {
-    endpoint: Arc<Endpoint>,
-    cell: Arc<BatchCell>,
-    index: usize,
-    deadline: Instant,
-}
-
-impl fmt::Debug for Ticket {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Ticket")
-            .field("index", &self.index)
-            .field("deadline", &self.deadline)
-            .finish_non_exhaustive()
-    }
-}
-
-impl Ticket {
-    /// Blocks until the request's micro-batch has been scored and returns
-    /// this request's version-stamped report.
-    ///
-    /// # Errors
-    ///
-    /// Returns the error the detector reported for the batch (every ticket
-    /// of a failed batch receives a clone).
-    pub fn wait(self) -> Result<VersionedReport, FleetError> {
-        let mut guard = self.cell.results.lock().expect("batch cell lock");
-        loop {
-            if let Some(results) = guard.as_ref() {
-                return results[self.index].clone();
-            }
-            let now = Instant::now();
-            if now < self.deadline {
-                let (g, _) = self
-                    .cell
-                    .ready
-                    .wait_timeout(guard, self.deadline - now)
-                    .expect("batch cell wait");
-                guard = g;
-            } else {
-                // Deadline passed with the tile still queued: this waiter
-                // becomes the flusher. If another thread is already draining
-                // the tile, the flush is a no-op and the condvar wait below
-                // picks the results up when they land.
-                drop(guard);
-                self.endpoint.flush();
-                guard = self.cell.results.lock().expect("batch cell lock");
-                while guard.is_none() {
-                    guard = self.cell.ready.wait(guard).expect("batch cell wait");
-                }
-            }
-        }
-    }
-
-    /// Non-blocking probe: returns the result if the batch already drained.
-    pub fn try_wait(self) -> Result<Result<VersionedReport, FleetError>, Ticket> {
-        let guard = self.cell.results.lock().expect("batch cell lock");
-        match guard.as_ref() {
-            Some(results) => Ok(results[self.index].clone()),
-            None => {
-                drop(guard);
-                Err(self)
-            }
-        }
-    }
-}
-
-/// A registry of named, versioned, micro-batching detector endpoints — the
-/// fleet behind which every deployed pipeline serves.
-///
-/// See the [crate docs](crate) for the serving model and an example.
-pub struct DetectorFleet {
-    policy: FlushPolicy,
-    endpoints: RwLock<HashMap<String, Arc<Endpoint>>>,
-}
-
-impl Default for DetectorFleet {
-    fn default() -> DetectorFleet {
-        DetectorFleet::new()
-    }
-}
-
-impl DetectorFleet {
-    /// An empty fleet with the default [`FlushPolicy`].
-    pub fn new() -> DetectorFleet {
-        DetectorFleet::with_policy(FlushPolicy::default())
-    }
-
-    /// An empty fleet whose endpoints flush with the given policy.
-    pub fn with_policy(policy: FlushPolicy) -> DetectorFleet {
-        DetectorFleet {
-            policy,
-            endpoints: RwLock::new(HashMap::new()),
-        }
-    }
-
-    fn endpoint(&self, name: &str) -> Result<Arc<Endpoint>, FleetError> {
-        self.endpoints
-            .read()
-            .expect("endpoint registry lock")
-            .get(name)
-            .cloned()
-            .ok_or_else(|| FleetError::UnknownEndpoint {
-                name: name.to_string(),
-            })
-    }
-
-    /// Deploys `detector` as endpoint `name` and returns the published
-    /// version number (1 for a new endpoint, previous + 1 afterwards).
-    ///
-    /// Publishing is atomic: requests already enqueued finish on the version
-    /// that accepted them, requests enqueued after this call score on the
-    /// new version. The endpoint's monitor statistics persist across
-    /// versions (they describe the endpoint, not the model). The last few
-    /// retired versions are retained for [`DetectorFleet::rollback`]; older
-    /// ones are dropped so periodic redeploys do not accumulate every model
-    /// ever served.
-    pub fn deploy(&self, name: &str, detector: Box<dyn Detector>) -> u64 {
-        let existing = self.endpoint(name).ok();
-        match existing {
-            Some(endpoint) => endpoint.deploy(detector),
-            None => {
-                let mut endpoints = self.endpoints.write().expect("endpoint registry lock");
-                // Double-checked under the write lock: a racing deploy of the
-                // same name must version-bump, not overwrite.
-                match endpoints.get(name) {
-                    Some(endpoint) => endpoint.deploy(detector),
-                    None => {
-                        endpoints.insert(
-                            name.to_string(),
-                            Arc::new(Endpoint::new(detector, self.policy)),
-                        );
-                        1
-                    }
-                }
-            }
-        }
-    }
-
-    /// Restores endpoint `name` to the version retired by the latest
-    /// [`DetectorFleet::deploy`], returning the restored version number.
-    ///
-    /// # Errors
-    ///
-    /// [`FleetError::UnknownEndpoint`] for unknown names,
-    /// [`FleetError::NoPreviousVersion`] when nothing was ever retired.
-    pub fn rollback(&self, name: &str) -> Result<u64, FleetError> {
-        self.endpoint(name)?.rollback(name)
-    }
-
-    /// The currently active version number of endpoint `name`.
-    ///
-    /// # Errors
-    ///
-    /// [`FleetError::UnknownEndpoint`] for unknown names.
-    pub fn active_version(&self, name: &str) -> Result<u64, FleetError> {
-        Ok(self.endpoint(name)?.active().number)
-    }
-
-    /// The active detector's human-readable description.
-    ///
-    /// # Errors
-    ///
-    /// [`FleetError::UnknownEndpoint`] for unknown names.
-    pub fn detector_name(&self, name: &str) -> Result<String, FleetError> {
-        Ok(self.endpoint(name)?.active().detector.name())
-    }
-
-    /// Names of every deployed endpoint, sorted.
-    pub fn endpoints(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .endpoints
-            .read()
-            .expect("endpoint registry lock")
-            .keys()
-            .cloned()
-            .collect();
-        names.sort();
-        names
-    }
-
-    /// Enqueues one signature into endpoint `name`'s micro-batch tile and
-    /// returns an ordered [`Ticket`] for the result. The row is copied into
-    /// the tile (the only copy on the request path); the tile drains through
-    /// the detector's zero-copy batch view when the flush policy fires.
-    ///
-    /// # Errors
-    ///
-    /// [`FleetError::UnknownEndpoint`] for unknown names,
-    /// [`FleetError::WidthMismatch`] when `features` disagrees with rows
-    /// already queued in the tile.
-    pub fn score(&self, name: &str, features: &[f64]) -> Result<Ticket, FleetError> {
-        self.endpoint(name)?.enqueue(features)
-    }
-
-    /// Scores a whole borrowed batch view directly on the active version —
-    /// the batch-first fleet path, bypassing the micro-batch queue but still
-    /// stamping versions and feeding the endpoint's statistics.
-    ///
-    /// # Errors
-    ///
-    /// [`FleetError::UnknownEndpoint`] for unknown names, or the detector's
-    /// error for mismatched feature counts.
-    pub fn score_batch<'a>(
-        &self,
-        name: &str,
-        batch: impl Into<RowsView<'a>>,
-    ) -> Result<Vec<VersionedReport>, FleetError> {
-        self.endpoint(name)?.score_rows(batch.into())
-    }
-
-    /// Drains endpoint `name`'s pending tile immediately, returning how many
-    /// rows were scored (0 when the tile was empty — an empty flush is a
-    /// no-op, not an error).
-    ///
-    /// # Errors
-    ///
-    /// [`FleetError::UnknownEndpoint`] for unknown names.
-    pub fn flush(&self, name: &str) -> Result<usize, FleetError> {
-        Ok(self.endpoint(name)?.flush())
-    }
-
-    /// Snapshot of endpoint `name`'s running monitor statistics (windows,
-    /// accept/escalate counts, entropy extremes) across every version it has
-    /// served.
-    ///
-    /// # Errors
-    ///
-    /// [`FleetError::UnknownEndpoint`] for unknown names.
-    pub fn stats(&self, name: &str) -> Result<MonitorStats, FleetError> {
-        Ok(*self.endpoint(name)?.stats.lock().expect("stats lock"))
-    }
-
-    /// Resets endpoint `name`'s monitor statistics (e.g. at an epoch
-    /// boundary) without touching the deployed detector or its versions.
-    ///
-    /// # Errors
-    ///
-    /// [`FleetError::UnknownEndpoint`] for unknown names.
-    pub fn reset_stats(&self, name: &str) -> Result<(), FleetError> {
-        *self.endpoint(name)?.stats.lock().expect("stats lock") = MonitorStats::default();
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use hmd_core::detector::{DetectorBackend, DetectorConfig, DetectorExt};
-    use hmd_data::{Dataset, Label};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    fn blobs(n: usize, seed: u64) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut rows = Vec::new();
-        let mut labels = Vec::new();
-        for _ in 0..n {
-            let malware = rng.gen_bool(0.5);
-            let c = if malware { 2.0 } else { -2.0 };
-            rows.push(vec![
-                c + rng.gen_range(-0.8..0.8),
-                c + rng.gen_range(-0.8..0.8),
-            ]);
-            labels.push(Label::from(malware));
-        }
-        Dataset::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
-    }
-
-    fn trained(num_estimators: usize, seed: u64) -> Box<dyn Detector> {
-        DetectorConfig::trusted(DetectorBackend::decision_tree())
-            .with_num_estimators(num_estimators)
-            .fit(&blobs(120, 7), seed)
-            .expect("training succeeds")
-    }
-
-    #[test]
-    fn deploy_rollback_walk_the_version_stack() {
-        let fleet = DetectorFleet::new();
-        assert_eq!(fleet.deploy("ep", trained(5, 1)), 1);
-        assert_eq!(fleet.active_version("ep").unwrap(), 1);
-        assert_eq!(fleet.deploy("ep", trained(7, 2)), 2);
-        assert_eq!(fleet.active_version("ep").unwrap(), 2);
-        assert!(fleet.detector_name("ep").unwrap().starts_with("trusted[7x"));
-        assert_eq!(fleet.rollback("ep").unwrap(), 1);
-        assert!(fleet.detector_name("ep").unwrap().starts_with("trusted[5x"));
-        // A fresh deploy after rollback keeps version numbers monotone.
-        assert_eq!(fleet.deploy("ep", trained(9, 3)), 3);
-        // v3 retired v1 again; rolling back twice bottoms the stack out.
-        assert_eq!(fleet.rollback("ep").unwrap(), 1);
-        assert_eq!(
-            fleet.rollback("ep").unwrap_err(),
-            FleetError::NoPreviousVersion { name: "ep".into() },
-            "rolling back past the stack bottom errors"
-        );
-    }
-
-    #[test]
-    fn retired_versions_are_bounded_for_rollback() {
-        let fleet = DetectorFleet::new();
-        for i in 0..8u64 {
-            fleet.deploy("ep", trained(5, 100 + i));
-        }
-        assert_eq!(fleet.active_version("ep").unwrap(), 8);
-        // Only the bounded tail of the version stack can be restored.
-        for expected in [7, 6, 5, 4] {
-            assert_eq!(fleet.rollback("ep").unwrap(), expected);
-        }
-        assert!(matches!(
-            fleet.rollback("ep"),
-            Err(FleetError::NoPreviousVersion { .. })
-        ));
-    }
-
-    #[test]
-    fn unknown_endpoints_error_uniformly() {
-        let fleet = DetectorFleet::new();
-        let missing = FleetError::UnknownEndpoint {
-            name: "ghost".into(),
-        };
-        assert_eq!(fleet.score("ghost", &[0.0]).unwrap_err(), missing);
-        assert_eq!(fleet.flush("ghost").unwrap_err(), missing);
-        assert_eq!(fleet.stats("ghost").unwrap_err(), missing);
-        assert_eq!(fleet.rollback("ghost").unwrap_err(), missing);
-        assert_eq!(fleet.active_version("ghost").unwrap_err(), missing);
-        assert!(fleet.endpoints().is_empty());
-    }
-
-    #[test]
-    fn width_mismatch_is_rejected_at_enqueue_time() {
-        let fleet = DetectorFleet::with_policy(FlushPolicy::new(8, Duration::from_secs(5)));
-        fleet.deploy("ep", trained(5, 4));
-        let _first = fleet.score("ep", &[0.1, 0.2]).unwrap();
-        let err = fleet.score("ep", &[0.1, 0.2, 0.3]).unwrap_err();
-        assert_eq!(
-            err,
-            FleetError::WidthMismatch {
-                expected: 2,
-                found: 3
-            }
-        );
-        // The mismatched row was not enqueued; the tile drains cleanly.
-        assert_eq!(fleet.flush("ep").unwrap(), 1);
-    }
-
-    #[test]
-    fn detector_errors_fan_out_to_every_ticket() {
-        let fleet = DetectorFleet::with_policy(FlushPolicy::new(2, Duration::from_secs(5)));
-        fleet.deploy("ep", trained(5, 5));
-        // Wrong width for the model (trained on 2 features) but consistent
-        // within the tile: the error surfaces per ticket, not as a panic.
-        let a = fleet.score("ep", &[0.1, 0.2, 0.3]).unwrap();
-        let b = fleet.score("ep", &[0.4, 0.5, 0.6]).unwrap();
-        assert!(matches!(a.wait(), Err(FleetError::Detector { .. })));
-        assert!(matches!(b.wait(), Err(FleetError::Detector { .. })));
-        assert_eq!(fleet.stats("ep").unwrap().windows, 0);
-    }
-
-    #[test]
-    fn score_batch_stamps_versions_and_feeds_stats() {
-        let fleet = DetectorFleet::new();
-        let detector = trained(9, 6);
-        let test = blobs(20, 8);
-        let direct = detector.detect_batch(test.features()).unwrap();
-        fleet.deploy("ep", detector);
-        let scored = fleet.score_batch("ep", test.features()).unwrap();
-        assert_eq!(scored.len(), direct.len());
-        for (s, d) in scored.iter().zip(&direct) {
-            assert_eq!(s.version, 1);
-            assert_eq!(&s.report, d);
-        }
-        assert_eq!(fleet.stats("ep").unwrap().windows, 20);
-        fleet.reset_stats("ep").unwrap();
-        assert_eq!(fleet.stats("ep").unwrap(), MonitorStats::default());
-    }
-
-    #[test]
-    fn try_wait_resolves_only_after_a_drain() {
-        let fleet = DetectorFleet::with_policy(FlushPolicy::new(16, Duration::from_secs(5)));
-        fleet.deploy("ep", trained(5, 9));
-        let ticket = fleet.score("ep", &[0.5, -0.5]).unwrap();
-        let ticket = match ticket.try_wait() {
-            Err(ticket) => ticket,
-            Ok(_) => panic!("tile has not drained yet"),
-        };
-        assert_eq!(fleet.flush("ep").unwrap(), 1);
-        let report = ticket.try_wait().expect("drained").expect("scores");
-        assert_eq!(report.version, 1);
-    }
-}
+pub use fleet::{DetectorFleet, FleetError, FlushPolicy, Ticket, VersionedReport};
+pub use shard::{RoutePolicy, ShardConfig, ShardTicket, ShardedFleet, ShardedReport};

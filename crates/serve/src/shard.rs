@@ -1,0 +1,659 @@
+//! Sharded replica serving: N micro-batching replicas per endpoint with
+//! load-aware routing.
+//!
+//! A [`crate::DetectorFleet`] endpoint funnels every concurrent scorer
+//! through **one** pending tile behind one mutex. That is the right shape
+//! for a single producer, but a burst of independent scorers serialises on
+//! the tile lock and shares one flush deadline. [`ShardedFleet`] replicates
+//! each endpoint across `N` shards — every replica is a full
+//! [`crate::fleet::Endpoint`]: its own versioned detector stack, its own
+//! tile, its own [`MonitorStats`] — and routes each request to one replica
+//! with a pluggable [`RoutePolicy`].
+//!
+//! Replicas are **clones through the persistence codec**: `deploy` saves the
+//! detector once and restores it per replica, which the PR-1 save/load
+//! guarantee makes bit-identical. Scoring a row on any replica therefore
+//! produces the same report bits — sharding changes *where* a request is
+//! queued, never *what* it scores (the seeded equivalence test in
+//! `tests/shard.rs` enforces this). Administrative operations (`deploy`,
+//! `rollback`) fan out to every replica in lock-step under a per-endpoint
+//! generation counter: replicas apply the same admin history in the same
+//! order, so a given version number names the same model bits on every
+//! replica and all replicas agree on the active version between fan-outs.
+//! *During* a fan-out, requests routed to a not-yet-swapped replica are
+//! stamped with the outgoing version — the same transitional semantics as
+//! rows already queued in a tile when a hot swap lands.
+
+use crate::fleet::Endpoint;
+use crate::{DetectorFleet, FleetError, FlushPolicy, Ticket, VersionedReport};
+use hmd_core::detector::{load, save, Detector, MonitorStats};
+use hmd_core::trusted::DetectionReport;
+use hmd_data::RowsView;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// How a sharded endpoint picks the replica that queues a request.
+///
+/// Routing never changes *what* a request scores — replicas are
+/// bit-identical codec clones on the same version — only which tile it
+/// waits in, which controls contention and batching behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RoutePolicy {
+    /// Rotate through the replicas with an atomic cursor. Spreads load
+    /// evenly regardless of per-request cost; the default.
+    RoundRobin,
+    /// Route to the replica with the fewest rows in its open tile (ties go
+    /// to the lowest index). Reads a racy snapshot of each tile's depth —
+    /// good enough to steer bursts away from backed-up replicas.
+    LeastLoaded,
+    /// Route [`ShardedFleet::score_keyed`] requests by the caller's hash
+    /// key, so one session's requests always share a replica (and therefore
+    /// micro-batch together). Keyless [`ShardedFleet::score`] calls fall
+    /// back to round-robin under this policy.
+    KeyAffinity,
+}
+
+/// Configuration of a [`ShardedFleet`]: replica count, routing policy and
+/// the per-replica flush policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Replicas per endpoint (clamped to at least 1).
+    pub replicas: usize,
+    /// How requests pick a replica.
+    pub policy: RoutePolicy,
+    /// The [`FlushPolicy`] every replica's tile drains under.
+    pub flush: FlushPolicy,
+}
+
+impl ShardConfig {
+    /// `replicas` round-robin shards with the default [`FlushPolicy`].
+    pub fn new(replicas: usize) -> ShardConfig {
+        ShardConfig {
+            replicas: replicas.max(1),
+            policy: RoutePolicy::RoundRobin,
+            flush: FlushPolicy::default(),
+        }
+    }
+
+    /// Sets the routing policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RoutePolicy) -> ShardConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the per-replica flush policy.
+    #[must_use]
+    pub fn with_flush(mut self, flush: FlushPolicy) -> ShardConfig {
+        self.flush = flush;
+        self
+    }
+}
+
+/// A [`VersionedReport`] plus the replica that scored it.
+///
+/// The `replica` field is pure attribution: replicas are bit-identical
+/// clones, so `version` and `report` are independent of which replica
+/// served the request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedReport {
+    /// Index (0-based) of the replica whose tile scored the request.
+    pub replica: usize,
+    /// The endpoint version that scored the request. The lock-stepped
+    /// generation counter makes a given number name the same model bits on
+    /// every replica; mid-fan-out requests may still land on a replica the
+    /// deploy has not reached yet and carry the outgoing version.
+    pub version: u64,
+    /// The detector's full report.
+    pub report: DetectionReport,
+}
+
+impl ShardedReport {
+    fn new(replica: usize, scored: VersionedReport) -> ShardedReport {
+        ShardedReport {
+            replica,
+            version: scored.version,
+            report: scored.report,
+        }
+    }
+}
+
+/// An ordered claim on one sharded scoring request: a [`Ticket`] on the
+/// replica the router chose, remembering which replica that was.
+pub struct ShardTicket {
+    replica: usize,
+    ticket: Ticket,
+}
+
+impl std::fmt::Debug for ShardTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardTicket")
+            .field("replica", &self.replica)
+            .field("ticket", &self.ticket)
+            .finish()
+    }
+}
+
+impl ShardTicket {
+    /// The replica index the request was routed to.
+    pub fn replica(&self) -> usize {
+        self.replica
+    }
+
+    /// Blocks until the request's micro-batch has been scored on its
+    /// replica; same drain-on-deadline semantics as [`Ticket::wait`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the error the replica's detector reported for the batch.
+    pub fn wait(self) -> Result<ShardedReport, FleetError> {
+        let replica = self.replica;
+        self.ticket
+            .wait()
+            .map(|scored| ShardedReport::new(replica, scored))
+    }
+
+    /// Non-blocking probe: returns the result if the replica's batch
+    /// already drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` — the unconsumed ticket — while the batch is
+    /// still pending.
+    pub fn try_wait(self) -> Result<Result<ShardedReport, FleetError>, ShardTicket> {
+        let replica = self.replica;
+        match self.ticket.try_wait() {
+            Ok(result) => Ok(result.map(|scored| ShardedReport::new(replica, scored))),
+            Err(ticket) => Err(ShardTicket { replica, ticket }),
+        }
+    }
+}
+
+/// One logical endpoint of a [`ShardedFleet`]: `N` replica [`Endpoint`]s,
+/// the routing state, and the generation counter that keeps the replicas'
+/// version stamps in lock-step.
+struct ShardedEndpoint {
+    replicas: Vec<Arc<Endpoint>>,
+    policy: RoutePolicy,
+    /// Round-robin cursor; relaxed ordering is fine, routing needs no
+    /// happens-before edges, only eventual spread.
+    cursor: AtomicUsize,
+    /// The endpoint generation: the version every replica currently serves.
+    /// Administrative fan-out runs under this lock so concurrent `deploy`
+    /// and `rollback` calls cannot interleave their per-replica walks (which
+    /// would let replicas disagree on version numbers).
+    generation: Mutex<u64>,
+}
+
+impl ShardedEndpoint {
+    fn route(&self, key: Option<u64>) -> usize {
+        let n = self.replicas.len();
+        if n == 1 {
+            return 0;
+        }
+        if let Some(key) = key {
+            return (splitmix64(key) % n as u64) as usize;
+        }
+        match self.policy {
+            RoutePolicy::LeastLoaded => {
+                let mut best = 0;
+                let mut best_depth = usize::MAX;
+                for (index, replica) in self.replicas.iter().enumerate() {
+                    let depth = replica.pending_depth();
+                    if depth < best_depth {
+                        best = index;
+                        best_depth = depth;
+                        if depth == 0 {
+                            break; // nothing is emptier than an empty tile
+                        }
+                    }
+                }
+                best
+            }
+            // KeyAffinity without a key has nothing to stick to.
+            RoutePolicy::RoundRobin | RoutePolicy::KeyAffinity => {
+                self.cursor.fetch_add(1, Ordering::Relaxed) % n
+            }
+        }
+    }
+
+    /// Fans a deploy out to every replica in lock-step and returns the new
+    /// generation. `detectors` must hold one bit-identical clone per
+    /// replica.
+    fn deploy(&self, detectors: Vec<Box<dyn Detector>>) -> u64 {
+        debug_assert_eq!(detectors.len(), self.replicas.len());
+        let mut generation = self.generation.lock().expect("generation lock");
+        let mut number = 0;
+        for (replica, detector) in self.replicas.iter().zip(detectors) {
+            let published = replica.deploy(detector);
+            debug_assert!(
+                number == 0 || published == number,
+                "replicas must publish the same version"
+            );
+            number = published;
+        }
+        *generation = number;
+        number
+    }
+
+    fn rollback(&self, name: &str) -> Result<u64, FleetError> {
+        let mut generation = self.generation.lock().expect("generation lock");
+        // Replicas share one administrative history, so either every replica
+        // has a retired version or none does; probing the first cannot leave
+        // the endpoint half rolled back.
+        let mut number = 0;
+        for replica in &self.replicas {
+            let restored = replica.rollback(name)?;
+            debug_assert!(
+                number == 0 || restored == number,
+                "replicas must restore the same version"
+            );
+            number = restored;
+        }
+        *generation = number;
+        Ok(number)
+    }
+}
+
+/// Deterministic 64-bit mixer (splitmix64 finaliser) turning caller keys
+/// into well-spread replica choices even when keys are sequential.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A fleet whose endpoints are replicated `N` ways with load-aware routing —
+/// the scale-out layer above [`DetectorFleet`].
+///
+/// Each deployed endpoint holds [`ShardConfig::replicas`] bit-identical
+/// copies of the detector (cloned through the persistence codec), each with
+/// its own micro-batch tile and [`MonitorStats`]; [`ShardedFleet::score`]
+/// routes every request to one replica by [`RoutePolicy`], and
+/// [`ShardedFleet::stats`] merges the per-replica statistics back into one
+/// endpoint-wide view. `deploy` and `rollback` fan out to all replicas in
+/// lock-step, so a version number names the same model bits everywhere
+/// (requests that race the fan-out itself finish on the version their
+/// replica was serving when they enqueued).
+///
+/// # Example
+///
+/// Build a config, deploy it across three replicas, score a burst with
+/// session affinity, hot-swap a new version, and roll it back:
+///
+/// ```
+/// use hmd_core::detector::{DetectorBackend, DetectorConfig};
+/// use hmd_data::{Dataset, Label, Matrix};
+/// use hmd_serve::{RoutePolicy, ShardConfig, ShardedFleet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = Matrix::from_rows(&[
+///     vec![0.1, 0.2], vec![0.2, 0.1], vec![0.9, 0.8], vec![0.8, 0.9],
+/// ])?;
+/// let y = vec![Label::Benign, Label::Benign, Label::Malware, Label::Malware];
+/// let train = Dataset::new(x, y)?;
+/// let config = DetectorConfig::trusted(DetectorBackend::decision_tree())
+///     .with_num_estimators(9);
+///
+/// let fleet = ShardedFleet::with_config(
+///     ShardConfig::new(3).with_policy(RoutePolicy::KeyAffinity),
+/// );
+/// assert_eq!(fleet.deploy("dvfs-hmd", config.fit(&train, 3)?)?, 1);
+/// assert_eq!(fleet.replicas("dvfs-hmd")?, 3);
+///
+/// // One session key -> one replica, so a session's burst batches together.
+/// let session = 0xFEED;
+/// let tickets: Vec<_> = [[0.15, 0.15], [0.85, 0.85], [0.2, 0.2]]
+///     .iter()
+///     .map(|row| fleet.score_keyed("dvfs-hmd", session, row))
+///     .collect::<Result<_, _>>()?;
+/// fleet.flush("dvfs-hmd")?;
+/// let mut replicas = std::collections::HashSet::new();
+/// for ticket in tickets {
+///     let scored = ticket.wait()?;
+///     assert_eq!(scored.version, 1);
+///     replicas.insert(scored.replica);
+/// }
+/// assert_eq!(replicas.len(), 1, "sticky sessions share a replica");
+///
+/// // Hot swap fans out to every replica; stats merge across replicas.
+/// assert_eq!(fleet.deploy("dvfs-hmd", config.with_num_estimators(15).fit(&train, 4)?)?, 2);
+/// assert_eq!(fleet.rollback("dvfs-hmd")?, 1);
+/// assert_eq!(fleet.stats("dvfs-hmd")?.windows, 3);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ShardedFleet {
+    config: ShardConfig,
+    endpoints: RwLock<HashMap<String, Arc<ShardedEndpoint>>>,
+}
+
+impl ShardedFleet {
+    /// A fleet with `replicas` round-robin shards per endpoint and the
+    /// default [`FlushPolicy`].
+    pub fn new(replicas: usize) -> ShardedFleet {
+        ShardedFleet::with_config(ShardConfig::new(replicas))
+    }
+
+    /// A fleet with an explicit [`ShardConfig`].
+    pub fn with_config(config: ShardConfig) -> ShardedFleet {
+        ShardedFleet {
+            config: ShardConfig {
+                replicas: config.replicas.max(1),
+                ..config
+            },
+            endpoints: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The fleet's configuration.
+    pub fn config(&self) -> ShardConfig {
+        self.config
+    }
+
+    fn endpoint(&self, name: &str) -> Result<Arc<ShardedEndpoint>, FleetError> {
+        self.endpoints
+            .read()
+            .expect("endpoint registry lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FleetError::UnknownEndpoint {
+                name: name.to_string(),
+            })
+    }
+
+    /// Clones `detector` once per replica through the persistence codec.
+    /// The first clone slot reuses the original box, so a 1-replica fleet
+    /// never serialises at all.
+    fn replicate(&self, detector: Box<dyn Detector>) -> Result<Vec<Box<dyn Detector>>, FleetError> {
+        let extra = self.config.replicas - 1;
+        let mut detectors = Vec::with_capacity(self.config.replicas);
+        if extra > 0 {
+            let document = save(detector.as_ref()).map_err(|err| FleetError::Replication {
+                message: err.to_string(),
+            })?;
+            for _ in 0..extra {
+                detectors.push(load(&document).map_err(|err| FleetError::Replication {
+                    message: err.to_string(),
+                })?);
+            }
+        }
+        detectors.push(detector);
+        Ok(detectors)
+    }
+
+    /// Deploys `detector` as endpoint `name` on **every replica** and
+    /// returns the published version number (1 for a new endpoint,
+    /// previous + 1 afterwards — identical on all replicas).
+    ///
+    /// The detector is cloned per replica through the save/load codec, so
+    /// all replicas are bit-identical by the persistence guarantee. The
+    /// fan-out runs under the endpoint's generation lock, so concurrent
+    /// deploys/rollbacks cannot interleave their per-replica walks; scoring
+    /// does not take that lock, so requests racing the fan-out finish on
+    /// whichever version their replica was serving when they enqueued
+    /// (replicas the walk has not reached yet still stamp the outgoing
+    /// version), exactly like rows already queued in a tile.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Replication`] when the codec round trip that clones
+    /// the detector fails.
+    pub fn deploy(&self, name: &str, detector: Box<dyn Detector>) -> Result<u64, FleetError> {
+        let detectors = self.replicate(detector)?;
+        if let Ok(endpoint) = self.endpoint(name) {
+            return Ok(endpoint.deploy(detectors));
+        }
+        let mut endpoints = self.endpoints.write().expect("endpoint registry lock");
+        // Double-checked under the write lock: a racing deploy of the same
+        // name must version-bump, not overwrite.
+        match endpoints.get(name) {
+            Some(endpoint) => Ok(endpoint.deploy(detectors)),
+            None => {
+                let replicas = detectors
+                    .into_iter()
+                    .map(|detector| Arc::new(Endpoint::new(detector, self.config.flush)))
+                    .collect();
+                endpoints.insert(
+                    name.to_string(),
+                    Arc::new(ShardedEndpoint {
+                        replicas,
+                        policy: self.config.policy,
+                        cursor: AtomicUsize::new(0),
+                        generation: Mutex::new(1),
+                    }),
+                );
+                Ok(1)
+            }
+        }
+    }
+
+    /// Rolls **every replica** of endpoint `name` back to the version
+    /// retired by the latest deploy, returning the restored version number.
+    /// Each replica's pending tile is flushed first; in-flight tiles finish
+    /// on the version that accepted them.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names,
+    /// [`FleetError::NoPreviousVersion`] when nothing was ever retired.
+    pub fn rollback(&self, name: &str) -> Result<u64, FleetError> {
+        self.endpoint(name)?.rollback(name)
+    }
+
+    /// The version every replica of endpoint `name` currently serves.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn active_version(&self, name: &str) -> Result<u64, FleetError> {
+        Ok(*self
+            .endpoint(name)?
+            .generation
+            .lock()
+            .expect("generation lock"))
+    }
+
+    /// The active detector's human-readable description (identical on every
+    /// replica).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn detector_name(&self, name: &str) -> Result<String, FleetError> {
+        Ok(self.endpoint(name)?.replicas[0].active().detector.name())
+    }
+
+    /// Names of every deployed endpoint, sorted.
+    pub fn endpoints(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .endpoints
+            .read()
+            .expect("endpoint registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Replica count of endpoint `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn replicas(&self, name: &str) -> Result<usize, FleetError> {
+        Ok(self.endpoint(name)?.replicas.len())
+    }
+
+    /// Enqueues one signature into the tile of the replica the routing
+    /// policy picks, returning a [`ShardTicket`] that remembers the choice.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names,
+    /// [`FleetError::WidthMismatch`] when `features` disagrees with rows
+    /// already queued in the chosen replica's tile.
+    pub fn score(&self, name: &str, features: &[f64]) -> Result<ShardTicket, FleetError> {
+        let endpoint = self.endpoint(name)?;
+        let replica = endpoint.route(None);
+        let ticket = endpoint.replicas[replica].enqueue(features)?;
+        Ok(ShardTicket { replica, ticket })
+    }
+
+    /// Like [`ShardedFleet::score`], but pins the request to the replica
+    /// derived from `key`'s hash — session stickiness: every request with
+    /// the same key queues (and therefore micro-batches) on the same
+    /// replica, under **any** routing policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedFleet::score`].
+    pub fn score_keyed(
+        &self,
+        name: &str,
+        key: u64,
+        features: &[f64],
+    ) -> Result<ShardTicket, FleetError> {
+        let endpoint = self.endpoint(name)?;
+        let replica = endpoint.route(Some(key));
+        let ticket = endpoint.replicas[replica].enqueue(features)?;
+        Ok(ShardTicket { replica, ticket })
+    }
+
+    /// Scores a whole borrowed batch view on one routed replica, bypassing
+    /// the micro-batch queue but still stamping versions, attributing the
+    /// replica, and feeding that replica's statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names, or the detector's
+    /// error for mismatched feature counts.
+    pub fn score_batch<'a>(
+        &self,
+        name: &str,
+        batch: impl Into<RowsView<'a>>,
+    ) -> Result<Vec<ShardedReport>, FleetError> {
+        let endpoint = self.endpoint(name)?;
+        let replica = endpoint.route(None);
+        Ok(endpoint.replicas[replica]
+            .score_rows(batch.into())?
+            .into_iter()
+            .map(|scored| ShardedReport::new(replica, scored))
+            .collect())
+    }
+
+    /// Drains the pending tile of **every replica** of endpoint `name`,
+    /// returning the total number of rows scored.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn flush(&self, name: &str) -> Result<usize, FleetError> {
+        Ok(self
+            .endpoint(name)?
+            .replicas
+            .iter()
+            .map(|replica| replica.flush())
+            .sum())
+    }
+
+    /// Endpoint-wide monitor statistics: every replica's [`MonitorStats`]
+    /// merged into one view with [`MonitorStats::merge`].
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn stats(&self, name: &str) -> Result<MonitorStats, FleetError> {
+        let endpoint = self.endpoint(name)?;
+        let mut merged = MonitorStats::default();
+        for replica in &endpoint.replicas {
+            merged.merge(&replica.stats.lock().expect("stats lock"));
+        }
+        Ok(merged)
+    }
+
+    /// Per-replica monitor statistics, indexed like [`ShardedReport::replica`]
+    /// — the unmerged view a dashboard uses to spot a hot or idle replica.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn replica_stats(&self, name: &str) -> Result<Vec<MonitorStats>, FleetError> {
+        Ok(self
+            .endpoint(name)?
+            .replicas
+            .iter()
+            .map(|replica| *replica.stats.lock().expect("stats lock"))
+            .collect())
+    }
+
+    /// Rows currently queued in each replica's open tile — the same racy
+    /// snapshot the [`RoutePolicy::LeastLoaded`] router reads.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn pending_depths(&self, name: &str) -> Result<Vec<usize>, FleetError> {
+        Ok(self
+            .endpoint(name)?
+            .replicas
+            .iter()
+            .map(|replica| replica.pending_depth())
+            .collect())
+    }
+
+    /// Resets every replica's monitor statistics for endpoint `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn reset_stats(&self, name: &str) -> Result<(), FleetError> {
+        for replica in &self.endpoint(name)?.replicas {
+            *replica.stats.lock().expect("stats lock") = MonitorStats::default();
+        }
+        Ok(())
+    }
+}
+
+/// A 1-replica [`ShardedFleet`] behaves exactly like a [`DetectorFleet`],
+/// so converting a fleet's policy into a shard config is the upgrade path.
+impl From<&DetectorFleet> for ShardConfig {
+    fn from(fleet: &DetectorFleet) -> ShardConfig {
+        ShardConfig::new(1).with_flush(fleet.policy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_spreads_sequential_keys() {
+        let n = 4u64;
+        let mut hits = [0usize; 4];
+        for key in 0..1000u64 {
+            hits[(splitmix64(key) % n) as usize] += 1;
+        }
+        for (replica, &count) in hits.iter().enumerate() {
+            assert!(
+                count > 150,
+                "replica {replica} starved: {count}/1000 sequential keys"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_config_clamps_replicas() {
+        assert_eq!(ShardConfig::new(0).replicas, 1);
+        let fleet = ShardedFleet::with_config(ShardConfig {
+            replicas: 0,
+            policy: RoutePolicy::RoundRobin,
+            flush: FlushPolicy::default(),
+        });
+        assert_eq!(fleet.config().replicas, 1);
+    }
+}

@@ -1,0 +1,502 @@
+//! Sharded-fleet behaviour tests: the seeded multi-threaded equivalence
+//! proof (sharded scoring is report-identical to the unsharded fleet and to
+//! direct `detect_batch`, modulo replica attribution), routing-policy
+//! behaviour, lock-stepped deploy/rollback fan-out, and the flush-policy
+//! edge interactions the sharding layer introduces.
+
+use hmd_core::detector::{
+    load, save, Detector, DetectorBackend, DetectorConfig, DetectorExt, MonitorSession,
+};
+use hmd_data::{Dataset, Label, Matrix};
+use hmd_serve::{DetectorFleet, FleetError, FlushPolicy, RoutePolicy, ShardConfig, ShardedFleet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn blobs(n: usize, features: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for _ in 0..n {
+        let malware = rng.gen_bool(0.5);
+        let c = if malware { 2.0 } else { -2.0 };
+        rows.push(
+            (0..features)
+                .map(|f| {
+                    if f < 2 {
+                        c + rng.gen_range(-0.8..0.8)
+                    } else {
+                        rng.gen_range(-1.0..1.0)
+                    }
+                })
+                .collect(),
+        );
+        labels.push(Label::from(malware));
+    }
+    Dataset::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+}
+
+/// A matrix of scoring requests straddling both blobs and the space between,
+/// so reports mix confident accepts with escalations.
+fn request_matrix(rows: usize, features: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * features)
+        .map(|_| rng.gen_range(-3.0..3.0))
+        .collect();
+    Matrix::from_vec(rows, features, data).unwrap()
+}
+
+fn trained(num_estimators: usize, seed: u64) -> Box<dyn Detector> {
+    DetectorConfig::trusted(DetectorBackend::random_forest())
+        .with_num_estimators(num_estimators)
+        .with_entropy_threshold(0.4)
+        .fit(&blobs(140, 4, 11), seed)
+        .expect("training succeeds")
+}
+
+fn assert_reports_bit_identical(
+    a: &hmd_core::trusted::DetectionReport,
+    b: &hmd_core::trusted::DetectionReport,
+    context: &str,
+) {
+    assert_eq!(
+        a.prediction.entropy.to_bits(),
+        b.prediction.entropy.to_bits(),
+        "{context}: entropy"
+    );
+    assert_eq!(
+        a.prediction.malware_vote_fraction.to_bits(),
+        b.prediction.malware_vote_fraction.to_bits(),
+        "{context}: vote fraction"
+    );
+    assert_eq!(a, b, "{context}");
+}
+
+/// Finds one key per replica: `keys[r]` routes to replica `r` under key
+/// affinity. Probing is deterministic (the key hash is a pure function).
+fn keys_per_replica(fleet: &ShardedFleet, name: &str, replicas: usize) -> Vec<u64> {
+    let mut keys = vec![None; replicas];
+    let mut found = 0;
+    for key in 0..10_000u64 {
+        let ticket = fleet.score_keyed(name, key, &[0.0, 0.0, 0.0, 0.0]).unwrap();
+        let replica = ticket.replica();
+        // Resolve the probe so it does not linger in a tile.
+        fleet.flush(name).unwrap();
+        ticket.wait().unwrap();
+        if keys[replica].is_none() {
+            keys[replica] = Some(key);
+            found += 1;
+            if found == replicas {
+                break;
+            }
+        }
+    }
+    fleet.reset_stats(name).unwrap();
+    keys.into_iter()
+        .map(|k| k.expect("every replica is reachable by some key"))
+        .collect()
+}
+
+/// The acceptance-criteria test: interleaved single-row `score()` calls from
+/// multiple threads through a 3-shard fleet produce reports bit-identical to
+/// one direct `detect_batch` — and to the unsharded `DetectorFleet` serving
+/// the same model — modulo which replica is attributed. Tile size 7
+/// deliberately misaligns with the request count and the thread
+/// interleaving, so replica tiles mix rows from every thread.
+#[test]
+fn sharded_multithreaded_scoring_is_report_identical_to_unsharded() {
+    let detector = trained(15, 21);
+    let requests = request_matrix(173, 4, 22);
+    let direct = detector.detect_batch(&requests).expect("direct batch");
+
+    // The unsharded reference fleet serves a codec clone of the detector.
+    let unsharded = DetectorFleet::with_policy(FlushPolicy::new(7, Duration::from_millis(20)));
+    unsharded.deploy(
+        "hmd",
+        load(&save(detector.as_ref()).expect("persistable")).expect("loads"),
+    );
+    let unsharded_reports = unsharded.score_batch("hmd", &requests).expect("unsharded");
+
+    let sharded = Arc::new(ShardedFleet::with_config(
+        ShardConfig::new(3).with_flush(FlushPolicy::new(7, Duration::from_millis(20))),
+    ));
+    sharded
+        .deploy(
+            "hmd",
+            load(&save(detector.as_ref()).expect("persistable")).expect("loads"),
+        )
+        .expect("replicates");
+    assert_eq!(sharded.replicas("hmd").unwrap(), 3);
+
+    let threads = 4;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let fleet = Arc::clone(&sharded);
+            let requests = requests.clone();
+            std::thread::spawn(move || {
+                let mut results = Vec::new();
+                for row in (t..requests.rows()).step_by(threads) {
+                    let ticket = fleet.score("hmd", requests.row(row)).expect("enqueue");
+                    results.push((row, ticket.wait().expect("scores")));
+                }
+                results
+            })
+        })
+        .collect();
+
+    let mut replicas_used = vec![0usize; 3];
+    let mut by_row = vec![None; requests.rows()];
+    for handle in handles {
+        for (row, report) in handle.join().expect("thread completes") {
+            assert!(
+                by_row[row].replace(report).is_none(),
+                "row {row} scored once"
+            );
+        }
+    }
+    for (row, scored) in by_row.iter().enumerate() {
+        let scored = scored.as_ref().expect("every row scored");
+        assert_eq!(scored.version, 1, "replica versions are lock-stepped");
+        assert!(scored.replica < 3);
+        replicas_used[scored.replica] += 1;
+        assert_reports_bit_identical(
+            &scored.report,
+            &direct[row],
+            &format!("row {row} vs direct"),
+        );
+        assert_reports_bit_identical(
+            &scored.report,
+            &unsharded_reports[row].report,
+            &format!("row {row} vs unsharded fleet"),
+        );
+    }
+    assert!(
+        replicas_used.iter().all(|&n| n > 0),
+        "round-robin spreads across every replica: {replicas_used:?}"
+    );
+
+    // Merged per-replica stats equal one session fed every report: counters
+    // and extremes exactly; the mean is an f64 sum whose value depends on
+    // merge order, so it gets a tolerance.
+    let mut session = MonitorSession::new(detector.as_ref());
+    session.observe_batch(&requests).expect("session batch");
+    let merged = sharded.stats("hmd").expect("stats");
+    assert_eq!(merged.windows, session.stats().windows);
+    assert_eq!(merged.accepted, session.stats().accepted);
+    assert_eq!(merged.escalated, session.stats().escalated);
+    assert_eq!(merged.accepted_malware, session.stats().accepted_malware);
+    assert_eq!(merged.accepted_benign, session.stats().accepted_benign);
+    assert_eq!(
+        merged.min_entropy.to_bits(),
+        session.stats().min_entropy.to_bits()
+    );
+    assert_eq!(
+        merged.max_entropy.to_bits(),
+        session.stats().max_entropy.to_bits()
+    );
+    assert!((merged.mean_entropy() - session.stats().mean_entropy()).abs() < 1e-12);
+
+    // The per-replica view decomposes the merged one.
+    let per_replica = sharded.replica_stats("hmd").expect("replica stats");
+    assert_eq!(per_replica.len(), 3);
+    assert_eq!(
+        per_replica.iter().map(|s| s.windows).sum::<usize>(),
+        merged.windows
+    );
+    for (replica, stats) in per_replica.iter().enumerate() {
+        assert_eq!(stats.windows, replicas_used[replica]);
+    }
+}
+
+/// Key affinity pins every request of a session to one replica, so a
+/// session's burst micro-batches together; distinct keys spread out.
+#[test]
+fn key_affinity_pins_sessions_and_spreads_keys() {
+    let fleet = ShardedFleet::with_config(
+        ShardConfig::new(4)
+            .with_policy(RoutePolicy::KeyAffinity)
+            .with_flush(FlushPolicy::new(64, Duration::from_millis(50))),
+    );
+    let detector = trained(9, 41);
+    let requests = request_matrix(12, 4, 42);
+    let direct = detector.detect_batch(&requests).expect("direct");
+    fleet.deploy("hmd", detector).expect("deploys");
+
+    let mut replicas_seen = std::collections::HashSet::new();
+    for session in 0..16u64 {
+        let tickets: Vec<_> = (0..requests.rows())
+            .map(|row| {
+                fleet
+                    .score_keyed("hmd", session, requests.row(row))
+                    .expect("enqueue")
+            })
+            .collect();
+        fleet.flush("hmd").expect("flush");
+        let mut session_replicas = std::collections::HashSet::new();
+        for (row, ticket) in tickets.into_iter().enumerate() {
+            let scored = ticket.wait().expect("scores");
+            session_replicas.insert(scored.replica);
+            assert_reports_bit_identical(&scored.report, &direct[row], "keyed row");
+        }
+        assert_eq!(
+            session_replicas.len(),
+            1,
+            "session {session} must stick to one replica"
+        );
+        replicas_seen.extend(session_replicas);
+    }
+    assert!(
+        replicas_seen.len() >= 3,
+        "16 sessions should spread over most of 4 replicas, got {replicas_seen:?}"
+    );
+}
+
+/// The least-loaded router reads open-tile depths and picks the emptiest
+/// replica (ties to the lowest index). Driven deterministically from one
+/// thread via keyed preloads.
+#[test]
+fn least_loaded_routes_to_the_emptiest_replica() {
+    let fleet = ShardedFleet::with_config(
+        ShardConfig::new(3)
+            .with_policy(RoutePolicy::LeastLoaded)
+            .with_flush(FlushPolicy::new(64, Duration::from_secs(5))),
+    );
+    fleet.deploy("hmd", trained(5, 51)).expect("deploys");
+    let keys = keys_per_replica(&fleet, "hmd", 3);
+    let row = [0.1, -0.2, 0.3, -0.4];
+
+    // Preload: 3 rows on replica 0, 1 row on replica 1, replica 2 empty.
+    let mut pending = Vec::new();
+    for _ in 0..3 {
+        pending.push(fleet.score_keyed("hmd", keys[0], &row).expect("preload"));
+    }
+    pending.push(fleet.score_keyed("hmd", keys[1], &row).expect("preload"));
+    assert_eq!(fleet.pending_depths("hmd").unwrap(), vec![3, 1, 0]);
+
+    // Keyless scoring under LeastLoaded goes to the empty replica 2; after
+    // that, depths are [3, 1, 1] and the tie between 1 and 2 goes to the
+    // lower index.
+    let a = fleet.score("hmd", &row).expect("routes");
+    assert_eq!(a.replica(), 2);
+    let b = fleet.score("hmd", &row).expect("routes");
+    assert_eq!(b.replica(), 1, "tie at depth 1 goes to the lowest index");
+    assert_eq!(fleet.pending_depths("hmd").unwrap(), vec![3, 2, 1]);
+    let c = fleet.score("hmd", &row).expect("routes");
+    assert_eq!(c.replica(), 2, "replica 2 is emptiest again");
+    assert_eq!(fleet.pending_depths("hmd").unwrap(), vec![3, 2, 2]);
+
+    pending.extend([a, b, c]);
+    assert_eq!(fleet.flush("hmd").unwrap(), 7);
+    for ticket in pending {
+        ticket.wait().expect("scores");
+    }
+    assert_eq!(fleet.stats("hmd").unwrap().windows, 7);
+}
+
+/// Deploy and rollback fan out to every replica in lock-step: version
+/// stamps stay globally consistent no matter which replica serves, and
+/// rolled-back traffic reverts to bit-identical v1 behaviour on all shards.
+#[test]
+fn deploy_rollback_fan_out_with_consistent_versions() {
+    let v1 = trained(9, 61);
+    let v2 = trained(15, 62); // different ensemble size => different reports
+    let requests = request_matrix(30, 4, 63);
+    let direct_v1 = v1.detect_batch(&requests).expect("v1 direct");
+    let direct_v2 = v2.detect_batch(&requests).expect("v2 direct");
+
+    let fleet = ShardedFleet::new(3);
+    assert_eq!(fleet.deploy("hmd", v1).expect("v1 deploys"), 1);
+    assert_eq!(fleet.active_version("hmd").unwrap(), 1);
+
+    // Score through every replica (round robin) on v1.
+    for (row, direct) in direct_v1.iter().enumerate() {
+        let scored = fleet
+            .score("hmd", requests.row(row))
+            .and_then(|t| {
+                fleet.flush("hmd")?;
+                t.wait()
+            })
+            .expect("scores");
+        assert_eq!(scored.version, 1);
+        assert_reports_bit_identical(&scored.report, direct, "v1 row");
+    }
+
+    assert_eq!(fleet.deploy("hmd", v2).expect("v2 deploys"), 2);
+    assert_eq!(fleet.active_version("hmd").unwrap(), 2);
+    assert!(fleet.detector_name("hmd").unwrap().contains("15x"));
+    let scored = fleet.score_batch("hmd", &requests).expect("v2 batch");
+    for (row, s) in scored.iter().enumerate() {
+        assert_eq!(s.version, 2);
+        assert_reports_bit_identical(&s.report, &direct_v2[row], "v2 row");
+    }
+
+    assert_eq!(fleet.rollback("hmd").expect("rolls back"), 1);
+    assert_eq!(fleet.active_version("hmd").unwrap(), 1);
+    let scored = fleet.score_batch("hmd", &requests).expect("rolled back");
+    for (row, s) in scored.iter().enumerate() {
+        assert_eq!(s.version, 1);
+        assert_reports_bit_identical(&s.report, &direct_v1[row], "rolled-back row");
+    }
+    assert_eq!(
+        fleet.rollback("hmd").unwrap_err(),
+        FleetError::NoPreviousVersion { name: "hmd".into() }
+    );
+}
+
+/// Flush-policy edge under sharding: one replica's tile drains inline at
+/// `max_batch` while a lone request on a sibling replica must ride out the
+/// full `max_wait` deadline — the replicas' deadlines are independent.
+/// Single-threaded and fully deterministic.
+#[test]
+fn max_wait_fires_on_one_replica_while_another_drains_at_max_batch() {
+    let max_wait = Duration::from_millis(40);
+    let fleet = ShardedFleet::with_config(
+        ShardConfig::new(2)
+            .with_policy(RoutePolicy::KeyAffinity)
+            .with_flush(FlushPolicy::new(4, max_wait)),
+    );
+    let detector = trained(7, 71);
+    let requests = request_matrix(5, 4, 72);
+    let direct = detector.detect_batch(&requests).expect("direct");
+    fleet.deploy("hmd", detector).expect("deploys");
+    let keys = keys_per_replica(&fleet, "hmd", 2);
+
+    // Replica 0: exactly max_batch rows — the 4th enqueue drains inline.
+    let busy: Vec<_> = (0..4)
+        .map(|row| {
+            fleet
+                .score_keyed("hmd", keys[0], requests.row(row))
+                .expect("enqueue")
+        })
+        .collect();
+    assert_eq!(
+        fleet.replica_stats("hmd").unwrap()[0].windows,
+        4,
+        "replica 0 drained at max_batch without any flush call"
+    );
+    for (row, ticket) in busy.into_iter().enumerate() {
+        let scored = ticket.try_wait().expect("already drained").expect("scores");
+        assert_eq!(scored.replica, 0);
+        assert_reports_bit_identical(&scored.report, &direct[row], "max_batch row");
+    }
+
+    // Replica 1: one lone row. Nothing else arrives, so its own `wait()`
+    // must flush it at the deadline — replica 0's inline drain did not
+    // satisfy (or reset) replica 1's clock.
+    let start = Instant::now();
+    let lonely = fleet
+        .score_keyed("hmd", keys[1], requests.row(4))
+        .expect("enqueue");
+    assert_eq!(lonely.replica(), 1);
+    let scored = lonely.wait().expect("deadline flush scores");
+    assert!(
+        start.elapsed() >= max_wait,
+        "the lone request cannot resolve before its replica's deadline"
+    );
+    assert_reports_bit_identical(&scored.report, &direct[4], "max_wait row");
+    let per_replica = fleet.replica_stats("hmd").unwrap();
+    assert_eq!(per_replica[0].windows, 4);
+    assert_eq!(per_replica[1].windows, 1);
+}
+
+/// Rollback racing an in-flight tile: rows enqueued before the rollback
+/// finish on the version that accepted them (the rollback's fan-out flush
+/// drains the tile on its captured version), while traffic after the
+/// rollback scores on the restored version. Seeded and deterministic: the
+/// race is driven from one thread via explicit enqueue/rollback ordering,
+/// plus a threaded variant streaming rows while the rollback lands.
+#[test]
+fn rollback_racing_an_in_flight_tile_keeps_attribution() {
+    let v1 = trained(7, 81);
+    let v2 = trained(11, 82);
+    let requests = request_matrix(60, 4, 83);
+    let direct_v1 = v1.detect_batch(&requests).expect("v1 direct");
+    let direct_v2 = v2.detect_batch(&requests).expect("v2 direct");
+
+    // Deterministic interleaving first: open a tile on v2, then roll back.
+    let fleet = Arc::new(ShardedFleet::with_config(
+        ShardConfig::new(2).with_flush(FlushPolicy::new(8, Duration::from_secs(5))),
+    ));
+    fleet.deploy("hmd", v1).expect("v1");
+    fleet.deploy("hmd", v2).expect("v2");
+    let in_flight: Vec<_> = (0..3)
+        .map(|row| fleet.score("hmd", requests.row(row)).expect("enqueue"))
+        .collect();
+    assert_eq!(fleet.rollback("hmd").expect("rolls back"), 1);
+    for (row, ticket) in in_flight.into_iter().enumerate() {
+        let scored = ticket
+            .try_wait()
+            .expect("rollback flushed it")
+            .expect("scores");
+        assert_eq!(scored.version, 2, "in-flight tile finishes on v2");
+        assert_reports_bit_identical(&scored.report, &direct_v2[row], "in-flight row");
+    }
+    let after = fleet.score_batch("hmd", &requests).expect("post-rollback");
+    for (row, s) in after.iter().enumerate() {
+        assert_eq!(s.version, 1);
+        assert_reports_bit_identical(&s.report, &direct_v1[row], "post-rollback row");
+    }
+
+    // Threaded variant: a scorer streams every row while the main thread
+    // rolls back mid-stream. Every report must be attributable to exactly
+    // the version whose direct output it matches.
+    let fleet = Arc::new(ShardedFleet::with_config(
+        ShardConfig::new(2).with_flush(FlushPolicy::new(5, Duration::from_millis(10))),
+    ));
+    fleet.deploy("hmd", trained(7, 81)).expect("v1 again");
+    fleet.deploy("hmd", trained(11, 82)).expect("v2 again");
+    let scorer = {
+        let fleet = Arc::clone(&fleet);
+        let requests = requests.clone();
+        std::thread::spawn(move || {
+            let mut results = Vec::new();
+            for row in 0..requests.rows() {
+                let ticket = fleet.score("hmd", requests.row(row)).expect("enqueue");
+                results.push((row, ticket.wait().expect("scores")));
+            }
+            results
+        })
+    };
+    std::thread::sleep(Duration::from_millis(2));
+    assert_eq!(fleet.rollback("hmd").expect("mid-stream rollback"), 1);
+    for (row, scored) in scorer.join().expect("scorer completes") {
+        match scored.version {
+            2 => assert_reports_bit_identical(&scored.report, &direct_v2[row], "pre-rollback"),
+            1 => assert_reports_bit_identical(&scored.report, &direct_v1[row], "post-rollback"),
+            other => panic!("unexpected version {other}"),
+        }
+    }
+}
+
+/// Unknown endpoints error uniformly across the whole sharded surface, and
+/// a 1-replica sharded fleet degenerates to DetectorFleet behaviour.
+#[test]
+fn unknown_endpoints_and_single_replica_degeneration() {
+    let fleet = ShardedFleet::new(2);
+    let missing = FleetError::UnknownEndpoint {
+        name: "ghost".into(),
+    };
+    assert_eq!(fleet.score("ghost", &[0.0]).unwrap_err(), missing);
+    assert_eq!(fleet.score_keyed("ghost", 1, &[0.0]).unwrap_err(), missing);
+    assert_eq!(fleet.flush("ghost").unwrap_err(), missing);
+    assert_eq!(fleet.stats("ghost").unwrap_err(), missing);
+    assert_eq!(fleet.replica_stats("ghost").unwrap_err(), missing);
+    assert_eq!(fleet.pending_depths("ghost").unwrap_err(), missing);
+    assert_eq!(fleet.rollback("ghost").unwrap_err(), missing);
+    assert_eq!(fleet.active_version("ghost").unwrap_err(), missing);
+    assert_eq!(fleet.replicas("ghost").unwrap_err(), missing);
+    assert!(fleet.endpoints().is_empty());
+
+    // One replica: no codec clone, same reports as the unsharded fleet.
+    let single = ShardedFleet::new(1);
+    let detector = trained(5, 91);
+    let requests = request_matrix(9, 4, 92);
+    let direct = detector.detect_batch(&requests).expect("direct");
+    single.deploy("hmd", detector).expect("deploys");
+    let scored = single.score_batch("hmd", &requests).expect("scores");
+    for (row, s) in scored.iter().enumerate() {
+        assert_eq!((s.replica, s.version), (0, 1));
+        assert_reports_bit_identical(&s.report, &direct[row], "single-replica row");
+    }
+}

@@ -1,24 +1,29 @@
-//! Online monitoring through the serving fleet: the deployment scenario the
-//! paper motivates, served the way a production DAQ central unit would.
+//! Online monitoring through the sharded serving fleet: the deployment
+//! scenario the paper motivates, served the way a production DAQ central
+//! unit would — replicated back-end units behind one logical endpoint.
 //!
 //! A trusted HMD is described by a `DetectorConfig`, trained offline, saved,
 //! and the *restored* copy — as it would be on the deployment host — is
-//! published as a named, versioned endpoint of a `DetectorFleet`. The
-//! monitored stream submits one signature at a time with `fleet.score`;
-//! the fleet micro-batches those single-row requests into per-endpoint
-//! tiles that drain through the detector's flat-engine batch path (at
-//! `max_batch` rows or after `max_wait`), and each ordered `Ticket` resolves
-//! to a version-stamped report that is bit-identical to direct scoring.
+//! published as a named endpoint of a `ShardedFleet`, which clones it across
+//! two replicas through the same codec (bit-identical by the persistence
+//! guarantee). The monitored stream submits one signature at a time with
+//! `score_keyed`: every burst is one edge-device session, and key-affinity
+//! routing pins a session to one replica so its rows micro-batch together
+//! (the tile drains inline when the session's `max_batch`-th row lands).
+//! Each ordered `ShardTicket` resolves to a version-stamped report that is
+//! bit-identical to direct scoring and attributes the replica that served
+//! it.
 //!
 //! Known applications are classified confidently; when a zero-day (an
 //! application family the detector has never seen) starts running, its
 //! signatures arrive with high entropy and the detector escalates them for
 //! forensics instead of silently guessing. Mid-stream the example hot-swaps
-//! a stricter model version — in-flight requests finish on the version that
-//! accepted them, and every printed report carries the version that scored
-//! it — then rolls back. The per-endpoint statistics a dashboard would
-//! display now live behind the fleet (`fleet.stats`), not in a borrowed
-//! per-tenant `MonitorSession`.
+//! a stricter model version — the deploy fans out to every replica in
+//! lock-step, in-flight requests finish on the version that accepted them,
+//! and every printed report carries the version that scored it — then rolls
+//! back. The per-endpoint statistics a dashboard would display merge across
+//! replicas (`fleet.stats`), with `fleet.replica_stats` as the per-replica
+//! breakdown.
 //!
 //! ```text
 //! cargo run --release --example online_monitor
@@ -32,9 +37,12 @@ use rand::SeedableRng;
 use std::error::Error;
 use std::time::Duration;
 
-/// Windows per micro-batch burst: matches the fleet's `max_batch`, so each
-/// burst drains as one tile through the batch hot path.
+/// Windows per micro-batch burst: matches the per-replica `max_batch`, so
+/// each session's burst drains as one tile through the batch hot path.
 const BURST: usize = 3;
+
+/// Replicas behind the endpoint: each has its own tile and statistics.
+const REPLICAS: usize = 2;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let builder = DvfsCorpusBuilder::new()
@@ -43,18 +51,24 @@ fn main() -> Result<(), Box<dyn Error>> {
     let split = builder.build_split(55)?;
 
     // Train offline, persist, and deploy the restored pipeline — the
-    // save/load round trip is exactly what a model registry would do.
+    // save/load round trip is exactly what a model registry would do, and
+    // the sharded fleet repeats it per replica.
     let config = DetectorConfig::trusted(DetectorBackend::decision_tree())
         .with_num_estimators(25)
         .with_entropy_threshold(0.4);
     let trained = config.fit(&split.train, 13)?;
     let document = save(trained.as_ref())?;
 
-    let fleet = DetectorFleet::with_policy(FlushPolicy::new(BURST, Duration::from_millis(5)));
-    let v1 = fleet.deploy("edge-hmd", load(&document)?);
+    let fleet = ShardedFleet::with_config(
+        ShardConfig::new(REPLICAS)
+            .with_policy(RoutePolicy::KeyAffinity)
+            .with_flush(FlushPolicy::new(BURST, Duration::from_millis(5))),
+    );
+    let v1 = fleet.deploy("edge-hmd", load(&document)?)?;
     println!(
-        "deployed {} as edge-hmd v{v1} ({} byte model document)\n",
+        "deployed {} as edge-hmd v{v1} x{} replicas ({} byte model document)\n",
         fleet.detector_name("edge-hmd")?,
+        fleet.replicas("edge-hmd")?,
         document.len()
     );
 
@@ -66,29 +80,32 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut rng = StdRng::seed_from_u64(99);
 
     println!(
-        "{:<30} {:>3} {:>9} {:>8} {:>9}   decision",
-        "application", "ver", "class", "entropy", "P(malware)"
+        "{:<30} {:>3} {:>3} {:>9} {:>8} {:>9}   decision",
+        "application", "ver", "rep", "class", "entropy", "P(malware)"
     );
     let mut escalations_on_unknown = 0usize;
     let mut unknown_seen = 0usize;
     for burst in 0..10 {
         // Halfway through the stream, hot-swap a stricter version: a larger
-        // ensemble with a tighter escalation threshold. Requests already
-        // queued finish on v1; every later report is stamped v2.
+        // ensemble with a tighter escalation threshold. The deploy fans out
+        // to both replicas under the generation lock; requests already
+        // queued finish on v1, every later report is stamped v2.
         if burst == 5 {
             let stricter = DetectorConfig::trusted(DetectorBackend::decision_tree())
                 .with_num_estimators(35)
                 .with_entropy_threshold(0.3)
                 .fit(&split.train, 14)?;
-            let v2 = fleet.deploy("edge-hmd", stricter);
+            let v2 = fleet.deploy("edge-hmd", stricter)?;
             println!(
-                "--- hot swap: {} now serves as v{v2} ---",
+                "--- hot swap: {} now serves as v{v2} on every replica ---",
                 fleet.detector_name("edge-hmd")?
             );
         }
 
-        // One burst = BURST single-row score() calls; the tile drains through
-        // detect_rows when the BURST-th request lands.
+        // One burst = one edge-device session = BURST keyed score() calls.
+        // Key affinity pins the session to one replica, so the session's
+        // tile drains inline when its BURST-th request lands.
+        let session_key = burst as u64;
         let mut in_flight = Vec::new();
         for slot in 0..BURST {
             let step = burst * BURST + slot;
@@ -99,7 +116,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                 (&known_apps[step % known_apps.len()], false)
             };
             let signature = builder.simulate_signature(app, &mut rng);
-            let ticket = fleet.score("edge-hmd", &signature)?;
+            let ticket = fleet.score_keyed("edge-hmd", session_key, &signature)?;
             in_flight.push((app.name.clone(), app.label, is_unknown, ticket));
         }
         for (name, label, is_unknown, ticket) in in_flight {
@@ -115,9 +132,10 @@ fn main() -> Result<(), Box<dyn Error>> {
                 }
             }
             println!(
-                "{:<30} {:>3} {:>9} {:>8.3} {:>9.2}   {}",
+                "{:<30} {:>3} {:>3} {:>9} {:>8.3} {:>9.2}   {}",
                 name,
                 format!("v{}", scored.version),
+                format!("r{}", scored.replica),
                 label.to_string(),
                 scored.report.prediction.entropy,
                 scored.report.prediction.malware_vote_fraction,
@@ -126,6 +144,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     }
 
+    // The dashboard view: per-replica statistics and the merged endpoint
+    // view a fleet-wide alerting rule would read.
     let stats = fleet.stats("edge-hmd")?;
     println!(
         "\nendpoint edge-hmd: {} windows, {} accepted ({} malware / {} benign), {} escalated",
@@ -142,13 +162,22 @@ fn main() -> Result<(), Box<dyn Error>> {
         stats.max_entropy,
         100.0 * stats.escalation_rate()
     );
+    for (replica, rs) in fleet.replica_stats("edge-hmd")?.iter().enumerate() {
+        println!(
+            "  replica {replica}: {} windows, {:.1}% escalated",
+            rs.windows,
+            100.0 * rs.escalation_rate()
+        );
+    }
     println!("zero-day signatures escalated: {escalations_on_unknown}/{unknown_seen}");
 
-    // Operations can always back out: restore the previous version.
+    // Operations can always back out: restore the previous version on
+    // every replica at once.
     let restored = fleet.rollback("edge-hmd")?;
     println!(
-        "rolled back to v{restored}: {} serves again",
-        fleet.detector_name("edge-hmd")?
+        "rolled back to v{restored}: {} serves again on all {} replicas",
+        fleet.detector_name("edge-hmd")?,
+        fleet.replicas("edge-hmd")?
     );
     Ok(())
 }

@@ -6,6 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use hmd::core::detector::{load, save};
 use hmd::prelude::*;
 use std::error::Error;
 
@@ -71,6 +72,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     //    come back in a version-stamped envelope and are bit-identical to
     //    the direct calls above.
     let fleet = DetectorFleet::new();
+    let document = save(trusted.as_ref())?; // for the sharded step below
     fleet.deploy("trusted", trusted);
     fleet.deploy("untrusted", untrusted);
     let served = fleet.score_batch("trusted", unknown)?;
@@ -83,6 +85,31 @@ fn main() -> Result<(), Box<dyn Error>> {
         fleet.endpoints(),
         fleet.stats("trusted")?.windows,
         100.0 * fleet.stats("trusted")?.escalation_rate()
+    );
+
+    // 6. Scale out: restore the same trusted model from its saved document
+    //    and replicate it across 3 shards with round-robin routing.
+    //    Replicas are bit-identical codec clones, so the reports still
+    //    match the direct path — only the replica attribution varies — and
+    //    the per-replica statistics merge back into one endpoint-wide view.
+    let sharded = ShardedFleet::new(3);
+    sharded.deploy("trusted", load(&document)?)?;
+    let mut tickets = Vec::new();
+    for row in 0..unknown.rows() {
+        tickets.push(sharded.score("trusted", unknown.row(row))?);
+    }
+    sharded.flush("trusted")?;
+    let mut replicas_used = [0usize; 3];
+    for (ticket, direct) in tickets.into_iter().zip(&reports) {
+        let scored = ticket.wait()?;
+        assert_eq!(&scored.report, direct);
+        replicas_used[scored.replica] += 1;
+    }
+    println!(
+        "sharded endpoint: {} windows over 3 replicas {:?}, {:.1}% escalated fleet-wide",
+        sharded.stats("trusted")?.windows,
+        replicas_used,
+        100.0 * sharded.stats("trusted")?.escalation_rate()
     );
     Ok(())
 }

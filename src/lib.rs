@@ -13,7 +13,12 @@
 //!   uncertainty estimation, rejection policies, the trusted HMD pipeline and
 //!   the unified [`core::detector`] serving API.
 //! * [`serve`] ([`hmd_serve`]) — the fleet serving layer: named, versioned,
-//!   micro-batching detector endpoints with hot swap and rollback.
+//!   micro-batching detector endpoints with hot swap, rollback, and sharded
+//!   replicas with load-aware routing.
+//!
+//! `ARCHITECTURE.md` at the repository root maps the whole workspace — the
+//! layer diagram, each crate's derived-state invariants, and where to add a
+//! new model family, detector backend, or routing policy.
 //!
 //! # The `Detector` API
 //!
@@ -57,6 +62,18 @@
 //! [`serve::DetectorFleet::rollback`] restores the previous one, and every
 //! result arrives as a version-stamped [`serve::VersionedReport`] envelope.
 //! `BENCH_serve.json` tracks the fleet-vs-direct throughput gap.
+//!
+//! When concurrent scorers outgrow one endpoint's tile,
+//! [`serve::ShardedFleet`] replicates each endpoint across N shards — every
+//! replica a full endpoint with its own tile, version stack and statistics —
+//! and routes requests with a pluggable [`serve::RoutePolicy`]: round-robin,
+//! least-loaded by open-tile depth, or key affinity
+//! ([`serve::ShardedFleet::score_keyed`]) so a session's requests micro-batch
+//! together. Replicas are bit-identical codec clones on lock-stepped
+//! versions, deploy/rollback fan out atomically per replica, and
+//! [`serve::ShardedFleet::stats`] merges per-replica
+//! [`core::detector::MonitorStats`] into one fleet-wide view.
+//! `BENCH_serve_scaling.json` tracks the scorer-threads × shards matrix.
 //!
 //! # The flat inference engine
 //!
@@ -136,12 +153,26 @@
 //! let scored = fleet.score_batch("dvfs-hmd", split.unknown.features())?;
 //! assert!(scored.iter().all(|r| r.version == 1));
 //! assert_eq!(fleet.stats("dvfs-hmd")?.windows, split.unknown.len());
+//!
+//! // Scaling out: the same endpoint replicated across two shards with
+//! // session-sticky routing — replicas are bit-identical codec clones, so
+//! // the reports match the direct path no matter which replica serves.
+//! let sharded = ShardedFleet::with_config(
+//!     ShardConfig::new(2).with_policy(RoutePolicy::KeyAffinity),
+//! );
+//! sharded.deploy("dvfs-hmd", load(&document)?)?;
+//! let session_key = 7u64;
+//! let window = split.unknown.features().row(0);
+//! let ticket = sharded.score_keyed("dvfs-hmd", session_key, window)?;
+//! sharded.flush("dvfs-hmd")?;
+//! let sticky = ticket.wait()?;
+//! assert_eq!((sticky.version, &sticky.report), (1, &reports[0]));
 //! # Ok(())
 //! # }
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use hmd_core as core;
 pub use hmd_data as data;
@@ -174,7 +205,10 @@ pub mod prelude {
     pub use hmd_ml::svm::LinearSvmParams;
     pub use hmd_ml::tree::DecisionTreeParams;
     pub use hmd_ml::{Classifier, Estimator, ModelTag};
-    pub use hmd_serve::{DetectorFleet, FleetError, FlushPolicy, Ticket, VersionedReport};
+    pub use hmd_serve::{
+        DetectorFleet, FleetError, FlushPolicy, RoutePolicy, ShardConfig, ShardTicket,
+        ShardedFleet, ShardedReport, Ticket, VersionedReport,
+    };
 }
 
 #[cfg(test)]
