@@ -115,9 +115,9 @@ pub trait Detector: Send + Sync {
     /// Returns an error when the feature vector has the wrong length.
     fn detect(&self, features: &[f64]) -> Result<DetectionReport, MlError> {
         let mut reports = self.detect_rows(RowsView::single(features))?;
-        Ok(reports
-            .pop()
-            .expect("detect_rows returns one report per row"))
+        reports.pop().ok_or_else(|| MlError::ContractViolation {
+            message: "detect_rows returned no report for a 1-row view".into(),
+        })
     }
 
     /// Serialises the fitted pipeline as a tagged document, when this

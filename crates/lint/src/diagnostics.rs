@@ -1,0 +1,112 @@
+//! Diagnostics: the `file:line` findings the rules produce, with human and
+//! JSON renderings.
+
+use std::fmt;
+
+/// One finding: a rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// The rule that fired (e.g. `float-total-cmp`).
+    pub rule: String,
+    /// Human explanation of the violation and the expected fix.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(file: &str, line: u32, rule: &str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts diagnostics by (file, line, rule) for stable output.
+pub fn sort(diagnostics: &mut [Diagnostic]) {
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+}
+
+/// Renders the findings as a JSON document (hand-rolled, like everything else
+/// in this workspace): `{"findings": [...], "files_scanned": N}`.
+pub fn to_json(diagnostics: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": ");
+        json_string(&mut out, &d.file);
+        out.push_str(", \"line\": ");
+        out.push_str(&d.line.to_string());
+        out.push_str(", \"rule\": ");
+        json_string(&mut out, &d.rule);
+        out.push_str(", \"message\": ");
+        json_string(&mut out, &d.message);
+        out.push('}');
+    }
+    if !diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"files_scanned\": ");
+    out.push_str(&files_scanned.to_string());
+    out.push_str("\n}\n");
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let d = Diagnostic::new("a.rs", 3, "r", "say \"no\"\nplease");
+        let json = to_json(&[d], 1);
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"files_scanned\": 1"));
+    }
+
+    #[test]
+    fn display_is_file_line_rule_message() {
+        let d = Diagnostic::new("crates/ml/src/tsne.rs", 78, "float-total-cmp", "msg");
+        assert_eq!(
+            d.to_string(),
+            "crates/ml/src/tsne.rs:78: [float-total-cmp] msg"
+        );
+    }
+}

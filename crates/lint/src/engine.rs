@@ -1,0 +1,201 @@
+//! The lint engine: runs every rule over a file set, applies suppressions,
+//! and validates the suppression comments themselves.
+//!
+//! Suppression semantics (the part most linters get wrong, so it is spelled
+//! out here and enforced):
+//!
+//! - `// hmd-lint: allow(rule) <reason>` with a non-empty reason suppresses
+//!   findings of `rule` on its target line (its own line for a trailing
+//!   comment, the next code line for an own-line comment).
+//! - a **reasonless** `allow(rule)` suppresses **nothing**: the original
+//!   finding stands, and the bare allow is itself reported under the
+//!   [`SUPPRESSION_RULE`] meta rule. An unjustified suppression is a worse
+//!   smell than the finding it hides.
+//! - an `allow(...)` naming an unknown rule, or a `hmd-lint:` comment that
+//!   does not parse, is reported the same way. Typos must not silently
+//!   disable enforcement.
+//! - meta diagnostics are not themselves suppressible.
+
+use crate::diagnostics::{self, Diagnostic};
+use crate::rules;
+use crate::source::SourceFile;
+use crate::workspace::{self, FileContext};
+use std::path::Path;
+
+/// The meta rule name under which suppression-syntax problems are reported.
+pub const SUPPRESSION_RULE: &str = "lint-suppression";
+
+/// The outcome of a lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// All surviving findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the run produced no findings.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lints one parsed file: runs every applicable rule, applies reasoned
+/// suppressions, and reports suppression-syntax problems.
+pub fn check_file(file: &SourceFile, ctx: &FileContext) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    for rule in rules::all() {
+        if rule.applies(ctx) {
+            rule.check(file, ctx, &mut raw);
+        }
+    }
+
+    let known = rules::known_names();
+    let mut out = Vec::new();
+
+    // A finding survives unless a *reasoned* suppression targets its line
+    // and names its rule.
+    for diag in raw {
+        let suppressed = file
+            .suppressions
+            .iter()
+            .any(|s| s.target_line == diag.line && s.rule == diag.rule && s.reason.is_some());
+        if !suppressed {
+            out.push(diag);
+        }
+    }
+
+    // Validate the suppression comments themselves.
+    for s in &file.suppressions {
+        if !known.contains(&s.rule.as_str()) {
+            out.push(Diagnostic::new(
+                &file.rel_path,
+                s.line,
+                SUPPRESSION_RULE,
+                format!(
+                    "`allow({})` names an unknown rule (known: {}) — a typo here \
+                     would silently disable nothing",
+                    s.rule,
+                    known.join(", ")
+                ),
+            ));
+        } else if s.reason.is_none() {
+            out.push(Diagnostic::new(
+                &file.rel_path,
+                s.line,
+                SUPPRESSION_RULE,
+                format!(
+                    "`allow({})` without a reason: suppressions must justify \
+                     themselves (`// hmd-lint: allow({}) <why this is sound>`); \
+                     the finding it targets still stands",
+                    s.rule, s.rule
+                ),
+            ));
+        }
+    }
+    for m in &file.malformed {
+        out.push(Diagnostic::new(
+            &file.rel_path,
+            m.line,
+            SUPPRESSION_RULE,
+            format!("unparseable `hmd-lint:` directive: {}", m.message),
+        ));
+    }
+    out
+}
+
+/// Lints every workspace source file under `root`.
+pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = workspace::discover(root)?;
+    let mut diagnostics = Vec::new();
+    let files_scanned = files.len();
+    for (path, rel, ctx) in &files {
+        let file = SourceFile::read(path, rel)?;
+        diagnostics.extend(check_file(&file, ctx));
+    }
+    diagnostics::sort(&mut diagnostics);
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+/// Lints an explicit list of files (paths relative to, or absolute under,
+/// `root` — classification uses the path relative to `root`).
+pub fn run_paths(root: &Path, paths: &[String]) -> std::io::Result<Report> {
+    let mut diagnostics = Vec::new();
+    for given in paths {
+        let path = {
+            let p = Path::new(given);
+            if p.is_absolute() {
+                p.to_path_buf()
+            } else {
+                root.join(p)
+            }
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(ctx) = workspace::classify(&rel) else {
+            continue;
+        };
+        let file = SourceFile::read(&path, &rel)?;
+        diagnostics.extend(check_file(&file, &ctx));
+    }
+    diagnostics::sort(&mut diagnostics);
+    Ok(Report {
+        diagnostics,
+        files_scanned: paths.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::FileKind;
+
+    fn lib_ctx(krate: &str) -> FileContext {
+        FileContext::new(krate, FileKind::Lib, false)
+    }
+
+    #[test]
+    fn reasoned_suppression_silences_the_finding() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    \
+                   // hmd-lint: allow(no-panic-in-lib) checked non-empty two lines up\n    \
+                   x.unwrap()\n}\n";
+        let file = SourceFile::parse("crates/core/src/x.rs", src);
+        let out = check_file(&file, &lib_ctx("core"));
+        assert!(out.is_empty(), "unexpected: {out:?}");
+    }
+
+    #[test]
+    fn reasonless_suppression_reports_and_does_not_suppress() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    \
+                   // hmd-lint: allow(no-panic-in-lib)\n    \
+                   x.unwrap()\n}\n";
+        let file = SourceFile::parse("crates/core/src/x.rs", src);
+        let out = check_file(&file, &lib_ctx("core"));
+        let rules: Vec<&str> = out.iter().map(|d| d.rule.as_str()).collect();
+        assert!(
+            rules.contains(&"no-panic-in-lib"),
+            "finding must stand: {out:?}"
+        );
+        assert!(
+            rules.contains(&SUPPRESSION_RULE),
+            "bare allow must report: {out:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_rule_names_are_reported() {
+        let src = "// hmd-lint: allow(no-such-rule) because reasons\nfn f() {}\n";
+        let file = SourceFile::parse("crates/core/src/x.rs", src);
+        let out = check_file(&file, &lib_ctx("core"));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, SUPPRESSION_RULE);
+        assert!(out[0].message.contains("unknown rule"));
+    }
+}

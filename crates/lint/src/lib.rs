@@ -1,0 +1,49 @@
+//! `hmd_lint` — a workspace-native static analysis pass.
+//!
+//! The workspace encodes several invariants that `rustc` and `clippy` cannot
+//! see: float orderings must be total, every `unsafe` must justify itself,
+//! serving-path library code must not panic, the serving crate's locks must
+//! stay shallow and short, and derived caches must never leak into the
+//! persistence format. Each of those was established by hand in an earlier
+//! PR; this crate turns them into machine-checked rules so they stay
+//! established.
+//!
+//! Like the rest of the workspace (see `hmd_codec`'s hand-rolled JSON
+//! parser), the linter is dependency-free: a comment- and string-aware
+//! tokenizer ([`tokens`]), a lightweight scope tracker ([`scopes`]), and five
+//! lexical rules ([`rules`]) over classified workspace files ([`workspace`]).
+//! It is deliberately *not* a type checker — each rule trades exhaustive
+//! precision for zero-dependency robustness, and each module documents the
+//! trade it makes.
+//!
+//! # Usage
+//!
+//! ```text
+//! cargo run --release -p hmd_lint -- --workspace          # lint everything
+//! cargo run --release -p hmd_lint -- --workspace --json   # machine output
+//! cargo run --release -p hmd_lint -- crates/serve/src/fleet.rs
+//! cargo run --release -p hmd_lint -- --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error. CI runs the
+//! `--workspace` form as a blocking job.
+//!
+//! # Suppressions
+//!
+//! ```text
+//! // hmd-lint: allow(rule-name) <reason — mandatory>
+//! ```
+//!
+//! on its own line (targets the next code line) or trailing (targets its own
+//! line). A reasonless `allow` suppresses nothing and is itself a finding;
+//! see [`engine`] for the full semantics.
+
+#![deny(missing_docs)]
+
+pub mod diagnostics;
+pub mod engine;
+pub mod rules;
+pub mod scopes;
+pub mod source;
+pub mod tokens;
+pub mod workspace;

@@ -1,0 +1,134 @@
+//! The `hmd_lint` command-line entry point. See the crate docs in `lib.rs`
+//! for what the linter checks and how suppressions work.
+
+use hmd_lint::{engine, rules, workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: hmd_lint [--workspace] [--json] [--root <dir>] [--list-rules] [files...]
+
+  --workspace   lint every .rs file in the workspace (default when no files given)
+  --json        emit findings as JSON instead of human-readable lines
+  --root <dir>  workspace root (default: ascend from the current directory)
+  --list-rules  print the rule names and exit
+
+exit codes: 0 clean, 1 findings, 2 usage or I/O error";
+
+struct Options {
+    workspace: bool,
+    json: bool,
+    root: Option<PathBuf>,
+    list_rules: bool,
+    files: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        workspace: false,
+        json: false,
+        root: None,
+        list_rules: false,
+        files: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => opts.workspace = true,
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--root needs a directory argument")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            file => opts.files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    if opts.workspace && !opts.files.is_empty() {
+        return Err("pass either --workspace or explicit files, not both".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("hmd_lint: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::all() {
+            println!("{}", rule.name());
+        }
+        println!("{}", engine::SUPPRESSION_RULE);
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| workspace::find_root(&cwd))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("hmd_lint: no workspace root found (pass --root <dir>)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = if opts.files.is_empty() {
+        engine::run_workspace(&root)
+    } else {
+        engine::run_paths(&root, &opts.files)
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("hmd_lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        print!(
+            "{}",
+            hmd_lint::diagnostics::to_json(&report.diagnostics, report.files_scanned)
+        );
+    } else {
+        for diag in &report.diagnostics {
+            println!("{diag}");
+        }
+        if report.is_clean() {
+            println!("hmd_lint: clean ({} files scanned)", report.files_scanned);
+        } else {
+            println!(
+                "hmd_lint: {} finding{} across {} files scanned",
+                report.diagnostics.len(),
+                if report.diagnostics.len() == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+                report.files_scanned
+            );
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

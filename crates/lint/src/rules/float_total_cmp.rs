@@ -1,0 +1,117 @@
+//! `float-total-cmp`: float orderings must use `f64::total_cmp`.
+//!
+//! PR 3 swept a whole class of NaN-ordering bugs by replacing
+//! `partial_cmp`-based comparators in sort/max contexts with `total_cmp`;
+//! this rule keeps them out. Two patterns fire:
+//!
+//! 1. any `.partial_cmp(` call in non-test library code — `partial_cmp`
+//!    returns `None` on NaN, and every `.unwrap()`/default on that result is
+//!    a latent mis-sort. The intentional NaN-*rejecting* validation in
+//!    `hmd_ml::tsne` carries a reasoned allow.
+//! 2. a raw `<`/`>`/`<=`/`>=` comparison inside a comparator closure passed
+//!    to `sort_by` / `sort_unstable_by` / `max_by` / `min_by` /
+//!    `binary_search_by` — hand-rolled float comparators are the same bug
+//!    with extra steps. (Operators are recognised space-delimited, which is
+//!    what rustfmt — enforced in CI — produces for binary comparisons;
+//!    generics like `Vec<f64>` stay unspaced and inert.)
+
+use super::Rule;
+use crate::diagnostics::Diagnostic;
+use crate::scopes::matching_close;
+use crate::source::SourceFile;
+use crate::tokens::TokenKind;
+use crate::workspace::{FileContext, FileKind};
+
+/// Comparator-taking adapters whose closures the rule inspects.
+const COMPARATOR_CALLS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+];
+
+/// See the module docs.
+pub struct FloatTotalCmp;
+
+impl Rule for FloatTotalCmp {
+    fn name(&self) -> &'static str {
+        "float-total-cmp"
+    }
+
+    fn applies(&self, ctx: &FileContext) -> bool {
+        ctx.kind == FileKind::Lib
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if file.in_test_span(tokens[i].line) {
+                continue;
+            }
+            if tokens[i].is_ident("partial_cmp") && i > 0 && tokens[i - 1].is_punct('.') {
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    tokens[i].line,
+                    self.name(),
+                    "`.partial_cmp()` in library code: float orderings must use \
+                     `f64::total_cmp` (NaN-ordering bug class swept in PR 3); suppress \
+                     with a reasoned allow only for intentional NaN-rejecting checks",
+                ));
+            }
+            // Comparator closures: `.sort_by(` ... `)` containing a raw
+            // space-delimited comparison operator.
+            let is_comparator = tokens[i].kind == TokenKind::Ident
+                && COMPARATOR_CALLS.contains(&tokens[i].text.as_str())
+                && i > 0
+                && tokens[i - 1].is_punct('.')
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+            if !is_comparator {
+                continue;
+            }
+            let Some(close) = matching_close(tokens, i + 1) else {
+                continue;
+            };
+            for j in i + 2..close {
+                let tok = &tokens[j];
+                if !(tok.is_punct('<') || tok.is_punct('>')) {
+                    continue;
+                }
+                // Merge `<=` / `>=` written as adjacent tokens.
+                let mut end_col = tok.col + 1;
+                if tokens
+                    .get(j + 1)
+                    .is_some_and(|n| n.is_punct('=') && n.line == tok.line && n.col == end_col)
+                {
+                    end_col += 1;
+                }
+                let line = file.line_text(tok.line);
+                let chars: Vec<char> = line.chars().collect();
+                let before_space = tok.col == 0
+                    || chars
+                        .get(tok.col as usize - 1)
+                        .is_some_and(|c| c.is_whitespace());
+                let after_space = chars
+                    .get(end_col as usize)
+                    .is_none_or(|c| c.is_whitespace());
+                if before_space && after_space {
+                    out.push(Diagnostic::new(
+                        &file.rel_path,
+                        tok.line,
+                        self.name(),
+                        format!(
+                            "raw `{}` comparison inside a `{}` comparator: use \
+                             `total_cmp` so NaN has a defined order",
+                            if end_col > tok.col + 1 {
+                                format!("{}=", tok.text)
+                            } else {
+                                tok.text.clone()
+                            },
+                            tokens[i].text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

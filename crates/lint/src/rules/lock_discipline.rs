@@ -1,0 +1,295 @@
+//! `lock-discipline`: a static lock-acquisition tracker over `crates/serve`.
+//!
+//! The serving crate holds 20+ lock sites feeding one hot path; the two
+//! failure shapes a fleet is most exposed to are (a) **nested acquisition** —
+//! taking a second lock while a guard is live invites lock-ordering
+//! deadlocks, and (b) **long critical sections** — a guard held across a
+//! flush, codec round-trip, or model inference turns one slow request into
+//! fleet-wide tail latency. This rule builds a lexical guard-liveness model
+//! per function and flags both shapes.
+//!
+//! The tracker understands, token-by-token:
+//!
+//! - **acquisitions**: `.lock(`, `.read(`, `.write(` and the poison-recovering
+//!   `.lock_unpoisoned(` / `.read_unpoisoned(` / `.write_unpoisoned(` idiom
+//!   from `hmd_serve::sync`;
+//! - **binding**: `let g = x.lock_unpoisoned();` creates a named guard that
+//!   lives to the end of its block; an acquisition chained onward
+//!   (`x.lock_unpoisoned().take()`) or used inside a larger expression is a
+//!   temporary that dies at the end of its statement;
+//! - **death**: block end `}`, explicit `drop(g)`, a by-value move as a bare
+//!   call argument (`condvar.wait(g)`), or reassignment (`g = ...`);
+//! - **long calls**: with any guard live, a call to a flush/codec/inference
+//!   function (`flush`, `drain`, `save`, `load`, `encode`, `decode`,
+//!   `serialize`, `deserialize`, `to_json`, `from_json`, `to_saved_json`,
+//!   `parse`, `detect_rows`, `detect_batch`) is flagged.
+//!
+//! The model is lexical, not interprocedural: it will not see a lock taken
+//! inside a callee. That is the right trade for a workspace-native linter —
+//! it catches the regression shapes PRs actually introduce (inlining a flush
+//! into a critical section, adding a second `.lock()` to a scope) with zero
+//! dependencies and no false positives from aliasing it cannot resolve.
+
+use super::Rule;
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+use crate::tokens::{Token, TokenKind};
+use crate::workspace::{FileContext, FileKind};
+
+/// Method names that acquire a guard.
+const ACQUIRE: &[&str] = &[
+    "lock",
+    "read",
+    "write",
+    "lock_unpoisoned",
+    "read_unpoisoned",
+    "write_unpoisoned",
+];
+
+/// Calls that must not run inside a critical section.
+const LONG_CALLS: &[&str] = &[
+    "flush",
+    "drain",
+    "save",
+    "load",
+    "encode",
+    "decode",
+    "serialize",
+    "deserialize",
+    "to_json",
+    "from_json",
+    "to_saved_json",
+    "parse",
+    "detect_rows",
+    "detect_batch",
+];
+
+/// See the module docs.
+pub struct LockDiscipline;
+
+impl Rule for LockDiscipline {
+    fn name(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn applies(&self, ctx: &FileContext) -> bool {
+        ctx.crate_name == "serve" && ctx.kind == FileKind::Lib && !ctx.is_shim
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+        Tracker {
+            file,
+            rule: self.name(),
+            guards: Vec::new(),
+            out,
+        }
+        .run();
+    }
+}
+
+/// One live guard.
+struct Guard {
+    /// Binding name; `None` for within-statement temporaries.
+    name: Option<String>,
+    /// Line of the acquisition (for the finding message).
+    line: u32,
+    /// Brace depth the guard was created at (dies when the block closes).
+    depth: usize,
+    /// Statement counter at creation (temporaries die at statement end).
+    stmt: u64,
+}
+
+struct Tracker<'a> {
+    file: &'a SourceFile,
+    rule: &'static str,
+    guards: Vec<Guard>,
+    out: &'a mut Vec<Diagnostic>,
+}
+
+impl Tracker<'_> {
+    fn run(mut self) {
+        let tokens = &self.file.tokens;
+        let mut depth = 0usize;
+        let mut stmt = 0u64;
+        // The `let`-binding target of the current statement, if any.
+        let mut let_name: Option<String> = None;
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if tok.is_punct('{') {
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            if tok.is_punct('}') {
+                self.guards.retain(|g| g.depth < depth);
+                depth = depth.saturating_sub(1);
+                stmt += 1;
+                let_name = None;
+                i += 1;
+                continue;
+            }
+            if tok.is_punct(';') {
+                // Temporaries of this statement die here.
+                self.guards.retain(|g| g.name.is_some() || g.stmt != stmt);
+                stmt += 1;
+                let_name = None;
+                i += 1;
+                continue;
+            }
+            if tok.is_ident("let") {
+                let_name = match (tokens.get(i + 1), tokens.get(i + 2)) {
+                    (Some(m), Some(name)) if m.is_ident("mut") && name.kind == TokenKind::Ident => {
+                        Some(name.text.clone())
+                    }
+                    (Some(name), _) if name.kind == TokenKind::Ident && !name.is_ident("mut") => {
+                        Some(name.text.clone())
+                    }
+                    _ => None,
+                };
+                i += 1;
+                continue;
+            }
+            // `let g = *x.lock();` deref-copies the value out of the guard:
+            // the acquisition is a within-statement temporary, the binding a
+            // plain copy — clear the binding target so it does not capture
+            // the guard.
+            if tok.is_punct('*') && i > 0 && tokens[i - 1].is_punct('=') {
+                let_name = None;
+            }
+            if tok.kind == TokenKind::Ident {
+                self.ident(tokens, i, depth, stmt, &mut let_name);
+            }
+            i += 1;
+        }
+    }
+
+    fn ident(
+        &mut self,
+        tokens: &[Token],
+        i: usize,
+        depth: usize,
+        stmt: u64,
+        let_name: &mut Option<String>,
+    ) {
+        let tok = &tokens[i];
+        let prev = i.checked_sub(1).map(|p| &tokens[p]);
+        let next = tokens.get(i + 1);
+        let after_dot = prev.is_some_and(|p| p.is_punct('.'));
+        let called = next.is_some_and(|n| n.is_punct('('));
+
+        // drop(g): explicit guard death.
+        if tok.is_ident("drop") && called {
+            if let Some(arg) = tokens.get(i + 2) {
+                if arg.kind == TokenKind::Ident {
+                    let name = arg.text.clone();
+                    self.guards.retain(|g| g.name.as_deref() != Some(&name));
+                }
+            }
+            return;
+        }
+
+        // Acquisition.
+        if after_dot && called && ACQUIRE.contains(&tok.text.as_str()) {
+            if let Some(live) = self.guards.first() {
+                self.out.push(Diagnostic::new(
+                    &self.file.rel_path,
+                    tok.line,
+                    self.rule,
+                    format!(
+                        "`.{}()` acquired while guard{} from line {} is still live: \
+                         release the first guard (scope it, `drop` it, or merge the \
+                         critical sections) — nested acquisition is the deadlock shape",
+                        tok.text,
+                        live.name
+                            .as_ref()
+                            .map(|n| format!(" `{n}`"))
+                            .unwrap_or_default(),
+                        live.line
+                    ),
+                ));
+            }
+            // Bound or temporary? Find the call's closing paren: a `;`
+            // directly after (through closing delimiters) means the guard is
+            // the statement's bound value.
+            let close = crate::scopes::matching_close(tokens, i + 1).unwrap_or(i + 1);
+            let mut k = close + 1;
+            while tokens
+                .get(k)
+                .is_some_and(|t| t.is_punct(')') || t.is_punct('?'))
+            {
+                k += 1;
+            }
+            let bound = tokens.get(k).is_some_and(|t| t.is_punct(';'));
+            self.guards.push(Guard {
+                name: if bound { let_name.clone() } else { None },
+                line: tok.line,
+                depth,
+                stmt,
+            });
+            return;
+        }
+
+        // Long call while any guard is live.
+        if called
+            && LONG_CALLS.contains(&tok.text.as_str())
+            && !prev.is_some_and(|p| p.is_ident("fn"))
+        {
+            if let Some(live) = self.guards.first() {
+                self.out.push(Diagnostic::new(
+                    &self.file.rel_path,
+                    tok.line,
+                    self.rule,
+                    format!(
+                        "guard{} from line {} held across `{}()`: flush/codec/inference \
+                         work must run outside critical sections (tail-latency and \
+                         deadlock hazard)",
+                        live.name
+                            .as_ref()
+                            .map(|n| format!(" `{n}`"))
+                            .unwrap_or_default(),
+                        live.line,
+                        tok.text
+                    ),
+                ));
+            }
+            return;
+        }
+
+        // Guard moves and reassignment.
+        let prev_ok = prev.is_none_or(|p| !(p.is_punct('.') || p.is_punct('&') || p.is_punct('*')));
+        if !prev_ok {
+            return;
+        }
+        // Assignment `x = ...` (not `==`, `=>`, part of `<=`/`>=`/`!=`):
+        // kills a live guard of that name, and seeds the binding target so a
+        // fresh acquisition on the right-hand side binds back to the name —
+        // whether or not the old value was a guard (re-lock after `drop`).
+        let assigned = next.is_some_and(|n| n.is_punct('='))
+            && !tokens
+                .get(i + 2)
+                .is_some_and(|n| n.is_punct('=') || n.is_punct('>'))
+            && prev.is_none_or(|p| {
+                !(p.is_punct('=') || p.is_punct('<') || p.is_punct('>') || p.is_punct('!'))
+            });
+        let guard_idx = self
+            .guards
+            .iter()
+            .position(|g| g.name.as_deref() == Some(tok.text.as_str()));
+        if assigned {
+            if let Some(idx) = guard_idx {
+                self.guards.remove(idx);
+            }
+            *let_name = Some(tok.text.clone());
+            return;
+        }
+        if let Some(idx) = guard_idx {
+            // By-value move as a bare call argument: `( g ,` / `, g )` ...
+            let moved = prev.is_some_and(|p| p.is_punct('(') || p.is_punct(','))
+                && next.is_some_and(|n| n.is_punct(',') || n.is_punct(')'));
+            if moved {
+                self.guards.remove(idx);
+            }
+        }
+    }
+}

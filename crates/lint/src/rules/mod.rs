@@ -1,0 +1,53 @@
+//! The rules engine: the [`Rule`] trait and the five repo-specific rules.
+//!
+//! | rule | enforces | scope |
+//! |------|----------|-------|
+//! | `float-total-cmp` | float orderings use `total_cmp`, never `partial_cmp` or raw `<`/`>` comparators | all non-test library code |
+//! | `unsafe-safety-comment` | every `unsafe` block/fn carries a `// SAFETY:` justification | everywhere, shims included |
+//! | `no-panic-in-lib` | no `.unwrap()` / `.expect("...")` / `panic!`-family in serving-path library code | `core`/`codec`/`data`/`ml`/`serve` src |
+//! | `lock-discipline` | no nested guard acquisition; no guard held across flush/codec/inference calls | `crates/serve` src |
+//! | `derived-state-persistence` | derived caches (columnar/presorted/flat) never touch encode/decode paths | `hmd_codec` + persistence fns |
+//!
+//! Suppressions use `// hmd-lint: allow(rule) <reason>`; the reason is
+//! mandatory (see [`crate::source::Suppression`]).
+
+pub mod derived_state;
+pub mod float_total_cmp;
+pub mod lock_discipline;
+pub mod no_panic;
+pub mod unsafe_safety;
+
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+use crate::workspace::FileContext;
+
+/// One static-analysis rule.
+pub trait Rule {
+    /// The rule's stable name (what `allow(...)` references).
+    fn name(&self) -> &'static str;
+
+    /// Whether the rule runs on a file with this context at all.
+    fn applies(&self, ctx: &FileContext) -> bool;
+
+    /// Scans `file` and appends findings to `out`.
+    fn check(&self, file: &SourceFile, ctx: &FileContext, out: &mut Vec<Diagnostic>);
+}
+
+/// The full rule set, in reporting order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(float_total_cmp::FloatTotalCmp),
+        Box::new(unsafe_safety::UnsafeSafetyComment),
+        Box::new(no_panic::NoPanicInLib),
+        Box::new(lock_discipline::LockDiscipline),
+        Box::new(derived_state::DerivedStatePersistence),
+    ]
+}
+
+/// Every valid rule name, including the meta rule for the suppression syntax
+/// itself (used to validate `allow(...)` arguments).
+pub fn known_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = all().iter().map(|r| r.name()).collect();
+    names.push(crate::engine::SUPPRESSION_RULE);
+    names
+}

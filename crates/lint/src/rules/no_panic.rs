@@ -1,0 +1,97 @@
+//! `no-panic-in-lib`: serving-path library code must not panic.
+//!
+//! A detector fleet serving millions of users cannot afford a poisoned lock
+//! or a dead scorer thread because someone `.unwrap()`ed an `Option` that was
+//! "obviously" `Some`. Library code in the serving crates
+//! (`core`/`codec`/`data`/`ml`/`serve`) must surface failures as
+//! `Result`/`FleetError` values; tests, benches, and examples stay free to
+//! assert. Flagged forms:
+//!
+//! - `panic!(`, `unreachable!(`, `todo!(`, `unimplemented!(`
+//! - `.unwrap()`
+//! - `.expect("...")` — only with a string-literal argument, which is what
+//!   distinguishes `Option::expect`/`Result::expect` from same-named domain
+//!   methods (the `hmd_codec` parser's `expect(b'{')` takes byte literals)
+//!
+//! `assert!`/`debug_assert!` are deliberately NOT flagged: they encode
+//! documented invariants, and turning them into `Result`s would hide logic
+//! errors instead of failing loudly in tests. Provably unreachable panics
+//! keep a reasoned `hmd-lint: allow(no-panic-in-lib)` instead of dead
+//! error-handling code.
+
+use super::Rule;
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+use crate::tokens::TokenKind;
+use crate::workspace::{FileContext, FileKind};
+
+/// Crates whose library code is on the serving path.
+const SERVING_CRATES: &[&str] = &["core", "codec", "data", "ml", "serve"];
+
+/// Panicking macros flagged by the rule.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// See the module docs.
+pub struct NoPanicInLib;
+
+impl Rule for NoPanicInLib {
+    fn name(&self) -> &'static str {
+        "no-panic-in-lib"
+    }
+
+    fn applies(&self, ctx: &FileContext) -> bool {
+        ctx.kind == FileKind::Lib
+            && !ctx.is_shim
+            && SERVING_CRATES.contains(&ctx.crate_name.as_str())
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            let tok = &tokens[i];
+            if tok.kind != TokenKind::Ident || file.in_test_span(tok.line) {
+                continue;
+            }
+            let next_is =
+                |ahead: usize, ch: char| tokens.get(i + ahead).is_some_and(|t| t.is_punct(ch));
+            if PANIC_MACROS.contains(&tok.text.as_str()) && next_is(1, '!') {
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    tok.line,
+                    self.name(),
+                    format!(
+                        "`{}!` in library code: return an error (`Result`/`FleetError`) \
+                         instead of taking the serving thread down",
+                        tok.text
+                    ),
+                ));
+                continue;
+            }
+            let after_dot = i > 0 && tokens[i - 1].is_punct('.');
+            if after_dot && tok.text == "unwrap" && next_is(1, '(') && next_is(2, ')') {
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    tok.line,
+                    self.name(),
+                    "`.unwrap()` in library code: propagate the error or recover \
+                     (for mutex poisoning, use the `lock_unpoisoned` idiom)",
+                ));
+                continue;
+            }
+            if after_dot
+                && tok.text == "expect"
+                && next_is(1, '(')
+                && tokens.get(i + 2).is_some_and(|t| t.kind == TokenKind::Str)
+            {
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    tok.line,
+                    self.name(),
+                    "`.expect(\"...\")` in library code: propagate the error or prove \
+                     the invariant in the type (a reasoned allow is acceptable only \
+                     for construction-guaranteed invariants)",
+                ));
+            }
+        }
+    }
+}

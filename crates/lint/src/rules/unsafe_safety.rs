@@ -1,0 +1,99 @@
+//! `unsafe-safety-comment`: every `unsafe` block or function must carry a
+//! `// SAFETY:` justification.
+//!
+//! The workspace keeps `unsafe` vanishingly rare (one lifetime-erasing
+//! transmute in the rayon shim's worker pool), which is exactly why each
+//! occurrence must spell out the invariant making it sound — the next reader
+//! has no surrounding culture of unsafe reasoning to lean on. The rule
+//! accepts a `SAFETY:` comment trailing on the same line or in the
+//! contiguous comment/attribute block directly above the `unsafe` keyword;
+//! any interposed code line breaks the association. Shims included; test
+//! code included (an unsound test scaffold can still corrupt the process
+//! that runs next to real assertions).
+
+use super::Rule;
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+use crate::workspace::FileContext;
+
+/// See the module docs.
+pub struct UnsafeSafetyComment;
+
+impl Rule for UnsafeSafetyComment {
+    fn name(&self) -> &'static str {
+        "unsafe-safety-comment"
+    }
+
+    fn applies(&self, _ctx: &FileContext) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if !tokens[i].is_ident("unsafe") {
+                continue;
+            }
+            let Some(next) = tokens.get(i + 1) else {
+                continue;
+            };
+            // `unsafe impl`/`unsafe trait` declare a contract documented at
+            // the trait; blocks and fns are where invariants are *relied on*.
+            let needs_comment = next.is_punct('{') || next.is_ident("fn");
+            if !needs_comment {
+                continue;
+            }
+            let line = tokens[i].line;
+            if has_safety_comment(file, line) {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                &file.rel_path,
+                line,
+                self.name(),
+                format!(
+                    "`unsafe` {} without a `// SAFETY:` justification: document, \
+                     directly above it, why the invariants hold",
+                    if next.is_ident("fn") { "fn" } else { "block" }
+                ),
+            ));
+        }
+    }
+}
+
+/// True when a `SAFETY:` comment covers the `unsafe` at `line`: trailing on
+/// the same line, or in the contiguous run of comment/attribute/blank lines
+/// immediately above it.
+fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
+    // Trailing comment on the unsafe line itself.
+    if file
+        .comments
+        .iter()
+        .any(|c| c.line <= line && line <= c.end_line && c.text.contains("SAFETY:"))
+    {
+        return true;
+    }
+    let mut current = line;
+    while current > 1 {
+        current -= 1;
+        let text = file.line_text(current);
+        let t = text.trim();
+        let is_comment =
+            t.starts_with("//") || t.starts_with("/*") || t.starts_with('*') || t.ends_with("*/");
+        if is_comment {
+            // Walking up through a multi-line comment: accept as soon as any
+            // of its lines carries the marker.
+            if t.contains("SAFETY:") {
+                return true;
+            }
+            continue;
+        }
+        // Attributes and blank lines may sit between the comment and the
+        // unsafe token (e.g. `#[allow(...)]` on the transmute).
+        if t.is_empty() || t.starts_with("#[") || t.starts_with("#!") {
+            continue;
+        }
+        return false; // interposed code: the comment above is not "directly above"
+    }
+    false
+}

@@ -1,0 +1,116 @@
+//! Lightweight brace/expression tracking over the token stream.
+//!
+//! The rules need just enough structure to reason about scopes without a full
+//! parse: matching-delimiter spans, and the token ranges of function bodies
+//! (`fn name ... { body }`). The lock-discipline tracker in
+//! [`crate::rules::lock_discipline`] builds its guard-liveness model on top
+//! of these primitives.
+
+use crate::tokens::Token;
+
+/// Returns the index of the delimiter closing the one at `open`, treating
+/// `(`/`)`, `[`/`]`, and `{`/`}` uniformly (all three nest through each
+/// other). `None` when the stream ends unbalanced.
+pub fn matching_close(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    for (i, token) in tokens.iter().enumerate().skip(open) {
+        if token.is_punct('(') || token.is_punct('[') || token.is_punct('{') {
+            depth += 1;
+        } else if token.is_punct(')') || token.is_punct(']') || token.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// A function item found in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnBody {
+    /// The function's name.
+    pub name: String,
+    /// Token range of the body: indices of the opening and closing braces.
+    pub body: (usize, usize),
+}
+
+/// Finds every `fn <name> ... { body }` in the stream (trait-method
+/// *declarations* ending in `;` have no body and are skipped). Nested
+/// functions and closures inside a body are part of the enclosing body's
+/// range and also reported as their own entries when they are named `fn`s.
+pub fn fn_bodies(tokens: &[Token]) -> Vec<FnBody> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != crate::tokens::TokenKind::Ident {
+            continue;
+        }
+        // Scan forward to the body's `{`, stopping at `;` (a bodyless
+        // declaration). Generic bounds, argument lists, and return types may
+        // contain nested delimiters; skip over complete groups, and also over
+        // `where` clauses (whose bound lists are delimiter-free).
+        let mut j = i + 2;
+        let mut body = None;
+        while let Some(tok) = tokens.get(j) {
+            if tok.is_punct(';') {
+                break;
+            }
+            if tok.is_punct('(') || tok.is_punct('[') {
+                match matching_close(tokens, j) {
+                    Some(close) => j = close + 1,
+                    None => break,
+                }
+                continue;
+            }
+            if tok.is_punct('{') {
+                body = matching_close(tokens, j).map(|close| (j, close));
+                break;
+            }
+            j += 1;
+        }
+        if let Some(body) = body {
+            out.push(FnBody {
+                name: name_tok.text.clone(),
+                body,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::tokenize;
+
+    #[test]
+    fn fn_bodies_skip_signatures_and_find_braces() {
+        let (tokens, _) = tokenize(
+            "trait T { fn decl(&self) -> Vec<u8>; }\n\
+             fn to_json(x: (u8, u8)) -> String { let y = { 1 }; format(y) }\n",
+        );
+        let bodies = fn_bodies(&tokens);
+        assert_eq!(bodies.len(), 1);
+        assert_eq!(bodies[0].name, "to_json");
+        let (open, close) = bodies[0].body;
+        assert!(tokens[open].is_punct('{'));
+        assert!(tokens[close].is_punct('}'));
+        // The inner block belongs to the same body span.
+        assert!(close > open + 5);
+    }
+
+    #[test]
+    fn matching_close_handles_mixed_nesting() {
+        let (tokens, _) = tokenize("f(a[b{c}d], e)");
+        let open = tokens.iter().position(|t| t.is_punct('(')).unwrap();
+        let close = matching_close(&tokens, open).unwrap();
+        assert!(tokens[close].is_punct(')'));
+        assert_eq!(close, tokens.len() - 1);
+    }
+}

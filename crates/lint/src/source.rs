@@ -1,0 +1,259 @@
+//! A parsed source file: tokens, comments, line classification, `#[cfg(test)]`
+//! spans, and `// hmd-lint: allow(...)` suppressions.
+
+use crate::tokens::{tokenize, Comment, Token};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// The inline suppression syntax: `// hmd-lint: allow(rule-name) <reason>`.
+///
+/// A suppression on its own line targets the next line containing code; a
+/// trailing suppression targets its own line. The `<reason>` is **required**
+/// for the suppression to take effect — a bare `allow(rule)` is itself
+/// reported (rule `lint-suppression`) and suppresses nothing.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-based line of the comment itself.
+    pub line: u32,
+    /// 1-based line the suppression applies to.
+    pub target_line: u32,
+    /// The rule name inside `allow(...)`.
+    pub rule: String,
+    /// The justification after the closing paren, if any.
+    pub reason: Option<String>,
+}
+
+/// A `hmd-lint:` comment that could not be parsed as `allow(rule) reason`.
+#[derive(Debug, Clone)]
+pub struct MalformedSuppression {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+/// One fully lexed and classified source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative display path (also used in diagnostics).
+    pub rel_path: String,
+    /// The raw source lines (1-based access via [`SourceFile::line_text`]).
+    pub lines: Vec<String>,
+    /// The code token stream (comments and literals already separated).
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// Parsed suppression comments.
+    pub suppressions: Vec<Suppression>,
+    /// `hmd-lint:` comments that did not parse.
+    pub malformed: Vec<MalformedSuppression>,
+    code_lines: BTreeSet<u32>,
+    test_spans: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `text` (read from `rel_path`) and computes line classifications.
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let (tokens, comments) = tokenize(text);
+        let code_lines: BTreeSet<u32> = tokens.iter().map(|t| t.line).collect();
+        let test_spans = find_test_spans(&tokens);
+        let mut file = SourceFile {
+            rel_path: rel_path.to_string(),
+            lines: text.lines().map(str::to_string).collect(),
+            tokens,
+            comments,
+            suppressions: Vec::new(),
+            malformed: Vec::new(),
+            code_lines,
+            test_spans,
+        };
+        file.collect_suppressions();
+        file
+    }
+
+    /// Convenience constructor reading the file from disk.
+    pub fn read(path: &Path, rel_path: &str) -> std::io::Result<SourceFile> {
+        Ok(SourceFile::parse(rel_path, &std::fs::read_to_string(path)?))
+    }
+
+    /// The text of 1-based line `line` (empty for out-of-range lines).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_span(&self, line: u32) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(start, end)| line >= start && line <= end)
+    }
+
+    fn collect_suppressions(&mut self) {
+        for comment in &self.comments {
+            let Some(rest) = find_directive(&comment.text) else {
+                continue;
+            };
+            match parse_allow(rest) {
+                Ok((rule, reason)) => {
+                    let target_line = if self.code_lines.contains(&comment.line) {
+                        comment.line
+                    } else {
+                        // Own-line comment: applies to the next code line.
+                        self.code_lines
+                            .range(comment.end_line + 1..)
+                            .next()
+                            .copied()
+                            .unwrap_or(comment.line)
+                    };
+                    self.suppressions.push(Suppression {
+                        line: comment.line,
+                        target_line,
+                        rule,
+                        reason,
+                    });
+                }
+                Err(message) => self.malformed.push(MalformedSuppression {
+                    line: comment.line,
+                    message,
+                }),
+            }
+        }
+    }
+}
+
+/// Returns the text after `hmd-lint:` when the comment is a lint directive.
+///
+/// A directive must *start* with `hmd-lint:` (after leading whitespace) —
+/// comments that merely mention the syntax in prose are not directives, and
+/// doc comments (whose text starts with `/` or `!`) can never be directives.
+fn find_directive(comment: &str) -> Option<&str> {
+    comment
+        .trim_start()
+        .strip_prefix("hmd-lint:")
+        .map(str::trim)
+}
+
+/// Parses `allow(rule) reason...` into the rule name and optional reason.
+fn parse_allow(rest: &str) -> Result<(String, Option<String>), String> {
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Err(format!(
+            "expected `allow(rule) <reason>` after `hmd-lint:`, found `{rest}`"
+        ));
+    };
+    let Some(close) = args.find(')') else {
+        return Err("unclosed `allow(` in lint directive".to_string());
+    };
+    let rule = args[..close].trim();
+    if rule.is_empty() || rule.contains(char::is_whitespace) {
+        return Err(format!(
+            "`allow(...)` needs a single rule name, found `{rule}`"
+        ));
+    }
+    let reason = args[close + 1..].trim();
+    Ok((
+        rule.to_string(),
+        if reason.is_empty() {
+            None
+        } else {
+            Some(reason.to_string())
+        },
+    ))
+}
+
+/// Finds the line spans of `#[cfg(test)]` items (modules, fns) so rules that
+/// exempt test code can skip them.
+fn find_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip to the item body: the first `{` at depth 0 (a `;` first means
+        // an out-of-line `mod tests;` — span ends there).
+        let mut j = i + 7;
+        let mut end_line = start_line;
+        while j < tokens.len() {
+            if tokens[j].is_punct(';') {
+                end_line = tokens[j].line;
+                break;
+            }
+            if tokens[j].is_punct('{') {
+                let mut depth = 1usize;
+                j += 1;
+                while j < tokens.len() && depth > 0 {
+                    if tokens[j].is_punct('{') {
+                        depth += 1;
+                    } else if tokens[j].is_punct('}') {
+                        depth -= 1;
+                    }
+                    end_line = tokens[j].line;
+                    j += 1;
+                }
+                break;
+            }
+            j += 1;
+        }
+        spans.push((start_line, end_line.max(start_line)));
+        i = j.max(i + 7);
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_on_own_line_targets_next_code_line() {
+        let src = "fn f() {\n    // hmd-lint: allow(no-panic-in-lib) provably non-empty\n    x.unwrap();\n}\n";
+        let file = SourceFile::parse("t.rs", src);
+        assert_eq!(file.suppressions.len(), 1);
+        let s = &file.suppressions[0];
+        assert_eq!(s.rule, "no-panic-in-lib");
+        assert_eq!(s.target_line, 3);
+        assert_eq!(s.reason.as_deref(), Some("provably non-empty"));
+    }
+
+    #[test]
+    fn trailing_suppression_targets_its_own_line() {
+        let src = "let x = y.unwrap(); // hmd-lint: allow(no-panic-in-lib) seeded above\n";
+        let file = SourceFile::parse("t.rs", src);
+        assert_eq!(file.suppressions[0].target_line, 1);
+    }
+
+    #[test]
+    fn reasonless_allow_parses_with_no_reason() {
+        let file = SourceFile::parse("t.rs", "// hmd-lint: allow(float-total-cmp)\nlet x = 1;\n");
+        assert_eq!(file.suppressions[0].reason, None);
+    }
+
+    #[test]
+    fn malformed_directives_are_reported() {
+        let file = SourceFile::parse("t.rs", "// hmd-lint: disable(everything)\n");
+        assert_eq!(file.suppressions.len(), 0);
+        assert_eq!(file.malformed.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_the_module() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let file = SourceFile::parse("t.rs", src);
+        assert!(!file.in_test_span(1));
+        assert!(file.in_test_span(2));
+        assert!(file.in_test_span(5));
+        assert!(!file.in_test_span(7));
+    }
+}

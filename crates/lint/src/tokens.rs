@@ -1,0 +1,457 @@
+//! A comment- and string-aware Rust tokenizer.
+//!
+//! This is not a full Rust lexer: it produces exactly the token stream the
+//! rules in [`crate::rules`] need — identifiers, literals, lifetimes, and
+//! single-character punctuation, each stamped with its line and column — and
+//! collects comments into a separate side channel (for `// SAFETY:`
+//! justifications and `// hmd-lint: allow(...)` suppressions). What matters
+//! for soundness is that *nothing inside a string, character, or comment can
+//! ever be mistaken for code*: `"partial_cmp"` in a message, `b'{'` in the
+//! JSON parser, and `// .unwrap()` in prose must all be inert.
+
+/// The coarse classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `partial_cmp`, ...).
+    Ident,
+    /// A string literal of any flavour: `"..."`, `r"..."`, `r#"..."#`,
+    /// `b"..."`, `br#"..."#`. `text` holds the *contents* (no quotes).
+    Str,
+    /// A character literal `'x'` (contents, no quotes).
+    Char,
+    /// A byte literal `b'x'` (contents, no quotes).
+    Byte,
+    /// A numeric literal (`1`, `0x9E`, `1.5e-3`, `1_000u64`, ...).
+    Number,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`), without the
+    /// leading quote.
+    Lifetime,
+    /// A single punctuation character (`.`, `{`, `<`, ...). Multi-character
+    /// operators arrive as adjacent tokens; consumers that care (like the
+    /// comparator-operator check) reassemble them via column adjacency.
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text (for literals: the contents without delimiters).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 0-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+
+    /// True when this token is the given identifier or keyword.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+}
+
+/// One comment (line or block) with the line range it covers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//` comments).
+    pub end_line: u32,
+    /// The comment text without its `//` / `/* */` delimiters.
+    pub text: String,
+}
+
+/// Lexes `src` into code tokens and a parallel list of comments.
+pub fn tokenize(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Lexer {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 0,
+            tokens: Vec::new(),
+            comments: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one character, keeping the line/column counters current.
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if ch == '\n' {
+            self.line += 1;
+            self.col = 0;
+        } else {
+            self.col += 1;
+        }
+        Some(ch)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<Comment>) {
+        while let Some(ch) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match ch {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(TokenKind::Str, line, col),
+                'r' | 'b' if self.raw_or_byte_prefix() => { /* handled inside */ }
+                '\'' => self.quote(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        (self.tokens, self.comments)
+    }
+
+    /// Dispatches the `r`/`b`-prefixed literal forms (`r"..."`, `r#"..."#`,
+    /// `b"..."`, `br#"..."#`, `b'x'`, raw identifiers `r#ident`). Returns
+    /// true when it consumed something; false leaves the prefix to be lexed
+    /// as a plain identifier.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let (line, col) = (self.line, self.col);
+        let first = self.peek(0);
+        // Work out the shape by lookahead only; consume nothing on fallback.
+        let mut ahead = 1;
+        if first == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        if first == Some('b') && self.peek(1) == Some('\'') {
+            // b'x' byte literal.
+            self.bump(); // b
+            self.bump(); // '
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c == '\\' {
+                    text.push(self.bump().unwrap_or_default());
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                } else if c == '\'' {
+                    self.bump();
+                    break;
+                } else {
+                    text.push(self.bump().unwrap_or_default());
+                }
+            }
+            self.push(TokenKind::Byte, text, line, col);
+            return true;
+        }
+        if first == Some('b') && self.peek(1) == Some('"') {
+            self.bump(); // b
+            self.string(TokenKind::Str, line, col);
+            return true;
+        }
+        // r / br: count hashes, then require a quote for a raw string.
+        let mut hashes = 0;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+            hashes += 1;
+        }
+        if self.peek(ahead) == Some('"') && (first == Some('r') || hashes > 0 || ahead == 2) {
+            if first != Some('r') && !(first == Some('b') && self.peek(1) == Some('r')) {
+                return false;
+            }
+            for _ in 0..=ahead {
+                self.bump(); // prefix, hashes, opening quote
+            }
+            let closer: String = std::iter::once('"')
+                .chain((0..hashes).map(|_| '#'))
+                .collect();
+            let mut text = String::new();
+            loop {
+                if self.peek(0).is_none() {
+                    break;
+                }
+                if self.remaining_starts_with(&closer) {
+                    for _ in 0..closer.len() {
+                        self.bump();
+                    }
+                    break;
+                }
+                text.push(self.bump().unwrap_or_default());
+            }
+            self.push(TokenKind::Str, text, line, col);
+            return true;
+        }
+        if first == Some('r') && hashes > 0 {
+            // Raw identifier r#ident: skip the prefix, lex the identifier.
+            self.bump(); // r
+            self.bump(); // #
+            self.ident(line, col);
+            return true;
+        }
+        false
+    }
+
+    fn remaining_starts_with(&self, needle: &str) -> bool {
+        needle
+            .chars()
+            .enumerate()
+            .all(|(i, c)| self.peek(i) == Some(c))
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump(); // /
+        self.bump(); // /
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump().unwrap_or_default());
+        }
+        self.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(_), _) => text.push(self.bump().unwrap_or_default()),
+                (None, _) => break,
+            }
+        }
+        self.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    fn string(&mut self, kind: TokenKind, line: u32, col: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(self.bump().unwrap_or_default());
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if c == '"' {
+                self.bump();
+                break;
+            } else {
+                text.push(self.bump().unwrap_or_default());
+            }
+        }
+        self.push(kind, text, line, col);
+    }
+
+    /// A single quote starts either a lifetime/label (`'a`, `'outer`) or a
+    /// character literal (`'x'`, `'\n'`, `'\u{1F980}'`). A lifetime is an
+    /// identifier start NOT followed by a closing quote.
+    fn quote(&mut self, line: u32, col: u32) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            matches!(next, Some(c) if c.is_alphabetic() || c == '_') && after != Some('\'');
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(self.bump().unwrap_or_default());
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line, col);
+            return;
+        }
+        // Character literal.
+        self.bump(); // '
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(self.bump().unwrap_or_default());
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                    if esc == 'u' && self.peek(0) == Some('{') {
+                        while let Some(u) = self.bump() {
+                            text.push(u);
+                            if u == '}' {
+                                break;
+                            }
+                        }
+                    }
+                }
+            } else if c == '\'' {
+                self.bump();
+                break;
+            } else {
+                text.push(self.bump().unwrap_or_default());
+            }
+        }
+        self.push(TokenKind::Char, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().unwrap_or_default());
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let take = if c.is_alphanumeric() || c == '_' {
+                true
+            } else if c == '.' {
+                // `1.5` continues the number; `0..10` does not.
+                matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+            } else if c == '+' || c == '-' {
+                // Exponent sign: only directly after `e`/`E`.
+                matches!(text.chars().last(), Some('e') | Some('E'))
+            } else {
+                false
+            };
+            if !take {
+                break;
+            }
+            text.push(self.bump().unwrap_or_default());
+        }
+        self.push(TokenKind::Number, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .0
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn code_inside_strings_and_comments_is_inert() {
+        let src = r#"
+            // .unwrap() in a comment
+            let x = "partial_cmp and .lock()"; /* unsafe { } */
+            let b = b'{';
+        "#;
+        let (tokens, comments) = tokenize(src);
+        assert!(!tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!tokens
+            .iter()
+            .any(|t| t.is_ident("partial_cmp") && t.kind == TokenKind::Ident));
+        assert!(!tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert_eq!(comments.len(), 2);
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text.contains("partial_cmp")));
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Byte && t.text == "{"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'static str { 'x' }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokenKind::Lifetime, "static".into())));
+        assert!(toks.contains(&(TokenKind::Char, "x".into())));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"let s = r#"quote " inside"#; let r#fn = 1;"##);
+        assert!(toks.contains(&(TokenKind::Str, "quote \" inside".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "fn".into())));
+    }
+
+    #[test]
+    fn numbers_survive_ranges_and_exponents() {
+        let toks = kinds("0..10 1.5e-3 0x9E37_79B9");
+        assert!(toks.contains(&(TokenKind::Number, "0".into())));
+        assert!(toks.contains(&(TokenKind::Number, "10".into())));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-3".into())));
+        assert!(toks.contains(&(TokenKind::Number, "0x9E37_79B9".into())));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let (tokens, comments) = tokenize("/* outer /* inner */ still */ fn x() {}");
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains("inner"));
+        assert!(tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn lines_and_columns_are_tracked() {
+        let (tokens, _) = tokenize("a\n  bee\n");
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[1].col, 2);
+    }
+}

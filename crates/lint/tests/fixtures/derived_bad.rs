@@ -1,0 +1,12 @@
+//! Fixture: derived-cache identifiers inside persistence paths, which
+//! `derived-state-persistence` must flag (both identifier tokens and JSON
+//! key strings).
+
+pub fn encode(doc: &Document) -> String {
+    let cache = doc.presorted_rows.len();
+    format!("{{\"flat\": {cache}}}")
+}
+
+pub struct Document {
+    pub presorted_rows: Vec<u32>,
+}

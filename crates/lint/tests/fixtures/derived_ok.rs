@@ -1,0 +1,31 @@
+//! Fixture: derived-cache usage `derived-state-persistence` must accept —
+//! caches built freely outside persistence fns, and a `from_json` that
+//! *rebuilds* the cache through a constructor without naming it.
+
+pub fn fit() -> Forest {
+    let flat = compile_groups();
+    Forest { flat }
+}
+
+pub fn from_json(doc: &str) -> Forest {
+    let trees = parse_trees(doc);
+    Forest::rebuild(trees)
+}
+
+pub struct Forest {
+    pub flat: usize,
+}
+
+impl Forest {
+    pub fn rebuild(_trees: usize) -> Forest {
+        fit()
+    }
+}
+
+pub fn compile_groups() -> usize {
+    0
+}
+
+pub fn parse_trees(_doc: &str) -> usize {
+    0
+}

@@ -1,0 +1,15 @@
+//! Fixture: float orderings that `float-total-cmp` must flag.
+//!
+//! Fixtures are excluded from workspace discovery (and never compiled);
+//! they exist to be scanned by `tests/rules.rs` with a pretend path.
+
+pub fn worst(values: &mut [f64]) -> Option<std::cmp::Ordering> {
+    values.sort_by(|a, b| {
+        if a < b {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+    values.first().and_then(|v| v.partial_cmp(&0.5))
+}

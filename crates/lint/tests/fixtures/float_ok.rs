@@ -1,0 +1,11 @@
+//! Fixture: float orderings `float-total-cmp` must accept — `total_cmp`
+//! comparators, unspaced generics, and a reasoned suppression.
+
+pub fn sorted(values: &mut Vec<f64>) -> Option<f64> {
+    values.sort_by(|a, b| a.total_cmp(b));
+    // Generics like Vec<f64> and `a<b` written unspaced are inert: rustfmt
+    // (CI-enforced) always spaces real binary comparisons.
+    // hmd-lint: allow(float-total-cmp) intentional NaN-rejecting boundary check, mirroring hmd_ml::tsne::validate
+    let boundary = 1.0_f64.partial_cmp(&0.5);
+    values.first().copied().filter(|_| boundary.is_some())
+}

@@ -1,0 +1,24 @@
+//! Fixture: critical-section shapes `lock-discipline` must flag in the
+//! serving crate.
+
+use std::sync::Mutex;
+
+pub struct State {
+    rows: Mutex<Vec<f64>>,
+    count: Mutex<usize>,
+}
+
+pub fn save(_rows: usize) {}
+
+impl State {
+    pub fn nested_acquisition(&self) -> usize {
+        let rows = self.rows.lock_unpoisoned();
+        let count = self.count.lock_unpoisoned();
+        rows.len() + *count
+    }
+
+    pub fn guard_held_across_save(&self) {
+        let rows = self.rows.lock_unpoisoned();
+        save(rows.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! Fixture: lock usage `lock-discipline` must accept — scoped guards,
+//! within-statement temporaries, and explicit drops before long calls.
+
+use std::sync::Mutex;
+
+pub struct State {
+    rows: Mutex<Vec<f64>>,
+    count: Mutex<usize>,
+}
+
+pub fn save(_rows: usize) {}
+
+impl State {
+    pub fn scoped_guards(&self) -> usize {
+        let len = {
+            let rows = self.rows.lock_unpoisoned();
+            rows.len()
+        };
+        let count = *self.count.lock_unpoisoned();
+        save(len);
+        len + count
+    }
+
+    pub fn dropped_before_save(&self) {
+        let rows = self.rows.lock_unpoisoned();
+        let len = rows.len();
+        drop(rows);
+        save(len);
+    }
+
+    pub fn chained_temporary(&self) -> usize {
+        let taken = self.rows.lock_unpoisoned().len();
+        save(taken);
+        taken
+    }
+}

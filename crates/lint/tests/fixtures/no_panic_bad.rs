@@ -1,0 +1,15 @@
+//! Fixture: panicking forms `no-panic-in-lib` must flag in serving-path
+//! library code.
+
+pub fn riskily(values: &[f64]) -> f64 {
+    let first = values.first().unwrap();
+    let last = values.last().expect("caller passes a non-empty slice");
+    if values.len() > 64 {
+        panic!("tile too large");
+    }
+    first + last
+}
+
+pub fn unfinished() {
+    todo!()
+}

@@ -1,0 +1,36 @@
+//! Fixture: forms `no-panic-in-lib` must accept — propagated errors,
+//! reasoned allows, domain methods named `expect`, asserts, and test code.
+
+pub fn first(values: &[f64]) -> Result<f64, String> {
+    values.first().copied().ok_or_else(|| "empty".to_string())
+}
+
+pub fn head(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "asserts encode invariants and stay");
+    // hmd-lint: allow(no-panic-in-lib) construction-guaranteed: the assert above proves non-empty
+    values.first().copied().unwrap()
+}
+
+pub struct Parser;
+
+impl Parser {
+    fn expect(&self, _byte: u8) -> bool {
+        true
+    }
+}
+
+/// `expect` with a non-string argument is a domain method (the codec
+/// parser's `expect(b'{')`), not `Option::expect`.
+pub fn domain_expect(parser: &Parser) -> bool {
+    parser.expect(b'{')
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_panic_freely() {
+        assert_eq!(super::head(&[1.0]), 1.0);
+        let _ = Some(3).unwrap();
+        let _ = "7".parse::<u8>().expect("tests may expect");
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: the suppression syntax's own failure modes, reported under
+//! `lint-suppression`.
+
+pub fn reasonless_allow_does_not_suppress(values: &[f64]) -> f64 {
+    // hmd-lint: allow(no-panic-in-lib)
+    values.first().copied().unwrap()
+}
+
+pub fn unknown_rule_is_reported() {
+    // hmd-lint: allow(definitely-not-a-rule) even with a reason
+    let _x = 1;
+}
+
+pub fn malformed_directive_is_reported() {
+    // hmd-lint: deny(everything)
+    let _y = 2;
+}

@@ -1,0 +1,17 @@
+//! Fixture: `unsafe` without a SAFETY justification, in the three shapes
+//! `unsafe-safety-comment` distinguishes.
+
+pub fn undocumented_block(values: &[u8]) -> u8 {
+    unsafe { *values.as_ptr() }
+}
+
+// A comment that is not a SAFETY comment does not count.
+pub unsafe fn undocumented_fn(ptr: *const u8) -> u8 {
+    *ptr
+}
+
+pub fn interposed_code(values: &[u8]) -> u8 {
+    // SAFETY: this comment is orphaned by the statement below it.
+    let _checked = !values.is_empty();
+    unsafe { *values.as_ptr() }
+}

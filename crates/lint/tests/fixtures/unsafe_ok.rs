@@ -1,0 +1,21 @@
+//! Fixture: `unsafe` forms `unsafe-safety-comment` must accept.
+
+pub fn commented_above(values: &[u8]) -> u8 {
+    assert!(!values.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so reading
+    // the first byte through the raw pointer stays in bounds.
+    #[allow(unused_unsafe)]
+    unsafe {
+        *values.as_ptr()
+    }
+}
+
+pub fn trailing_comment(values: &[u8]) -> u8 {
+    unsafe { *values.as_ptr().add(0) } // SAFETY: offset 0 of a valid slice pointer
+}
+
+// `unsafe impl` declares a contract documented at the trait definition; the
+// rule only polices blocks and fns, where invariants are *relied on*.
+unsafe impl Send for Wrapper {}
+
+pub struct Wrapper(*const u8);

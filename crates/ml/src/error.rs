@@ -30,6 +30,13 @@ pub enum MlError {
     },
     /// A prediction was requested before (or without) training.
     NotFitted,
+    /// An implementation broke an API contract (e.g. a batch scorer
+    /// returning a different number of reports than rows). Surfacing this
+    /// as an error keeps contract breaches out of serving threads' panics.
+    ContractViolation {
+        /// Which contract was broken.
+        message: String,
+    },
 }
 
 impl fmt::Display for MlError {
@@ -50,6 +57,9 @@ impl fmt::Display for MlError {
                 )
             }
             MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::ContractViolation { message } => {
+                write!(f, "API contract violation: {message}")
+            }
         }
     }
 }

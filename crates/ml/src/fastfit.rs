@@ -496,6 +496,7 @@ impl<'a> Presorted<'a> {
                         .extend(seg.iter().copied().filter(|&row| !goes_left[row as usize]));
                     self.bufs.orders[base + mid..base + hi].copy_from_slice(&self.bufs.scratch);
                 }
+                // hmd-lint: allow(no-panic-in-lib) caller-enforced: partition_node is only invoked when at least one child keeps splitting, and returning Result here would thread dead error paths through the hot partition loop
                 (false, false) => unreachable!("partition is skipped when no child splits"),
             }
         }

@@ -229,6 +229,7 @@ impl RandomForest {
     }
 
     fn from_trees(trees: Vec<DecisionTree>) -> RandomForest {
+        // hmd-lint: allow(no-panic-in-lib) construction-guaranteed: compile_groups only rejects malformed trees, and every tree reaching here was just fitted or decoded through validation
         let flat = compile_groups(&trees).expect("decision trees always compile");
         RandomForest { trees, flat }
     }

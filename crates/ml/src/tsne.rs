@@ -75,6 +75,7 @@ impl TsneParams {
         // partial_cmp keeps the NaN-rejecting behaviour of `!(x > 1.0)`.
         let perplexity_valid = self
             .perplexity
+            // hmd-lint: allow(float-total-cmp) intentional NaN-rejecting validation: a NaN perplexity must compare as invalid, which total_cmp would wrongly accept
             .partial_cmp(&1.0)
             .is_some_and(|ord| ord == std::cmp::Ordering::Greater);
         if !perplexity_valid {

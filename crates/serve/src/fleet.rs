@@ -8,6 +8,7 @@
 //! endpoints N ways and routes between them — it reuses every type here
 //! rather than reimplementing the tile machinery.
 
+use crate::sync::{unpoison, LockExt, RwLockExt};
 use hmd_core::detector::{Detector, MonitorStats};
 use hmd_core::trusted::DetectionReport;
 use hmd_data::{Matrix, RowsView};
@@ -159,59 +160,30 @@ impl BatchCell {
     }
 
     fn fill(&self, results: Vec<Result<VersionedReport, FleetError>>) {
-        let mut guard = self.results.lock().expect("batch cell lock");
+        let mut guard = self.results.lock_unpoisoned();
         *guard = Some(results);
         self.ready.notify_all();
     }
 }
 
-/// The endpoint's request tile: rows flattened into one buffer, the shared
-/// result cell, and the version captured when the tile was opened.
-struct Pending {
-    width: usize,
-    rows: Vec<f64>,
-    count: usize,
-    cell: Option<Arc<BatchCell>>,
-    version: Option<Arc<Version>>,
-    deadline: Option<Instant>,
-}
-
-impl Pending {
-    fn empty() -> Pending {
-        Pending {
-            width: 0,
-            rows: Vec::new(),
-            count: 0,
-            cell: None,
-            version: None,
-            deadline: None,
-        }
-    }
-
-    fn take(&mut self) -> Option<TakenBatch> {
-        if self.count == 0 {
-            return None;
-        }
-        let taken = TakenBatch {
-            width: self.width,
-            rows: std::mem::take(&mut self.rows),
-            count: self.count,
-            cell: self.cell.take().expect("non-empty tile has a cell"),
-            version: self.version.take().expect("non-empty tile has a version"),
-        };
-        self.count = 0;
-        self.deadline = None;
-        taken.into()
-    }
-}
-
-/// A tile removed from the pending slot, ready to drain outside the lock.
-struct TakenBatch {
+/// An open request tile: rows flattened into one buffer, the shared result
+/// cell, and the version captured when the tile was opened.
+///
+/// The endpoint's pending slot is `Mutex<Option<OpenTile>>`: `None` means no
+/// tile is open, and an `OpenTile` *by construction* holds at least the row
+/// that opened it, a live cell, a pinned version, and a deadline. (The
+/// previous representation kept those as `Option` fields inside an
+/// always-present struct, which forced `.expect(...)` at every use site —
+/// the invariant now lives in the type instead of in panics.) Taking the
+/// value out of the slot hands the whole tile to the drainer; producers see
+/// `None` and open a fresh one.
+struct OpenTile {
     width: usize,
     rows: Vec<f64>,
     count: usize,
     cell: Arc<BatchCell>,
     version: Arc<Version>,
+    deadline: Instant,
 }
 
 /// One named serving unit: a versioned detector stack, a pending micro-batch
@@ -223,7 +195,7 @@ struct TakenBatch {
 pub(crate) struct Endpoint {
     policy: FlushPolicy,
     versions: Mutex<VersionStack>,
-    pending: Mutex<Pending>,
+    pending: Mutex<Option<OpenTile>>,
     pub(crate) stats: Mutex<MonitorStats>,
 }
 
@@ -245,20 +217,23 @@ impl Endpoint {
                 retired: Vec::new(),
                 next: 2,
             }),
-            pending: Mutex::new(Pending::empty()),
+            pending: Mutex::new(None),
             stats: Mutex::new(MonitorStats::default()),
         }
     }
 
     pub(crate) fn active(&self) -> Arc<Version> {
-        Arc::clone(&self.versions.lock().expect("version lock").active)
+        Arc::clone(&self.versions.lock_unpoisoned().active)
     }
 
     /// Rows currently queued in the open tile — the load signal the sharded
     /// layer's least-loaded router reads. A racy snapshot by design: routing
     /// only needs "emptier than its siblings", not an exact count.
     pub(crate) fn pending_depth(&self) -> usize {
-        self.pending.lock().expect("pending lock").count
+        self.pending
+            .lock_unpoisoned()
+            .as_ref()
+            .map_or(0, |tile| tile.count)
     }
 
     /// How many retired versions an endpoint keeps for rollback. Bounded so
@@ -276,7 +251,7 @@ impl Endpoint {
     /// serving.
     pub(crate) fn deploy(&self, detector: Box<dyn Detector>) -> u64 {
         let number = {
-            let mut versions = self.versions.lock().expect("version lock");
+            let mut versions = self.versions.lock_unpoisoned();
             let number = versions.next;
             versions.next += 1;
             let old =
@@ -293,7 +268,7 @@ impl Endpoint {
 
     pub(crate) fn rollback(&self, name: &str) -> Result<u64, FleetError> {
         let restored = {
-            let mut versions = self.versions.lock().expect("version lock");
+            let mut versions = self.versions.lock_unpoisoned();
             let restored = versions
                 .retired
                 .pop()
@@ -311,54 +286,59 @@ impl Endpoint {
 
     pub(crate) fn enqueue(self: &Arc<Endpoint>, features: &[f64]) -> Result<Ticket, FleetError> {
         let (ticket, drained) = {
-            let mut pending = self.pending.lock().expect("pending lock");
-            if pending.count == 0 {
-                pending.width = features.len();
-                pending.cell = Some(BatchCell::new());
-                pending.version = Some(self.active());
-                pending.deadline = Some(Instant::now() + self.policy.max_wait);
-                pending.rows.clear();
-                // One up-front allocation per tile: draining moves the buffer
-                // out, so without this the vec would re-grow (and copy) its
-                // way up for every tile.
-                pending
-                    .rows
-                    .reserve(features.len() * self.policy.max_batch.min(1 << 16));
-            } else if features.len() != pending.width {
-                return Err(FleetError::WidthMismatch {
-                    expected: pending.width,
-                    found: features.len(),
-                });
-            }
-            pending.rows.extend_from_slice(features);
-            let index = pending.count;
-            pending.count += 1;
+            let mut pending = self.pending.lock_unpoisoned();
+            let tile = match pending.as_mut() {
+                Some(tile) => {
+                    if features.len() != tile.width {
+                        return Err(FleetError::WidthMismatch {
+                            expected: tile.width,
+                            found: features.len(),
+                        });
+                    }
+                    tile
+                }
+                None => {
+                    // One up-front allocation per tile: draining moves the
+                    // buffer out, so without this the vec would re-grow (and
+                    // copy) its way up for every tile.
+                    let rows =
+                        Vec::with_capacity(features.len() * self.policy.max_batch.min(1 << 16));
+                    pending.insert(OpenTile {
+                        width: features.len(),
+                        rows,
+                        count: 0,
+                        cell: BatchCell::new(),
+                        version: self.active(),
+                        deadline: Instant::now() + self.policy.max_wait,
+                    })
+                }
+            };
+            tile.rows.extend_from_slice(features);
+            let index = tile.count;
+            tile.count += 1;
+            let full = tile.count >= self.policy.max_batch;
             let ticket = Ticket {
                 endpoint: Arc::clone(self),
-                cell: Arc::clone(pending.cell.as_ref().expect("open tile has a cell")),
+                cell: Arc::clone(&tile.cell),
                 index,
-                deadline: pending.deadline.expect("open tile has a deadline"),
+                deadline: tile.deadline,
             };
-            let drained = if pending.count >= self.policy.max_batch {
-                pending.take()
-            } else {
-                None
-            };
+            let drained = if full { pending.take() } else { None };
             (ticket, drained)
         };
-        if let Some(batch) = drained {
-            self.drain(batch);
+        if let Some(tile) = drained {
+            self.drain(tile);
         }
         Ok(ticket)
     }
 
     /// Drains whatever is pending; returns the number of rows scored.
     pub(crate) fn flush(&self) -> usize {
-        let taken = self.pending.lock().expect("pending lock").take();
+        let taken = self.pending.lock_unpoisoned().take();
         match taken {
-            Some(batch) => {
-                let rows = batch.count;
-                self.drain(batch);
+            Some(tile) => {
+                let rows = tile.count;
+                self.drain(tile);
                 rows
             }
             None => 0,
@@ -368,22 +348,34 @@ impl Endpoint {
     /// Scores one taken tile through the captured version's batch hot path
     /// and fulfils its tickets in request order. Runs outside every lock, so
     /// producers keep enqueueing while the batch is in flight.
-    fn drain(&self, batch: TakenBatch) {
-        let matrix = Matrix::from_vec(batch.count, batch.width, batch.rows)
-            .expect("tile buffer is count x width by construction");
-        match batch.version.detector.detect_rows(matrix.view()) {
+    fn drain(&self, tile: OpenTile) {
+        let matrix = match Matrix::from_vec(tile.count, tile.width, tile.rows) {
+            Ok(matrix) => matrix,
+            Err(err) => {
+                // Unreachable by construction (every enqueue appends exactly
+                // `width` values and bumps `count`), but a broken tile must
+                // fail its tickets, not the serving thread.
+                let error = FleetError::Detector {
+                    message: err.to_string(),
+                };
+                tile.cell
+                    .fill((0..tile.count).map(|_| Err(error.clone())).collect());
+                return;
+            }
+        };
+        match tile.version.detector.detect_rows(matrix.view()) {
             Ok(reports) => {
-                let mut stats = self.stats.lock().expect("stats lock");
+                let mut stats = self.stats.lock_unpoisoned();
                 for report in &reports {
                     stats.record(report);
                 }
                 drop(stats);
-                batch.cell.fill(
+                tile.cell.fill(
                     reports
                         .into_iter()
                         .map(|report| {
                             Ok(VersionedReport {
-                                version: batch.version.number,
+                                version: tile.version.number,
                                 report,
                             })
                         })
@@ -392,9 +384,8 @@ impl Endpoint {
             }
             Err(err) => {
                 let error = FleetError::from(err);
-                batch
-                    .cell
-                    .fill((0..batch.count).map(|_| Err(error.clone())).collect());
+                tile.cell
+                    .fill((0..tile.count).map(|_| Err(error.clone())).collect());
             }
         }
     }
@@ -405,7 +396,7 @@ impl Endpoint {
     ) -> Result<Vec<VersionedReport>, FleetError> {
         let version = self.active();
         let reports = version.detector.detect_rows(batch)?;
-        let mut stats = self.stats.lock().expect("stats lock");
+        let mut stats = self.stats.lock_unpoisoned();
         for report in &reports {
             stats.record(report);
         }
@@ -451,18 +442,14 @@ impl Ticket {
     /// Returns the error the detector reported for the batch (every ticket
     /// of a failed batch receives a clone).
     pub fn wait(self) -> Result<VersionedReport, FleetError> {
-        let mut guard = self.cell.results.lock().expect("batch cell lock");
+        let mut guard = self.cell.results.lock_unpoisoned();
         loop {
             if let Some(results) = guard.as_ref() {
                 return results[self.index].clone();
             }
             let now = Instant::now();
             if now < self.deadline {
-                let (g, _) = self
-                    .cell
-                    .ready
-                    .wait_timeout(guard, self.deadline - now)
-                    .expect("batch cell wait");
+                let (g, _) = unpoison(self.cell.ready.wait_timeout(guard, self.deadline - now));
                 guard = g;
             } else {
                 // Deadline passed with the tile still queued: this waiter
@@ -471,9 +458,9 @@ impl Ticket {
                 // picks the results up when they land.
                 drop(guard);
                 self.endpoint.flush();
-                guard = self.cell.results.lock().expect("batch cell lock");
+                guard = self.cell.results.lock_unpoisoned();
                 while guard.is_none() {
-                    guard = self.cell.ready.wait(guard).expect("batch cell wait");
+                    guard = unpoison(self.cell.ready.wait(guard));
                 }
             }
         }
@@ -487,7 +474,7 @@ impl Ticket {
     /// still pending, so callers can keep polling or fall back to
     /// [`Ticket::wait`].
     pub fn try_wait(self) -> Result<Result<VersionedReport, FleetError>, Ticket> {
-        let guard = self.cell.results.lock().expect("batch cell lock");
+        let guard = self.cell.results.lock_unpoisoned();
         match guard.as_ref() {
             Some(results) => Ok(results[self.index].clone()),
             None => {
@@ -578,8 +565,7 @@ impl DetectorFleet {
 
     fn endpoint(&self, name: &str) -> Result<Arc<Endpoint>, FleetError> {
         self.endpoints
-            .read()
-            .expect("endpoint registry lock")
+            .read_unpoisoned()
             .get(name)
             .cloned()
             .ok_or_else(|| FleetError::UnknownEndpoint {
@@ -602,7 +588,7 @@ impl DetectorFleet {
         match existing {
             Some(endpoint) => endpoint.deploy(detector),
             None => {
-                let mut endpoints = self.endpoints.write().expect("endpoint registry lock");
+                let mut endpoints = self.endpoints.write_unpoisoned();
                 // Double-checked under the write lock: a racing deploy of the
                 // same name must version-bump, not overwrite.
                 match endpoints.get(name) {
@@ -650,13 +636,7 @@ impl DetectorFleet {
 
     /// Names of every deployed endpoint, sorted.
     pub fn endpoints(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .endpoints
-            .read()
-            .expect("endpoint registry lock")
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = self.endpoints.read_unpoisoned().keys().cloned().collect();
         names.sort();
         names
     }
@@ -710,7 +690,7 @@ impl DetectorFleet {
     ///
     /// [`FleetError::UnknownEndpoint`] for unknown names.
     pub fn stats(&self, name: &str) -> Result<MonitorStats, FleetError> {
-        Ok(*self.endpoint(name)?.stats.lock().expect("stats lock"))
+        Ok(*self.endpoint(name)?.stats.lock_unpoisoned())
     }
 
     /// Resets endpoint `name`'s monitor statistics (e.g. at an epoch
@@ -720,7 +700,7 @@ impl DetectorFleet {
     ///
     /// [`FleetError::UnknownEndpoint`] for unknown names.
     pub fn reset_stats(&self, name: &str) -> Result<(), FleetError> {
-        *self.endpoint(name)?.stats.lock().expect("stats lock") = MonitorStats::default();
+        *self.endpoint(name)?.stats.lock_unpoisoned() = MonitorStats::default();
         Ok(())
     }
 }

@@ -83,6 +83,7 @@
 
 mod fleet;
 mod shard;
+mod sync;
 
 pub use fleet::{DetectorFleet, FleetError, FlushPolicy, Ticket, VersionedReport};
 pub use shard::{RoutePolicy, ShardConfig, ShardTicket, ShardedFleet, ShardedReport};

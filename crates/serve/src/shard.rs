@@ -25,6 +25,7 @@
 //! rows already queued in a tile when a hot swap lands.
 
 use crate::fleet::Endpoint;
+use crate::sync::{LockExt, RwLockExt};
 use crate::{DetectorFleet, FleetError, FlushPolicy, Ticket, VersionedReport};
 use hmd_core::detector::{load, save, Detector, MonitorStats};
 use hmd_core::trusted::DetectionReport;
@@ -224,7 +225,7 @@ impl ShardedEndpoint {
     /// replica.
     fn deploy(&self, detectors: Vec<Box<dyn Detector>>) -> u64 {
         debug_assert_eq!(detectors.len(), self.replicas.len());
-        let mut generation = self.generation.lock().expect("generation lock");
+        let mut generation = self.generation.lock_unpoisoned();
         let mut number = 0;
         for (replica, detector) in self.replicas.iter().zip(detectors) {
             let published = replica.deploy(detector);
@@ -239,7 +240,7 @@ impl ShardedEndpoint {
     }
 
     fn rollback(&self, name: &str) -> Result<u64, FleetError> {
-        let mut generation = self.generation.lock().expect("generation lock");
+        let mut generation = self.generation.lock_unpoisoned();
         // Replicas share one administrative history, so either every replica
         // has a retired version or none does; probing the first cannot leave
         // the endpoint half rolled back.
@@ -356,8 +357,7 @@ impl ShardedFleet {
 
     fn endpoint(&self, name: &str) -> Result<Arc<ShardedEndpoint>, FleetError> {
         self.endpoints
-            .read()
-            .expect("endpoint registry lock")
+            .read_unpoisoned()
             .get(name)
             .cloned()
             .ok_or_else(|| FleetError::UnknownEndpoint {
@@ -407,7 +407,7 @@ impl ShardedFleet {
         if let Ok(endpoint) = self.endpoint(name) {
             return Ok(endpoint.deploy(detectors));
         }
-        let mut endpoints = self.endpoints.write().expect("endpoint registry lock");
+        let mut endpoints = self.endpoints.write_unpoisoned();
         // Double-checked under the write lock: a racing deploy of the same
         // name must version-bump, not overwrite.
         match endpoints.get(name) {
@@ -450,11 +450,7 @@ impl ShardedFleet {
     ///
     /// [`FleetError::UnknownEndpoint`] for unknown names.
     pub fn active_version(&self, name: &str) -> Result<u64, FleetError> {
-        Ok(*self
-            .endpoint(name)?
-            .generation
-            .lock()
-            .expect("generation lock"))
+        Ok(*self.endpoint(name)?.generation.lock_unpoisoned())
     }
 
     /// The active detector's human-readable description (identical on every
@@ -469,13 +465,7 @@ impl ShardedFleet {
 
     /// Names of every deployed endpoint, sorted.
     pub fn endpoints(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .endpoints
-            .read()
-            .expect("endpoint registry lock")
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = self.endpoints.read_unpoisoned().keys().cloned().collect();
         names.sort();
         names
     }
@@ -571,7 +561,7 @@ impl ShardedFleet {
         let endpoint = self.endpoint(name)?;
         let mut merged = MonitorStats::default();
         for replica in &endpoint.replicas {
-            merged.merge(&replica.stats.lock().expect("stats lock"));
+            merged.merge(&replica.stats.lock_unpoisoned());
         }
         Ok(merged)
     }
@@ -587,7 +577,7 @@ impl ShardedFleet {
             .endpoint(name)?
             .replicas
             .iter()
-            .map(|replica| *replica.stats.lock().expect("stats lock"))
+            .map(|replica| *replica.stats.lock_unpoisoned())
             .collect())
     }
 
@@ -613,7 +603,7 @@ impl ShardedFleet {
     /// [`FleetError::UnknownEndpoint`] for unknown names.
     pub fn reset_stats(&self, name: &str) -> Result<(), FleetError> {
         for replica in &self.endpoint(name)?.replicas {
-            *replica.stats.lock().expect("stats lock") = MonitorStats::default();
+            *replica.stats.lock_unpoisoned() = MonitorStats::default();
         }
         Ok(())
     }

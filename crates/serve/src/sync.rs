@@ -1,0 +1,87 @@
+//! Poison-recovering lock helpers for the serving crate.
+//!
+//! `std`'s mutexes poison when a holder panics, and every subsequent
+//! `.lock().expect(...)` then panics too — one crashed request thread
+//! cascades into a fleet-wide outage. That is the wrong failure mode for a
+//! serving layer: the state each lock protects (monitor counters, the
+//! version stack, an open request tile) is updated in small straight-line
+//! critical sections that are either complete or untouched when a panic
+//! unwinds through them, so the data behind a poisoned lock is still
+//! coherent and strictly more useful served than burned.
+//!
+//! Every lock acquisition in this crate therefore goes through these
+//! helpers, which recover the guard from a poisoned lock instead of
+//! panicking. This is also what keeps the crate clean under the
+//! `no-panic-in-lib` lint rule — the helpers contain no `unwrap`/`expect`.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Unwraps any poisonable lock result (including `Condvar::wait` /
+/// `wait_timeout` results), recovering the guard on poison.
+pub(crate) fn unpoison<T>(result: Result<T, PoisonError<T>>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Mutex`] acquisition that recovers from poisoning.
+pub(crate) trait LockExt<T> {
+    /// Like [`Mutex::lock`], but recovers the guard when a previous holder
+    /// panicked instead of propagating the poison as a second panic.
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockExt<T> for Mutex<T> {
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T> {
+        unpoison(self.lock())
+    }
+}
+
+/// [`RwLock`] acquisition that recovers from poisoning.
+pub(crate) trait RwLockExt<T> {
+    /// Like [`RwLock::read`], recovering from poison.
+    fn read_unpoisoned(&self) -> RwLockReadGuard<'_, T>;
+    /// Like [`RwLock::write`], recovering from poison.
+    fn write_unpoisoned(&self) -> RwLockWriteGuard<'_, T>;
+}
+
+impl<T> RwLockExt<T> for RwLock<T> {
+    fn read_unpoisoned(&self) -> RwLockReadGuard<'_, T> {
+        unpoison(self.read())
+    }
+
+    fn write_unpoisoned(&self) -> RwLockWriteGuard<'_, T> {
+        unpoison(self.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn poisoned_locks_are_recovered_not_propagated() {
+        let shared = Arc::new(Mutex::new(7u32));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(shared.lock().is_err(), "the lock must actually be poisoned");
+        assert_eq!(*shared.lock_unpoisoned(), 7);
+    }
+
+    #[test]
+    fn rwlock_recovery_covers_both_sides() {
+        let shared = Arc::new(RwLock::new(vec![1, 2]));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.write().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(shared.read_unpoisoned().len(), 2);
+        shared.write_unpoisoned().push(3);
+        assert_eq!(shared.read_unpoisoned().len(), 3);
+    }
+}

@@ -5,6 +5,8 @@
 //! persistence is hand-rolled in `hmd_codec` (see `hmd_core::detector::persist`),
 //! which does not rely on these derives.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `serde_derive::Serialize`.
