@@ -22,7 +22,12 @@
 //! - **long calls**: with any guard live, a call to a flush/codec/inference
 //!   function (`flush`, `drain`, `save`, `load`, `encode`, `decode`,
 //!   `serialize`, `deserialize`, `to_json`, `from_json`, `to_saved_json`,
-//!   `parse`, `detect_rows`, `detect_batch`) is flagged.
+//!   `parse`, `detect_rows`, `detect_batch`) or to `sleep` is flagged. The
+//!   `sleep` entry polices the background flusher shape: the supervisor
+//!   thread must scan endpoint deadlines in a scoped guard, then park
+//!   *outside* it — a guard held across its sleep/wait would stall every
+//!   scorer for the whole `max_wait` window. (Condvar waits are fine: they
+//!   take the guard by value, which this tracker counts as a move-death.)
 //!
 //! The model is lexical, not interprocedural: it will not see a lock taken
 //! inside a callee. That is the right trade for a workspace-native linter —
@@ -62,6 +67,7 @@ const LONG_CALLS: &[&str] = &[
     "parse",
     "detect_rows",
     "detect_batch",
+    "sleep",
 ];
 
 /// See the module docs.

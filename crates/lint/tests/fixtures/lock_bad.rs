@@ -21,4 +21,9 @@ impl State {
         let rows = self.rows.lock_unpoisoned();
         save(rows.len());
     }
+
+    pub fn flusher_sleeps_holding_the_tile(&self) {
+        let rows = self.rows.lock_unpoisoned();
+        std::thread::sleep(std::time::Duration::from_millis(rows.len() as u64));
+    }
 }

@@ -33,4 +33,12 @@ impl State {
         save(taken);
         taken
     }
+
+    pub fn flusher_scans_scoped_then_sleeps(&self) {
+        let pending = {
+            let rows = self.rows.lock_unpoisoned();
+            rows.len()
+        };
+        std::thread::sleep(std::time::Duration::from_millis(pending as u64));
+    }
 }

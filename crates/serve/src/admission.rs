@@ -1,0 +1,79 @@
+//! Bounded per-endpoint admission: the row budget behind explicit
+//! load-shedding.
+//!
+//! A micro-batching endpoint with no admission bound converts overload into
+//! unbounded memory: every `score()` copies its row into the open tile (and
+//! holds a result slot alive) whether or not anything downstream can keep
+//! up. At fleet scale the correct failure mode is to **shed** — reject the
+//! request with [`crate::FleetError::Overloaded`] while the rows already
+//! admitted keep their latency — exactly the explicit busy/backpressure
+//! signalling of staged DAQ readout chains. The budget is enforced with one
+//! atomic counter per endpoint: rows are counted in at enqueue and counted
+//! out when their tile's drain publishes results, so the bound covers both
+//! the open tile and batches in flight.
+
+/// Per-endpoint admission budget: how many rows may be admitted (queued in
+/// the open tile or in a draining batch) before `score()` sheds with
+/// [`crate::FleetError::Overloaded`].
+///
+/// The budget is a **row** budget, not a request budget, because rows are
+/// what occupy memory (one row copy plus one result slot each). Batch-path
+/// calls (`score_batch`) run synchronously on the caller and are not
+/// counted — they occupy no queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Maximum rows admitted but not yet scored per endpoint (clamped to at
+    /// least 1 by [`AdmissionPolicy::new`]).
+    pub max_pending_rows: usize,
+}
+
+impl AdmissionPolicy {
+    /// A budget of `max_pending_rows` rows, clamped to at least 1 (a
+    /// 0-row budget would shed everything, which is a misconfiguration, not
+    /// a policy).
+    pub fn new(max_pending_rows: usize) -> AdmissionPolicy {
+        AdmissionPolicy {
+            max_pending_rows: max_pending_rows.max(1),
+        }
+    }
+
+    /// No admission bound: every request is accepted. This restores the
+    /// pre-supervision behaviour and is appropriate only when the caller
+    /// population is trusted to apply its own backpressure.
+    pub fn unbounded() -> AdmissionPolicy {
+        AdmissionPolicy {
+            max_pending_rows: usize::MAX,
+        }
+    }
+
+    /// Whether this policy actually bounds admission.
+    pub fn is_bounded(&self) -> bool {
+        self.max_pending_rows != usize::MAX
+    }
+}
+
+impl Default for AdmissionPolicy {
+    /// 16384 pending rows — generous enough that a healthy endpoint under
+    /// its default 64-row tiles never sheds, small enough that a stalled
+    /// detector bounds memory at roughly one batch-4096 drain plus backlog.
+    fn default() -> AdmissionPolicy {
+        AdmissionPolicy::new(16_384)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_budgets_clamp_to_one() {
+        assert_eq!(AdmissionPolicy::new(0).max_pending_rows, 1);
+        assert_eq!(AdmissionPolicy::new(7).max_pending_rows, 7);
+    }
+
+    #[test]
+    fn unbounded_is_unbounded() {
+        assert!(!AdmissionPolicy::unbounded().is_bounded());
+        assert!(AdmissionPolicy::default().is_bounded());
+    }
+}

@@ -1,0 +1,309 @@
+//! Deterministic fault injection for serving-layer chaos tests.
+//!
+//! Robustness claims ("breakers trip and recover", "shedding bounds
+//! memory", "surviving rows stay bit-identical") are only testable if
+//! faults arrive on a schedule the test controls. [`FaultInjector`] wraps
+//! any [`Detector`] and misbehaves according to a [`FaultPlan`] keyed on
+//! the **batch-call number** — the 1-based count of `detect_rows`
+//! invocations on that wrapper — so a seeded test knows exactly which
+//! drain fails, which one stalls, and which one returns a short report
+//! vector. No randomness, no wall-clock coupling: the same plan against
+//! the same request schedule injects the same faults every run.
+//!
+//! The injector deliberately does **not** implement persistence
+//! (`to_saved_json` stays `None`): a fault plan is test scaffolding, not a
+//! model, and must never survive a save/load round trip. Deploy it into a
+//! [`crate::ShardedFleet`] with
+//! [`ShardedFleet::deploy_replicas`](crate::ShardedFleet::deploy_replicas),
+//! which takes one pre-built detector per replica instead of cloning
+//! through the codec.
+
+use hmd_core::detector::Detector;
+use hmd_core::trusted::DetectionReport;
+use hmd_data::RowsView;
+use hmd_ml::MlError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deterministic schedule of detector misbehaviour, keyed on the 1-based
+/// `detect_rows` call number of the [`FaultInjector`] that carries it.
+///
+/// Faults compose per call in a fixed order: a slow-call delay (if any)
+/// happens first, then a scheduled failure wins over width corruption. An
+/// empty plan injects nothing and the wrapper is a transparent proxy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    fail_calls: Vec<u64>,
+    fail_from: Option<u64>,
+    slow_calls: Vec<(u64, Duration)>,
+    corrupt_calls: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan: the injector proxies every call untouched.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Fails batch call `call` (1-based) with an injected
+    /// [`MlError::ContractViolation`].
+    #[must_use]
+    pub fn fail_call(mut self, call: u64) -> FaultPlan {
+        self.fail_calls.push(call);
+        self
+    }
+
+    /// Fails **every** batch call numbered `call` or later — a detector that
+    /// breaks at a known point and stays broken until redeployed (or until
+    /// the test swaps the plan out by deploying a clean detector).
+    #[must_use]
+    pub fn fail_after(mut self, call: u64) -> FaultPlan {
+        self.fail_from = Some(match self.fail_from {
+            Some(existing) => existing.min(call),
+            None => call,
+        });
+        self
+    }
+
+    /// Delays batch call `call` (1-based) by `latency` before scoring — a
+    /// stalled model run that backs its endpoint's tile up.
+    #[must_use]
+    pub fn slow_call(mut self, call: u64, latency: Duration) -> FaultPlan {
+        self.slow_calls.push((call, latency));
+        self
+    }
+
+    /// Makes batch call `call` (1-based) return one report **fewer** than
+    /// the view has rows — the report-count contract violation a buggy
+    /// detector implementation would commit. The serving layer must fail
+    /// the whole batch rather than panic or misalign tickets.
+    #[must_use]
+    pub fn corrupt_width(mut self, call: u64) -> FaultPlan {
+        self.corrupt_calls.push(call);
+        self
+    }
+
+    fn fails(&self, call: u64) -> bool {
+        self.fail_calls.contains(&call) || self.fail_from.is_some_and(|from| call >= from)
+    }
+
+    fn delay(&self, call: u64) -> Option<Duration> {
+        self.slow_calls
+            .iter()
+            .find(|(slow, _)| *slow == call)
+            .map(|(_, latency)| *latency)
+    }
+
+    fn corrupts(&self, call: u64) -> bool {
+        self.corrupt_calls.contains(&call)
+    }
+}
+
+struct Counters {
+    calls: AtomicU64,
+    injected: AtomicU64,
+}
+
+/// A cloneable observation handle on a [`FaultInjector`]'s counters, so a
+/// test keeps visibility after the injector itself is boxed and deployed
+/// into a fleet.
+#[derive(Clone)]
+pub struct FaultCounters {
+    counters: Arc<Counters>,
+}
+
+impl FaultCounters {
+    /// Total `detect_rows` calls the injector has seen (faulted or clean).
+    pub fn calls(&self) -> u64 {
+        self.counters.calls.load(Ordering::SeqCst)
+    }
+
+    /// How many of those calls had a fault injected (failure, delay, or
+    /// width corruption — a delayed call that then fails counts once).
+    pub fn injected(&self) -> u64 {
+        self.counters.injected.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for FaultCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultCounters")
+            .field("calls", &self.calls())
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+/// A [`Detector`] wrapper that injects the faults its [`FaultPlan`]
+/// schedules and proxies everything else to the wrapped detector.
+///
+/// Clean calls are bit-transparent: the inner detector's reports pass
+/// through untouched, which is what lets chaos tests assert surviving rows
+/// bit-identical to direct scoring.
+pub struct FaultInjector {
+    inner: Box<dyn Detector>,
+    plan: FaultPlan,
+    counters: Arc<Counters>,
+}
+
+impl FaultInjector {
+    /// Wraps `inner` with the given fault schedule.
+    pub fn new(inner: Box<dyn Detector>, plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            inner,
+            plan,
+            counters: Arc::new(Counters {
+                calls: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// An observation handle that stays valid after the injector is boxed
+    /// and deployed.
+    pub fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            counters: Arc::clone(&self.counters),
+        }
+    }
+}
+
+impl Detector for FaultInjector {
+    fn name(&self) -> String {
+        format!("faulty[{}]", self.inner.name())
+    }
+
+    fn entropy_threshold(&self) -> f64 {
+        self.inner.entropy_threshold()
+    }
+
+    fn detect_rows(&self, batch: RowsView<'_>) -> Result<Vec<DetectionReport>, MlError> {
+        let call = self.counters.calls.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut faulted = false;
+        if let Some(latency) = self.plan.delay(call) {
+            faulted = true;
+            std::thread::sleep(latency);
+        }
+        let result = if self.plan.fails(call) {
+            faulted = true;
+            Err(MlError::ContractViolation {
+                message: format!("injected fault on batch call {call}"),
+            })
+        } else if self.plan.corrupts(call) {
+            faulted = true;
+            self.inner.detect_rows(batch).map(|mut reports| {
+                reports.pop();
+                reports
+            })
+        } else {
+            self.inner.detect_rows(batch)
+        };
+        if faulted {
+            self.counters.injected.fetch_add(1, Ordering::SeqCst);
+        }
+        result
+    }
+
+    // No `to_saved_json` override: the default `None` is deliberate — a
+    // fault plan must not survive persistence (codec replication would
+    // silently drop it, so `ShardedFleet::deploy` rejects the injector and
+    // tests use `deploy_replicas` instead).
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_data::Matrix;
+
+    /// A minimal healthy detector: everything benign, fixed threshold.
+    struct Stub;
+
+    impl Detector for Stub {
+        fn name(&self) -> String {
+            "stub".into()
+        }
+
+        fn entropy_threshold(&self) -> f64 {
+            0.5
+        }
+
+        fn detect_rows(&self, batch: RowsView<'_>) -> Result<Vec<DetectionReport>, MlError> {
+            use hmd_core::estimator::UncertainPrediction;
+            use hmd_core::trusted::Decision;
+            use hmd_data::Label;
+            Ok((0..batch.rows())
+                .map(|_| DetectionReport {
+                    prediction: UncertainPrediction {
+                        label: Label::Benign,
+                        malware_vote_fraction: 0.0,
+                        entropy: 0.0,
+                        num_estimators: 1,
+                    },
+                    decision: Decision::Accept(Label::Benign),
+                })
+                .collect())
+        }
+    }
+
+    fn rows(n: usize) -> Matrix {
+        Matrix::from_vec(n, 2, vec![0.0; n * 2]).expect("valid shape")
+    }
+
+    #[test]
+    fn empty_plans_proxy_transparently() {
+        let injector = FaultInjector::new(Box::new(Stub), FaultPlan::new());
+        let counters = injector.counters();
+        assert!(injector.name().starts_with("faulty[stub"));
+        assert_eq!(injector.entropy_threshold(), 0.5);
+        let reports = injector.detect_rows(rows(3).view()).expect("clean call");
+        assert_eq!(reports.len(), 3);
+        assert_eq!((counters.calls(), counters.injected()), (1, 0));
+        assert!(injector.to_saved_json().is_none(), "never persistable");
+    }
+
+    #[test]
+    fn fail_call_hits_exactly_the_scheduled_call() {
+        let injector = FaultInjector::new(Box::new(Stub), FaultPlan::new().fail_call(2));
+        assert!(injector.detect_rows(rows(1).view()).is_ok());
+        let err = injector.detect_rows(rows(1).view()).unwrap_err();
+        assert!(matches!(err, MlError::ContractViolation { .. }));
+        assert!(injector.detect_rows(rows(1).view()).is_ok());
+        assert_eq!(injector.counters().injected(), 1);
+    }
+
+    #[test]
+    fn fail_after_is_sticky_and_keeps_the_earliest_onset() {
+        let injector =
+            FaultInjector::new(Box::new(Stub), FaultPlan::new().fail_after(5).fail_after(2));
+        assert!(injector.detect_rows(rows(1).view()).is_ok());
+        for _ in 0..4 {
+            assert!(injector.detect_rows(rows(1).view()).is_err());
+        }
+        assert_eq!(injector.counters().injected(), 4);
+    }
+
+    #[test]
+    fn corrupt_width_drops_exactly_one_report() {
+        let injector = FaultInjector::new(Box::new(Stub), FaultPlan::new().corrupt_width(1));
+        let short = injector.detect_rows(rows(4).view()).expect("still Ok");
+        assert_eq!(short.len(), 3, "one report short of the 4 rows");
+        let clean = injector.detect_rows(rows(4).view()).expect("clean call");
+        assert_eq!(clean.len(), 4);
+    }
+
+    #[test]
+    fn slow_call_delays_then_scores_normally() {
+        let injector = FaultInjector::new(
+            Box::new(Stub),
+            FaultPlan::new().slow_call(1, Duration::from_millis(20)),
+        );
+        let started = std::time::Instant::now();
+        let reports = injector
+            .detect_rows(rows(2).view())
+            .expect("slow, not broken");
+        assert!(started.elapsed() >= Duration::from_millis(20));
+        assert_eq!(reports.len(), 2);
+        assert_eq!(injector.counters().injected(), 1);
+    }
+}

@@ -1,43 +1,68 @@
 //! The single-replica fleet: named, versioned, micro-batching detector
-//! endpoints.
+//! endpoints under per-endpoint supervision.
 //!
 //! This module is the substrate of the serving crate. [`DetectorFleet`] maps
 //! endpoint names to [`Endpoint`]s; each endpoint owns a versioned stack of
-//! `Box<dyn Detector>` models, its own [`MonitorStats`], and one pending
-//! micro-batch tile. The sharded layer in [`crate::shard`] replicates these
-//! endpoints N ways and routes between them — it reuses every type here
-//! rather than reimplementing the tile machinery.
+//! `Box<dyn Detector>` models, its own [`MonitorStats`], one pending
+//! micro-batch tile, an admission budget ([`crate::AdmissionPolicy`]) and a
+//! circuit breaker ([`crate::BreakerPolicy`]). A fleet-wide supervisor
+//! thread ([`crate::supervisor`]) fires `max_wait` deadlines even when no
+//! caller is blocked in [`Ticket::wait`]. The sharded layer in
+//! [`crate::shard`] replicates these endpoints N ways and routes between
+//! them — it reuses every type here rather than reimplementing the tile
+//! machinery.
 
+use crate::admission::AdmissionPolicy;
+use crate::breaker::{
+    degraded_escalation, Admission, Breaker, BreakerPolicy, BreakerState, FallbackPolicy,
+};
+use crate::supervisor::{Supervisor, TileNotifier};
 use crate::sync::{unpoison, LockExt, RwLockExt};
 use hmd_core::detector::{Detector, MonitorStats};
 use hmd_core::trusted::DetectionReport;
 use hmd_data::{Matrix, RowsView};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// When a per-endpoint request tile drains through the batch hot path.
 ///
 /// A tile flushes as soon as **either** bound is hit: it collected
-/// `max_batch` rows, or the oldest enqueued request has waited `max_wait`.
-/// Large `max_batch` + small `max_wait` trades a bounded latency floor for
+/// `max_batch` rows, or the oldest enqueued request has waited `max_wait`
+/// (enforced by the fleet's background flusher, or by whichever
+/// [`Ticket::wait`] caller notices first — whichever comes sooner). Large
+/// `max_batch` + small `max_wait` trades a bounded latency floor for
 /// batch-sized throughput; `max_batch == 1` degenerates to direct scoring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlushPolicy {
     /// Maximum rows collected before the enqueueing caller drains the tile.
     pub max_batch: usize,
-    /// Maximum time the oldest request waits before its [`Ticket::wait`]
-    /// drains the tile itself.
+    /// Maximum time the oldest request waits before the tile is drained for
+    /// it (never below [`FlushPolicy::MIN_WAIT`]).
     pub max_wait: Duration,
 }
 
 impl FlushPolicy {
+    /// The smallest accepted `max_wait`. A zero (or near-zero) deadline
+    /// would mark every tile expired the moment it opens: batching
+    /// degenerates to per-row scoring while the background flusher spins on
+    /// perpetually-expired tiles. [`FlushPolicy::new`] clamps up to this
+    /// floor instead.
+    pub const MIN_WAIT: Duration = Duration::from_micros(100);
+
     /// A policy flushing at `max_batch` rows or after `max_wait`.
+    ///
+    /// Both degenerate edges are clamped rather than rejected, because
+    /// every clamped value still has a well-defined meaning: `max_batch`
+    /// is raised to 1 (a 0-row tile could never drain), and `max_wait` is
+    /// raised to [`FlushPolicy::MIN_WAIT`] (an already-expired tile defeats
+    /// batching — see the constant's docs).
     pub fn new(max_batch: usize, max_wait: Duration) -> FlushPolicy {
         FlushPolicy {
             max_batch: max_batch.max(1),
-            max_wait,
+            max_wait: max_wait.max(Self::MIN_WAIT),
         }
     }
 }
@@ -46,6 +71,51 @@ impl Default for FlushPolicy {
     /// 64 rows (one flat-engine tile) or 2 ms, whichever comes first.
     fn default() -> FlushPolicy {
         FlushPolicy::new(64, Duration::from_millis(2))
+    }
+}
+
+/// Full per-endpoint serving configuration: how tiles flush, how much may
+/// queue, and when the circuit breaker sheds.
+///
+/// Every endpoint of a [`DetectorFleet`] (and every replica of a
+/// [`crate::ShardedFleet`]) is provisioned with one of these. The default
+/// is production-shaped: 64-row/2 ms tiles, a 16384-row admission budget,
+/// and a breaker tripping after 5 consecutive failed drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetConfig {
+    /// When tiles drain.
+    pub flush: FlushPolicy,
+    /// How many rows may be admitted but not yet scored per endpoint.
+    pub admission: AdmissionPolicy,
+    /// When an endpoint's breaker trips, and what shedding looks like.
+    pub breaker: BreakerPolicy,
+}
+
+impl FleetConfig {
+    /// The default configuration (same as `FleetConfig::default()`).
+    pub fn new() -> FleetConfig {
+        FleetConfig::default()
+    }
+
+    /// Sets the flush policy.
+    #[must_use]
+    pub fn with_flush(mut self, flush: FlushPolicy) -> FleetConfig {
+        self.flush = flush;
+        self
+    }
+
+    /// Sets the admission budget.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> FleetConfig {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets the circuit-breaker policy.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerPolicy) -> FleetConfig {
+        self.breaker = breaker;
+        self
     }
 }
 
@@ -98,6 +168,27 @@ pub enum FleetError {
         /// Display form of the underlying persistence error.
         message: String,
     },
+    /// The endpoint's admission budget is exhausted: `depth` rows were
+    /// already admitted against a budget of `limit`. The request was shed
+    /// **before** copying anything — retry after backoff, or route
+    /// elsewhere.
+    Overloaded {
+        /// Rows admitted (queued or in a draining batch) when the request
+        /// arrived.
+        depth: usize,
+        /// The endpoint's [`AdmissionPolicy::max_pending_rows`].
+        limit: usize,
+    },
+    /// The endpoint's circuit breaker is Open (under
+    /// [`FallbackPolicy::Reject`]): recent drains failed consecutively and
+    /// the endpoint is shedding until a half-open probe succeeds.
+    CircuitOpen,
+    /// [`Ticket::wait_deadline`] gave up before the batch drained. The
+    /// request itself is still in flight — only this waiter timed out.
+    DeadlineExceeded {
+        /// How long the caller was willing to wait.
+        timeout: Duration,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -121,6 +212,16 @@ impl fmt::Display for FleetError {
                     "replicating the detector across shards failed: {message}"
                 )
             }
+            FleetError::Overloaded { depth, limit } => write!(
+                f,
+                "endpoint overloaded: {depth} rows pending against a budget of {limit}"
+            ),
+            FleetError::CircuitOpen => {
+                write!(f, "circuit breaker open: the endpoint is shedding requests")
+            }
+            FleetError::DeadlineExceeded { timeout } => {
+                write!(f, "request not scored within {timeout:?}")
+            }
         }
     }
 }
@@ -133,6 +234,45 @@ impl From<hmd_ml::MlError> for FleetError {
             message: err.to_string(),
         }
     }
+}
+
+/// Per-endpoint supervision counters: what was shed, degraded, tripped and
+/// flushed — the health view a dashboard or router polls.
+///
+/// Degraded rows deliberately do **not** feed the endpoint's
+/// [`MonitorStats`]: a synthetic escalation with infinite entropy would
+/// permanently pollute the entropy extremes that describe the *model's*
+/// behaviour. Supervision outcomes live here instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct HealthSnapshot {
+    /// The breaker's stored state (see [`BreakerState`] for the Open →
+    /// HalfOpen reporting caveat).
+    pub breaker: BreakerState,
+    /// Rows admitted but not yet scored (open tile + batches in flight) —
+    /// the value the admission budget bounds.
+    pub pending_rows: usize,
+    /// Requests shed with [`FleetError::Overloaded`].
+    pub shed_overload: u64,
+    /// Requests shed by the breaker (rejected **or** degraded).
+    pub shed_circuit: u64,
+    /// Rows answered with the synthetic [`degraded_escalation`] report
+    /// under [`FallbackPolicy::EscalateUncertain`].
+    pub degraded_rows: u64,
+    /// Times the breaker tripped (Closed/HalfOpen → Open).
+    pub breaker_trips: u64,
+    /// Tiles drained by the background flusher because their `max_wait`
+    /// deadline expired with no caller driving them.
+    pub expired_flushes: u64,
+}
+
+#[derive(Default)]
+struct Health {
+    shed_overload: AtomicU64,
+    shed_circuit: AtomicU64,
+    degraded_rows: AtomicU64,
+    breaker_trips: AtomicU64,
+    expired_flushes: AtomicU64,
 }
 
 /// One published version of an endpoint's detector.
@@ -187,16 +327,24 @@ struct OpenTile {
 }
 
 /// One named serving unit: a versioned detector stack, a pending micro-batch
-/// tile, and running monitor statistics.
+/// tile, running monitor statistics, and its own supervision state (breaker,
+/// admission counter, health counters).
 ///
 /// Crate-visible so the sharded layer can hold N of these per logical
 /// endpoint; the public API goes through [`DetectorFleet`] and
 /// [`crate::ShardedFleet`].
 pub(crate) struct Endpoint {
-    policy: FlushPolicy,
+    config: FleetConfig,
     versions: Mutex<VersionStack>,
     pending: Mutex<Option<OpenTile>>,
     pub(crate) stats: Mutex<MonitorStats>,
+    breaker: Breaker,
+    /// Rows admitted but not yet scored — incremented at enqueue, decremented
+    /// when the drain publishes results, so the admission budget covers the
+    /// open tile *and* batches in flight.
+    pending_rows: AtomicUsize,
+    health: Health,
+    notifier: TileNotifier,
 }
 
 struct VersionStack {
@@ -206,9 +354,13 @@ struct VersionStack {
 }
 
 impl Endpoint {
-    pub(crate) fn new(detector: Box<dyn Detector>, policy: FlushPolicy) -> Endpoint {
+    pub(crate) fn new(
+        detector: Box<dyn Detector>,
+        config: FleetConfig,
+        notifier: TileNotifier,
+    ) -> Endpoint {
         Endpoint {
-            policy,
+            config,
             versions: Mutex::new(VersionStack {
                 active: Arc::new(Version {
                     number: 1,
@@ -219,6 +371,10 @@ impl Endpoint {
             }),
             pending: Mutex::new(None),
             stats: Mutex::new(MonitorStats::default()),
+            breaker: Breaker::new(config.breaker),
+            pending_rows: AtomicUsize::new(0),
+            health: Health::default(),
+            notifier,
         }
     }
 
@@ -227,13 +383,47 @@ impl Endpoint {
     }
 
     /// Rows currently queued in the open tile — the load signal the sharded
-    /// layer's least-loaded router reads. A racy snapshot by design: routing
-    /// only needs "emptier than its siblings", not an exact count.
+    /// layer's least-loaded router reads.
+    ///
+    /// This is a **racy snapshot**, not a synchronisation primitive: the
+    /// tile lock is released before the value is returned, so by the time a
+    /// caller acts on it the tile may have drained, grown, or been replaced.
+    /// That is exactly good enough for routing ("emptier than its siblings")
+    /// and dashboards; never gate correctness on it. It also counts only the
+    /// open tile — rows in a batch that is draining right now are tracked by
+    /// the admission counter ([`HealthSnapshot::pending_rows`]), not here.
     pub(crate) fn pending_depth(&self) -> usize {
         self.pending
             .lock_unpoisoned()
             .as_ref()
             .map_or(0, |tile| tile.count)
+    }
+
+    /// Whether a request arriving at `now` would be shed by the breaker —
+    /// the time-aware signal breaker-aware routing reads (an Open breaker
+    /// past its cooldown wants a probe, so it is *not* shedding).
+    pub(crate) fn would_shed(&self, now: Instant) -> bool {
+        self.breaker.would_shed(now)
+    }
+
+    /// The breaker's stored state.
+    pub(crate) fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Supervision counters plus the breaker state, as one atomic-ish
+    /// snapshot (each counter is read independently; exact cross-counter
+    /// consistency is not promised).
+    pub(crate) fn health(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            breaker: self.breaker.state(),
+            pending_rows: self.pending_rows.load(Ordering::SeqCst),
+            shed_overload: self.health.shed_overload.load(Ordering::Relaxed),
+            shed_circuit: self.health.shed_circuit.load(Ordering::Relaxed),
+            degraded_rows: self.health.degraded_rows.load(Ordering::Relaxed),
+            breaker_trips: self.health.breaker_trips.load(Ordering::Relaxed),
+            expired_flushes: self.health.expired_flushes.load(Ordering::Relaxed),
+        }
     }
 
     /// How many retired versions an endpoint keeps for rollback. Bounded so
@@ -285,11 +475,49 @@ impl Endpoint {
     }
 
     pub(crate) fn enqueue(self: &Arc<Endpoint>, features: &[f64]) -> Result<Ticket, FleetError> {
-        let (ticket, drained) = {
+        let now = Instant::now();
+        // Supervision gates run before anything is copied: first the
+        // breaker (a broken endpoint sheds instantly, possibly degrading),
+        // then the admission budget (a full endpoint sheds explicitly).
+        if let Admission::Shed = self.breaker.admit(now) {
+            self.health.shed_circuit.fetch_add(1, Ordering::Relaxed);
+            return match self.breaker.policy().fallback {
+                FallbackPolicy::Reject => Err(FleetError::CircuitOpen),
+                FallbackPolicy::EscalateUncertain => {
+                    self.health.degraded_rows.fetch_add(1, Ordering::Relaxed);
+                    // A pre-resolved ticket: the degraded report is filled
+                    // in before the ticket is returned, so `wait` and
+                    // `try_wait` resolve immediately and the row never
+                    // enters a tile (or the monitor statistics).
+                    let cell = BatchCell::new();
+                    cell.fill(vec![Ok(VersionedReport {
+                        version: self.active().number,
+                        report: degraded_escalation(),
+                    })]);
+                    Ok(Ticket {
+                        endpoint: Arc::clone(self),
+                        cell,
+                        index: 0,
+                        deadline: now,
+                    })
+                }
+            };
+        }
+        let limit = self.config.admission.max_pending_rows;
+        let depth = self.pending_rows.fetch_add(1, Ordering::SeqCst);
+        if depth >= limit {
+            self.pending_rows.fetch_sub(1, Ordering::SeqCst);
+            self.health.shed_overload.fetch_add(1, Ordering::Relaxed);
+            return Err(FleetError::Overloaded { depth, limit });
+        }
+        let (ticket, drained, opened) = {
             let mut pending = self.pending.lock_unpoisoned();
+            let opened = pending.is_none();
             let tile = match pending.as_mut() {
                 Some(tile) => {
                     if features.len() != tile.width {
+                        // The row was never copied in: release its slot.
+                        self.pending_rows.fetch_sub(1, Ordering::SeqCst);
                         return Err(FleetError::WidthMismatch {
                             expected: tile.width,
                             found: features.len(),
@@ -301,22 +529,23 @@ impl Endpoint {
                     // One up-front allocation per tile: draining moves the
                     // buffer out, so without this the vec would re-grow (and
                     // copy) its way up for every tile.
-                    let rows =
-                        Vec::with_capacity(features.len() * self.policy.max_batch.min(1 << 16));
+                    let rows = Vec::with_capacity(
+                        features.len() * self.config.flush.max_batch.min(1 << 16),
+                    );
                     pending.insert(OpenTile {
                         width: features.len(),
                         rows,
                         count: 0,
                         cell: BatchCell::new(),
                         version: self.active(),
-                        deadline: Instant::now() + self.policy.max_wait,
+                        deadline: Instant::now() + self.config.flush.max_wait,
                     })
                 }
             };
             tile.rows.extend_from_slice(features);
             let index = tile.count;
             tile.count += 1;
-            let full = tile.count >= self.policy.max_batch;
+            let full = tile.count >= self.config.flush.max_batch;
             let ticket = Ticket {
                 endpoint: Arc::clone(self),
                 cell: Arc::clone(&tile.cell),
@@ -324,8 +553,14 @@ impl Endpoint {
                 deadline: tile.deadline,
             };
             let drained = if full { pending.take() } else { None };
-            (ticket, drained)
+            (ticket, drained, opened)
         };
+        if opened && drained.is_none() {
+            // A fresh tile means a fresh deadline the background flusher
+            // must learn about. Notified outside the tile lock — the
+            // supervisor's condvar never nests inside a critical section.
+            self.notifier.notify();
+        }
         if let Some(tile) = drained {
             self.drain(tile);
         }
@@ -345,12 +580,95 @@ impl Endpoint {
         }
     }
 
+    /// Drains the pending tile only if its `max_wait` deadline has passed —
+    /// the background flusher's entry point. Returns the rows scored (0 when
+    /// the tile is absent or still young). The tile is taken under the lock
+    /// and drained outside it, like every other drain path.
+    pub(crate) fn flush_expired(&self, now: Instant) -> usize {
+        let taken = {
+            let mut pending = self.pending.lock_unpoisoned();
+            match pending.as_ref() {
+                Some(tile) if tile.deadline <= now => pending.take(),
+                _ => None,
+            }
+        };
+        match taken {
+            Some(tile) => {
+                let rows = tile.count;
+                self.health.expired_flushes.fetch_add(1, Ordering::Relaxed);
+                self.drain(tile);
+                rows
+            }
+            None => 0,
+        }
+    }
+
+    /// The open tile's flush deadline, if a tile is open — what the
+    /// background flusher sleeps until.
+    pub(crate) fn tile_deadline(&self) -> Option<Instant> {
+        self.pending
+            .lock_unpoisoned()
+            .as_ref()
+            .map(|tile| tile.deadline)
+    }
+
     /// Scores one taken tile through the captured version's batch hot path
     /// and fulfils its tickets in request order. Runs outside every lock, so
-    /// producers keep enqueueing while the batch is in flight.
+    /// producers keep enqueueing while the batch is in flight. Every drain
+    /// outcome feeds the breaker; the admission counter is released when
+    /// the results are published, whatever they are.
     fn drain(&self, tile: OpenTile) {
-        let matrix = match Matrix::from_vec(tile.count, tile.width, tile.rows) {
-            Ok(matrix) => matrix,
+        let OpenTile {
+            width,
+            rows,
+            count,
+            cell,
+            version,
+            ..
+        } = tile;
+        let ok = match Matrix::from_vec(count, width, rows) {
+            Ok(matrix) => match version.detector.detect_rows(matrix.view()) {
+                Ok(reports) if reports.len() == count => {
+                    {
+                        let mut stats = self.stats.lock_unpoisoned();
+                        for report in &reports {
+                            stats.record(report);
+                        }
+                    }
+                    cell.fill(
+                        reports
+                            .into_iter()
+                            .map(|report| {
+                                Ok(VersionedReport {
+                                    version: version.number,
+                                    report,
+                                })
+                            })
+                            .collect(),
+                    );
+                    true
+                }
+                Ok(reports) => {
+                    // A detector that returns the wrong number of reports
+                    // violated its contract. Failing the whole batch keeps
+                    // every ticket index in range — handing out a short
+                    // vector would panic the waiter whose slot is missing
+                    // and silently misalign everyone else's.
+                    let error = FleetError::Detector {
+                        message: format!(
+                            "detector returned {} reports for a {count}-row batch",
+                            reports.len()
+                        ),
+                    };
+                    cell.fill((0..count).map(|_| Err(error.clone())).collect());
+                    false
+                }
+                Err(err) => {
+                    let error = FleetError::from(err);
+                    cell.fill((0..count).map(|_| Err(error.clone())).collect());
+                    false
+                }
+            },
             Err(err) => {
                 // Unreachable by construction (every enqueue appends exactly
                 // `width` values and bumps `count`), but a broken tile must
@@ -358,44 +676,60 @@ impl Endpoint {
                 let error = FleetError::Detector {
                     message: err.to_string(),
                 };
-                tile.cell
-                    .fill((0..tile.count).map(|_| Err(error.clone())).collect());
-                return;
+                cell.fill((0..count).map(|_| Err(error.clone())).collect());
+                false
             }
         };
-        match tile.version.detector.detect_rows(matrix.view()) {
-            Ok(reports) => {
-                let mut stats = self.stats.lock_unpoisoned();
-                for report in &reports {
-                    stats.record(report);
-                }
-                drop(stats);
-                tile.cell.fill(
-                    reports
-                        .into_iter()
-                        .map(|report| {
-                            Ok(VersionedReport {
-                                version: tile.version.number,
-                                report,
-                            })
-                        })
-                        .collect(),
-                );
-            }
-            Err(err) => {
-                let error = FleetError::from(err);
-                tile.cell
-                    .fill((0..tile.count).map(|_| Err(error.clone())).collect());
-            }
+        if self.breaker.record(ok, Instant::now()) {
+            self.health.breaker_trips.fetch_add(1, Ordering::Relaxed);
         }
+        self.pending_rows.fetch_sub(count, Ordering::SeqCst);
     }
 
+    /// The synchronous batch path. Consults the breaker (a broken endpoint
+    /// sheds batches too, and probe outcomes must feed recovery) but not
+    /// the admission budget — a synchronous batch occupies no queue, it
+    /// runs on the caller's thread.
     pub(crate) fn score_rows(
         &self,
         batch: RowsView<'_>,
     ) -> Result<Vec<VersionedReport>, FleetError> {
+        let now = Instant::now();
+        if let Admission::Shed = self.breaker.admit(now) {
+            self.health.shed_circuit.fetch_add(1, Ordering::Relaxed);
+            return match self.breaker.policy().fallback {
+                FallbackPolicy::Reject => Err(FleetError::CircuitOpen),
+                FallbackPolicy::EscalateUncertain => {
+                    let rows = batch.rows();
+                    self.health
+                        .degraded_rows
+                        .fetch_add(rows as u64, Ordering::Relaxed);
+                    let version = self.active().number;
+                    Ok((0..rows)
+                        .map(|_| VersionedReport {
+                            version,
+                            report: degraded_escalation(),
+                        })
+                        .collect())
+                }
+            };
+        }
         let version = self.active();
-        let reports = version.detector.detect_rows(batch)?;
+        let expected = batch.rows();
+        let outcome = match version.detector.detect_rows(batch) {
+            Ok(reports) if reports.len() == expected => Ok(reports),
+            Ok(reports) => Err(FleetError::Detector {
+                message: format!(
+                    "detector returned {} reports for a {expected}-row batch",
+                    reports.len()
+                ),
+            }),
+            Err(err) => Err(FleetError::from(err)),
+        };
+        if self.breaker.record(outcome.is_ok(), Instant::now()) {
+            self.health.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        }
+        let reports = outcome?;
         let mut stats = self.stats.lock_unpoisoned();
         for report in &reports {
             stats.record(report);
@@ -416,7 +750,9 @@ impl Endpoint {
 /// Tickets resolve in request order within their tile. [`Ticket::wait`]
 /// blocks until the tile drains — and *makes it drain* once the flush
 /// policy's `max_wait` deadline passes, so a lone request on an idle
-/// endpoint never hangs.
+/// endpoint never hangs even if the background flusher could not be
+/// spawned. [`Ticket::wait_deadline`] bounds how long the caller itself is
+/// willing to block.
 pub struct Ticket {
     endpoint: Arc<Endpoint>,
     cell: Arc<BatchCell>,
@@ -466,6 +802,47 @@ impl Ticket {
         }
     }
 
+    /// Like [`Ticket::wait`], but gives up after `timeout` with
+    /// [`FleetError::DeadlineExceeded`]. The batch itself is *not*
+    /// cancelled — its other tickets (and the endpoint's statistics) are
+    /// unaffected; only this waiter stops waiting, which is how a caller
+    /// carries its own latency SLO through the queue.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::DeadlineExceeded`] if the batch did not drain within
+    /// `timeout`; otherwise whatever [`Ticket::wait`] would return.
+    pub fn wait_deadline(self, timeout: Duration) -> Result<VersionedReport, FleetError> {
+        let caller_deadline = Instant::now() + timeout;
+        let mut flushed = false;
+        let mut guard = self.cell.results.lock_unpoisoned();
+        loop {
+            if let Some(results) = guard.as_ref() {
+                return results[self.index].clone();
+            }
+            let now = Instant::now();
+            if now >= caller_deadline {
+                return Err(FleetError::DeadlineExceeded { timeout });
+            }
+            if now >= self.deadline && !flushed {
+                // The tile's own deadline passed first: drive the flush like
+                // `wait` does, then keep waiting (bounded) for the results.
+                drop(guard);
+                self.endpoint.flush();
+                flushed = true;
+                guard = self.cell.results.lock_unpoisoned();
+                continue;
+            }
+            let until = if flushed {
+                caller_deadline
+            } else {
+                caller_deadline.min(self.deadline)
+            };
+            let (g, _) = unpoison(self.cell.ready.wait_timeout(guard, until - now));
+            guard = g;
+        }
+    }
+
     /// Non-blocking probe: returns the result if the batch already drained.
     ///
     /// # Errors
@@ -490,6 +867,13 @@ impl Ticket {
 ///
 /// See the [crate docs](crate) for the serving model. For replicated
 /// endpoints with load-aware routing, layer [`crate::ShardedFleet`] on top.
+///
+/// Every fleet owns one background flusher thread (spawned lazily on the
+/// first deploy, joined when the fleet drops) that fires `max_wait`
+/// deadlines even when no caller is blocked in [`Ticket::wait`]; each
+/// endpoint is individually supervised by the fleet's [`FleetConfig`]
+/// (admission budget + circuit breaker), observable via
+/// [`DetectorFleet::health`].
 ///
 /// # Example
 ///
@@ -534,8 +918,11 @@ impl Ticket {
 /// # }
 /// ```
 pub struct DetectorFleet {
-    policy: FlushPolicy,
-    endpoints: RwLock<HashMap<String, Arc<Endpoint>>>,
+    config: FleetConfig,
+    /// `Arc`ed so the background flusher can hold a `Weak` snapshot closure
+    /// without keeping the fleet alive.
+    endpoints: Arc<RwLock<HashMap<String, Arc<Endpoint>>>>,
+    supervisor: Supervisor,
 }
 
 impl Default for DetectorFleet {
@@ -544,23 +931,43 @@ impl Default for DetectorFleet {
     }
 }
 
+impl Drop for DetectorFleet {
+    /// Joins the background flusher, so no supervisor thread outlives the
+    /// endpoints it scans.
+    fn drop(&mut self) {
+        self.supervisor.shutdown();
+    }
+}
+
 impl DetectorFleet {
-    /// An empty fleet with the default [`FlushPolicy`].
+    /// An empty fleet with the default [`FleetConfig`].
     pub fn new() -> DetectorFleet {
-        DetectorFleet::with_policy(FlushPolicy::default())
+        DetectorFleet::with_config(FleetConfig::default())
     }
 
-    /// An empty fleet whose endpoints flush with the given policy.
+    /// An empty fleet whose endpoints flush with the given policy (default
+    /// admission and breaker).
     pub fn with_policy(policy: FlushPolicy) -> DetectorFleet {
+        DetectorFleet::with_config(FleetConfig::default().with_flush(policy))
+    }
+
+    /// An empty fleet with an explicit full [`FleetConfig`].
+    pub fn with_config(config: FleetConfig) -> DetectorFleet {
         DetectorFleet {
-            policy,
-            endpoints: RwLock::new(HashMap::new()),
+            config,
+            endpoints: Arc::new(RwLock::new(HashMap::new())),
+            supervisor: Supervisor::new(),
         }
     }
 
     /// The [`FlushPolicy`] every endpoint of this fleet drains under.
     pub fn policy(&self) -> FlushPolicy {
-        self.policy
+        self.config.flush
+    }
+
+    /// The fleet's full serving configuration.
+    pub fn config(&self) -> FleetConfig {
+        self.config
     }
 
     fn endpoint(&self, name: &str) -> Result<Arc<Endpoint>, FleetError> {
@@ -582,10 +989,11 @@ impl DetectorFleet {
     /// versions (they describe the endpoint, not the model). The last few
     /// retired versions are retained for [`DetectorFleet::rollback`]; older
     /// ones are dropped so periodic redeploys do not accumulate every model
-    /// ever served.
+    /// ever served. The first deploy also starts the fleet's background
+    /// flusher thread.
     pub fn deploy(&self, name: &str, detector: Box<dyn Detector>) -> u64 {
         let existing = self.endpoint(name).ok();
-        match existing {
+        let version = match existing {
             Some(endpoint) => endpoint.deploy(detector),
             None => {
                 let mut endpoints = self.endpoints.write_unpoisoned();
@@ -596,13 +1004,24 @@ impl DetectorFleet {
                     None => {
                         endpoints.insert(
                             name.to_string(),
-                            Arc::new(Endpoint::new(detector, self.policy)),
+                            Arc::new(Endpoint::new(
+                                detector,
+                                self.config,
+                                self.supervisor.notifier(),
+                            )),
                         );
                         1
                     }
                 }
             }
-        }
+        };
+        let endpoints = Arc::downgrade(&self.endpoints);
+        self.supervisor.ensure_spawned(move || {
+            endpoints
+                .upgrade()
+                .map(|map| map.read_unpoisoned().values().cloned().collect())
+        });
+        version
     }
 
     /// Restores endpoint `name` to the version retired by the latest
@@ -650,19 +1069,28 @@ impl DetectorFleet {
     ///
     /// [`FleetError::UnknownEndpoint`] for unknown names,
     /// [`FleetError::WidthMismatch`] when `features` disagrees with rows
-    /// already queued in the tile.
+    /// already queued in the tile, [`FleetError::Overloaded`] when the
+    /// endpoint's admission budget is exhausted, and
+    /// [`FleetError::CircuitOpen`] when its breaker is shedding under
+    /// [`FallbackPolicy::Reject`] (under
+    /// [`FallbackPolicy::EscalateUncertain`] the ticket resolves immediately
+    /// to a synthetic escalation instead).
     pub fn score(&self, name: &str, features: &[f64]) -> Result<Ticket, FleetError> {
         self.endpoint(name)?.enqueue(features)
     }
 
     /// Scores a whole borrowed batch view directly on the active version —
     /// the batch-first fleet path, bypassing the micro-batch queue but still
-    /// stamping versions and feeding the endpoint's statistics.
+    /// stamping versions and feeding the endpoint's statistics (and its
+    /// circuit breaker; the admission budget does not apply, since a
+    /// synchronous batch occupies no queue).
     ///
     /// # Errors
     ///
-    /// [`FleetError::UnknownEndpoint`] for unknown names, or the detector's
-    /// error for mismatched feature counts.
+    /// [`FleetError::UnknownEndpoint`] for unknown names,
+    /// [`FleetError::CircuitOpen`] while the breaker sheds (under
+    /// [`FallbackPolicy::Reject`]), or the detector's error for mismatched
+    /// feature counts.
     pub fn score_batch<'a>(
         &self,
         name: &str,
@@ -684,13 +1112,34 @@ impl DetectorFleet {
 
     /// Snapshot of endpoint `name`'s running monitor statistics (windows,
     /// accept/escalate counts, entropy extremes) across every version it has
-    /// served.
+    /// served. Degraded (breaker-fallback) rows are never recorded here —
+    /// see [`HealthSnapshot`].
     ///
     /// # Errors
     ///
     /// [`FleetError::UnknownEndpoint`] for unknown names.
     pub fn stats(&self, name: &str) -> Result<MonitorStats, FleetError> {
         Ok(*self.endpoint(name)?.stats.lock_unpoisoned())
+    }
+
+    /// Endpoint `name`'s supervision health: breaker state, admitted rows,
+    /// shed/degraded/trip/expired-flush counters.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn health(&self, name: &str) -> Result<HealthSnapshot, FleetError> {
+        Ok(self.endpoint(name)?.health())
+    }
+
+    /// Endpoint `name`'s circuit-breaker state (also available via
+    /// [`DetectorFleet::health`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn breaker_state(&self, name: &str) -> Result<BreakerState, FleetError> {
+        Ok(self.endpoint(name)?.breaker_state())
     }
 
     /// Resets endpoint `name`'s monitor statistics (e.g. at an epoch
@@ -783,9 +1232,27 @@ mod tests {
         assert_eq!(fleet.score("ghost", &[0.0]).unwrap_err(), missing);
         assert_eq!(fleet.flush("ghost").unwrap_err(), missing);
         assert_eq!(fleet.stats("ghost").unwrap_err(), missing);
+        assert_eq!(fleet.health("ghost").unwrap_err(), missing);
         assert_eq!(fleet.rollback("ghost").unwrap_err(), missing);
         assert_eq!(fleet.active_version("ghost").unwrap_err(), missing);
         assert!(fleet.endpoints().is_empty());
+    }
+
+    #[test]
+    fn flush_policy_clamps_both_degenerate_edges() {
+        // max_batch == 0 could never drain; it clamps to direct scoring.
+        let batchless = FlushPolicy::new(0, Duration::from_millis(2));
+        assert_eq!(batchless.max_batch, 1);
+        assert_eq!(batchless.max_wait, Duration::from_millis(2));
+        // max_wait == 0 would open every tile already expired; it clamps to
+        // the documented floor.
+        let waitless = FlushPolicy::new(64, Duration::ZERO);
+        assert_eq!(waitless.max_batch, 64);
+        assert_eq!(waitless.max_wait, FlushPolicy::MIN_WAIT);
+        // Non-degenerate values pass through untouched.
+        let sane = FlushPolicy::new(32, Duration::from_millis(7));
+        assert_eq!(sane.max_batch, 32);
+        assert_eq!(sane.max_wait, Duration::from_millis(7));
     }
 
     #[test]
@@ -801,8 +1268,10 @@ mod tests {
                 found: 3
             }
         );
-        // The mismatched row was not enqueued; the tile drains cleanly.
+        // The mismatched row was not enqueued; the tile drains cleanly and
+        // the admission slot the rejected row briefly held was released.
         assert_eq!(fleet.flush("ep").unwrap(), 1);
+        assert_eq!(fleet.health("ep").unwrap().pending_rows, 0);
     }
 
     #[test]
@@ -848,5 +1317,87 @@ mod tests {
         assert_eq!(fleet.flush("ep").unwrap(), 1);
         let report = ticket.try_wait().expect("drained").expect("scores");
         assert_eq!(report.version, 1);
+    }
+
+    #[test]
+    fn wait_deadline_times_out_then_a_plain_wait_still_resolves() {
+        let fleet = DetectorFleet::with_policy(FlushPolicy::new(16, Duration::from_secs(30)));
+        fleet.deploy("ep", trained(5, 10));
+        let impatient = fleet.score("ep", &[0.5, -0.5]).unwrap();
+        let patient = fleet.score("ep", &[0.6, -0.6]).unwrap();
+        // The caller's deadline fires long before the 30 s tile deadline.
+        let err = impatient
+            .wait_deadline(Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FleetError::DeadlineExceeded {
+                timeout: Duration::from_millis(20)
+            }
+        );
+        // The batch was not cancelled: a flush drains both rows and the
+        // surviving ticket reads its result normally.
+        assert_eq!(fleet.flush("ep").unwrap(), 2);
+        assert!(patient.wait_deadline(Duration::from_secs(5)).is_ok());
+        assert_eq!(fleet.stats("ep").unwrap().windows, 2);
+    }
+
+    #[test]
+    fn admission_budget_sheds_with_overloaded() {
+        let config = FleetConfig::default()
+            .with_flush(FlushPolicy::new(64, Duration::from_secs(30)))
+            .with_admission(AdmissionPolicy::new(3));
+        let fleet = DetectorFleet::with_config(config);
+        fleet.deploy("ep", trained(5, 11));
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|_| fleet.score("ep", &[0.5, -0.5]).unwrap())
+            .collect();
+        let err = fleet.score("ep", &[0.5, -0.5]).unwrap_err();
+        assert_eq!(err, FleetError::Overloaded { depth: 3, limit: 3 });
+        let health = fleet.health("ep").unwrap();
+        assert_eq!(health.pending_rows, 3);
+        assert_eq!(health.shed_overload, 1);
+        // Draining releases the budget; the endpoint admits again.
+        assert_eq!(fleet.flush("ep").unwrap(), 3);
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+        assert_eq!(fleet.health("ep").unwrap().pending_rows, 0);
+        assert!(fleet.score("ep", &[0.5, -0.5]).is_ok());
+    }
+
+    #[test]
+    fn poisoned_endpoint_locks_recover_end_to_end() {
+        let fleet = DetectorFleet::with_policy(FlushPolicy::new(4, Duration::from_secs(5)));
+        fleet.deploy("ep", trained(5, 21));
+        let endpoint = fleet.endpoint("ep").unwrap();
+        // Poison each internal lock from a panicking thread: the stats
+        // mutex, the pending-tile mutex, and the versions mutex.
+        let poison = Arc::clone(&endpoint);
+        let _ = std::thread::spawn(move || {
+            let _guard = poison.stats.lock().unwrap();
+            panic!("poison the stats lock");
+        })
+        .join();
+        let poison = Arc::clone(&endpoint);
+        let _ = std::thread::spawn(move || {
+            let _guard = poison.pending.lock().unwrap();
+            panic!("poison the pending lock");
+        })
+        .join();
+        let poison = Arc::clone(&endpoint);
+        let _ = std::thread::spawn(move || {
+            let _guard = poison.versions.lock().unwrap();
+            panic!("poison the versions lock");
+        })
+        .join();
+        assert!(endpoint.stats.lock().is_err(), "stats lock is poisoned");
+        assert!(endpoint.pending.lock().is_err(), "pending lock is poisoned");
+        // Every serving path still works through the unpoisoning helpers.
+        let ticket = fleet.score("ep", &[0.1, 0.2]).unwrap();
+        assert_eq!(fleet.flush("ep").unwrap(), 1);
+        assert!(ticket.wait().is_ok());
+        assert_eq!(fleet.stats("ep").unwrap().windows, 1);
+        assert_eq!(fleet.active_version("ep").unwrap(), 1);
     }
 }

@@ -36,6 +36,23 @@
 //!   versions, so sharding changes *where* a request queues, never *what*
 //!   it scores; `tests/shard.rs` proves sharded scoring report-identical to
 //!   the single-endpoint fleet modulo replica attribution.
+//! * **Supervision**: every fleet owns one background flusher thread that
+//!   fires [`FlushPolicy::max_wait`] deadlines even with no blocked waiter
+//!   (spawned lazily on the first deploy, joined on drop). Every endpoint
+//!   (and every shard replica) carries a bounded admission budget
+//!   ([`AdmissionPolicy`] — beyond it, `score` sheds with
+//!   [`FleetError::Overloaded`] instead of growing memory) and a circuit
+//!   breaker ([`BreakerPolicy`] — consecutive failed drains trip it to
+//!   Open, which fast-sheds with [`FleetError::CircuitOpen`] or degrades to
+//!   a synthetic escalation per [`FallbackPolicy`], and half-open probes
+//!   re-admit traffic). Supervision outcomes are observable per endpoint
+//!   through [`HealthSnapshot`]; callers bound their own latency with
+//!   [`Ticket::wait_deadline`].
+//! * **Fault injection**: [`FaultInjector`] wraps any detector with a
+//!   deterministic [`FaultPlan`] (fail-nth, fail-after, slow-call,
+//!   width-corrupt) so chaos tests — `tests/chaos.rs` — can prove the
+//!   shedding, breaker and bit-identity claims above under scheduled
+//!   misbehaviour.
 //!
 //! # Example
 //!
@@ -81,9 +98,18 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod admission;
+mod breaker;
+mod faults;
 mod fleet;
 mod shard;
+mod supervisor;
 mod sync;
 
-pub use fleet::{DetectorFleet, FleetError, FlushPolicy, Ticket, VersionedReport};
+pub use admission::AdmissionPolicy;
+pub use breaker::{degraded_escalation, BreakerPolicy, BreakerState, FallbackPolicy};
+pub use faults::{FaultCounters, FaultInjector, FaultPlan};
+pub use fleet::{
+    DetectorFleet, FleetConfig, FleetError, FlushPolicy, HealthSnapshot, Ticket, VersionedReport,
+};
 pub use shard::{RoutePolicy, ShardConfig, ShardTicket, ShardedFleet, ShardedReport};

@@ -1,5 +1,5 @@
 //! Sharded replica serving: N micro-batching replicas per endpoint with
-//! load-aware routing.
+//! load-aware, breaker-aware routing.
 //!
 //! A [`crate::DetectorFleet`] endpoint funnels every concurrent scorer
 //! through **one** pending tile behind one mutex. That is the right shape
@@ -7,8 +7,9 @@
 //! the tile lock and shares one flush deadline. [`ShardedFleet`] replicates
 //! each endpoint across `N` shards — every replica is a full
 //! [`crate::fleet::Endpoint`]: its own versioned detector stack, its own
-//! tile, its own [`MonitorStats`] — and routes each request to one replica
-//! with a pluggable [`RoutePolicy`].
+//! tile, its own [`MonitorStats`], its own admission budget and circuit
+//! breaker — and routes each request to one replica with a pluggable
+//! [`RoutePolicy`].
 //!
 //! Replicas are **clones through the persistence codec**: `deploy` saves the
 //! detector once and restores it per replica, which the PR-1 save/load
@@ -23,16 +24,28 @@
 //! *During* a fan-out, requests routed to a not-yet-swapped replica are
 //! stamped with the outgoing version — the same transitional semantics as
 //! rows already queued in a tile when a hot swap lands.
+//!
+//! For detectors that cannot round-trip the codec (notably the
+//! fault-injection wrapper [`crate::FaultInjector`], whose plan must never
+//! persist), [`ShardedFleet::deploy_replicas`] accepts one pre-built
+//! detector per replica instead — the caller owns the "replicas are
+//! equivalent" guarantee that codec cloning otherwise provides.
 
 use crate::fleet::Endpoint;
+use crate::supervisor::Supervisor;
 use crate::sync::{LockExt, RwLockExt};
-use crate::{DetectorFleet, FleetError, FlushPolicy, Ticket, VersionedReport};
+use crate::{AdmissionPolicy, BreakerPolicy};
+use crate::{
+    BreakerState, DetectorFleet, FleetConfig, FleetError, FlushPolicy, HealthSnapshot, Ticket,
+    VersionedReport,
+};
 use hmd_core::detector::{load, save, Detector, MonitorStats};
 use hmd_core::trusted::DetectionReport;
 use hmd_data::RowsView;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// How a sharded endpoint picks the replica that queues a request.
 ///
@@ -46,8 +59,13 @@ pub enum RoutePolicy {
     /// evenly regardless of per-request cost; the default.
     RoundRobin,
     /// Route to the replica with the fewest rows in its open tile (ties go
-    /// to the lowest index). Reads a racy snapshot of each tile's depth —
-    /// good enough to steer bursts away from backed-up replicas.
+    /// to the lowest index), skipping replicas whose circuit breaker is
+    /// shedding — a tripped replica's tile is always empty, and routing by
+    /// depth alone would aim the whole burst at the brokenest replica.
+    /// When every replica is shedding, falls back to round-robin (so
+    /// cooldown probes and fallback policies still see traffic). Reads a
+    /// racy snapshot of each tile's depth — good enough to steer bursts
+    /// away from backed-up replicas.
     LeastLoaded,
     /// Route [`ShardedFleet::score_keyed`] requests by the caller's hash
     /// key, so one session's requests always share a replica (and therefore
@@ -57,7 +75,7 @@ pub enum RoutePolicy {
 }
 
 /// Configuration of a [`ShardedFleet`]: replica count, routing policy and
-/// the per-replica flush policy.
+/// the per-replica serving policies (flush, admission, breaker).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardConfig {
     /// Replicas per endpoint (clamped to at least 1).
@@ -66,15 +84,24 @@ pub struct ShardConfig {
     pub policy: RoutePolicy,
     /// The [`FlushPolicy`] every replica's tile drains under.
     pub flush: FlushPolicy,
+    /// The admission budget of **each replica** (the fleet-wide budget is
+    /// `replicas * max_pending_rows`).
+    pub admission: AdmissionPolicy,
+    /// The circuit-breaker policy of each replica — replicas are supervised
+    /// independently, so one broken replica sheds while its siblings serve.
+    pub breaker: BreakerPolicy,
 }
 
 impl ShardConfig {
-    /// `replicas` round-robin shards with the default [`FlushPolicy`].
+    /// `replicas` round-robin shards with default flush, admission and
+    /// breaker policies.
     pub fn new(replicas: usize) -> ShardConfig {
         ShardConfig {
             replicas: replicas.max(1),
             policy: RoutePolicy::RoundRobin,
             flush: FlushPolicy::default(),
+            admission: AdmissionPolicy::default(),
+            breaker: BreakerPolicy::default(),
         }
     }
 
@@ -90,6 +117,29 @@ impl ShardConfig {
     pub fn with_flush(mut self, flush: FlushPolicy) -> ShardConfig {
         self.flush = flush;
         self
+    }
+
+    /// Sets the per-replica admission budget.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> ShardConfig {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets the per-replica circuit-breaker policy.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerPolicy) -> ShardConfig {
+        self.breaker = breaker;
+        self
+    }
+
+    /// The per-replica [`FleetConfig`] this shard config provisions.
+    fn fleet_config(&self) -> FleetConfig {
+        FleetConfig {
+            flush: self.flush,
+            admission: self.admission,
+            breaker: self.breaker,
+        }
     }
 }
 
@@ -156,6 +206,21 @@ impl ShardTicket {
             .map(|scored| ShardedReport::new(replica, scored))
     }
 
+    /// Like [`ShardTicket::wait`], but gives up after `timeout` with
+    /// [`FleetError::DeadlineExceeded`]; same semantics as
+    /// [`Ticket::wait_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::DeadlineExceeded`] if the replica's batch did not
+    /// drain within `timeout`, otherwise the batch's own outcome.
+    pub fn wait_deadline(self, timeout: std::time::Duration) -> Result<ShardedReport, FleetError> {
+        let replica = self.replica;
+        self.ticket
+            .wait_deadline(timeout)
+            .map(|scored| ShardedReport::new(replica, scored))
+    }
+
     /// Non-blocking probe: returns the result if the replica's batch
     /// already drained.
     ///
@@ -195,23 +260,34 @@ impl ShardedEndpoint {
             return 0;
         }
         if let Some(key) = key {
+            // Stickiness beats breaker-awareness: a keyed session stays on
+            // its replica even while that replica sheds, so the caller sees
+            // a consistent fallback instead of silently migrating sessions.
             return (splitmix64(key) % n as u64) as usize;
         }
         match self.policy {
             RoutePolicy::LeastLoaded => {
-                let mut best = 0;
-                let mut best_depth = usize::MAX;
+                let now = Instant::now();
+                let mut best: Option<(usize, usize)> = None;
                 for (index, replica) in self.replicas.iter().enumerate() {
+                    if replica.would_shed(now) {
+                        continue; // shedding replicas don't take new load
+                    }
                     let depth = replica.pending_depth();
-                    if depth < best_depth {
-                        best = index;
-                        best_depth = depth;
+                    if best.is_none_or(|(_, best_depth)| depth < best_depth) {
+                        best = Some((index, depth));
                         if depth == 0 {
                             break; // nothing is emptier than an empty tile
                         }
                     }
                 }
-                best
+                match best {
+                    Some((index, _)) => index,
+                    // Every replica is shedding: rotate so probes (and
+                    // degraded fallbacks) spread instead of hammering
+                    // replica 0.
+                    None => self.cursor.fetch_add(1, Ordering::Relaxed) % n,
+                }
             }
             // KeyAffinity without a key has nothing to stick to.
             RoutePolicy::RoundRobin | RoutePolicy::KeyAffinity => {
@@ -272,13 +348,15 @@ fn splitmix64(mut x: u64) -> u64 {
 ///
 /// Each deployed endpoint holds [`ShardConfig::replicas`] bit-identical
 /// copies of the detector (cloned through the persistence codec), each with
-/// its own micro-batch tile and [`MonitorStats`]; [`ShardedFleet::score`]
-/// routes every request to one replica by [`RoutePolicy`], and
-/// [`ShardedFleet::stats`] merges the per-replica statistics back into one
-/// endpoint-wide view. `deploy` and `rollback` fan out to all replicas in
-/// lock-step, so a version number names the same model bits everywhere
-/// (requests that race the fan-out itself finish on the version their
-/// replica was serving when they enqueued).
+/// its own micro-batch tile, [`MonitorStats`], admission budget and circuit
+/// breaker; [`ShardedFleet::score`] routes every request to one replica by
+/// [`RoutePolicy`], and [`ShardedFleet::stats`] merges the per-replica
+/// statistics back into one endpoint-wide view. `deploy` and `rollback` fan
+/// out to all replicas in lock-step, so a version number names the same
+/// model bits everywhere (requests that race the fan-out itself finish on
+/// the version their replica was serving when they enqueued). Like
+/// [`DetectorFleet`], a sharded fleet owns one background flusher thread
+/// covering every replica's tile deadline.
 ///
 /// # Example
 ///
@@ -329,12 +407,23 @@ fn splitmix64(mut x: u64) -> u64 {
 /// ```
 pub struct ShardedFleet {
     config: ShardConfig,
-    endpoints: RwLock<HashMap<String, Arc<ShardedEndpoint>>>,
+    /// `Arc`ed so the background flusher can hold a `Weak` snapshot closure
+    /// without keeping the fleet alive.
+    endpoints: Arc<RwLock<HashMap<String, Arc<ShardedEndpoint>>>>,
+    supervisor: Supervisor,
+}
+
+impl Drop for ShardedFleet {
+    /// Joins the background flusher, so no supervisor thread outlives the
+    /// replicas it scans.
+    fn drop(&mut self) {
+        self.supervisor.shutdown();
+    }
 }
 
 impl ShardedFleet {
-    /// A fleet with `replicas` round-robin shards per endpoint and the
-    /// default [`FlushPolicy`].
+    /// A fleet with `replicas` round-robin shards per endpoint and default
+    /// per-replica policies.
     pub fn new(replicas: usize) -> ShardedFleet {
         ShardedFleet::with_config(ShardConfig::new(replicas))
     }
@@ -346,7 +435,8 @@ impl ShardedFleet {
                 replicas: config.replicas.max(1),
                 ..config
             },
-            endpoints: RwLock::new(HashMap::new()),
+            endpoints: Arc::new(RwLock::new(HashMap::new())),
+            supervisor: Supervisor::new(),
         }
     }
 
@@ -385,6 +475,56 @@ impl ShardedFleet {
         Ok(detectors)
     }
 
+    /// Publishes one prepared detector per replica as endpoint `name`,
+    /// creating the endpoint on first deploy, and (lazily) starts the
+    /// fleet's background flusher.
+    fn publish(&self, name: &str, detectors: Vec<Box<dyn Detector>>) -> u64 {
+        let version = match self.endpoint(name).ok() {
+            Some(endpoint) => endpoint.deploy(detectors),
+            None => {
+                let mut endpoints = self.endpoints.write_unpoisoned();
+                // Double-checked under the write lock: a racing deploy of the
+                // same name must version-bump, not overwrite.
+                match endpoints.get(name) {
+                    Some(endpoint) => endpoint.deploy(detectors),
+                    None => {
+                        let config = self.config.fleet_config();
+                        let replicas = detectors
+                            .into_iter()
+                            .map(|detector| {
+                                Arc::new(Endpoint::new(
+                                    detector,
+                                    config,
+                                    self.supervisor.notifier(),
+                                ))
+                            })
+                            .collect();
+                        endpoints.insert(
+                            name.to_string(),
+                            Arc::new(ShardedEndpoint {
+                                replicas,
+                                policy: self.config.policy,
+                                cursor: AtomicUsize::new(0),
+                                generation: Mutex::new(1),
+                            }),
+                        );
+                        1
+                    }
+                }
+            }
+        };
+        let endpoints = Arc::downgrade(&self.endpoints);
+        self.supervisor.ensure_spawned(move || {
+            endpoints.upgrade().map(|map| {
+                map.read_unpoisoned()
+                    .values()
+                    .flat_map(|endpoint| endpoint.replicas.iter().cloned())
+                    .collect()
+            })
+        });
+        version
+    }
+
     /// Deploys `detector` as endpoint `name` on **every replica** and
     /// returns the published version number (1 for a new endpoint,
     /// previous + 1 afterwards — identical on all replicas).
@@ -401,34 +541,41 @@ impl ShardedFleet {
     /// # Errors
     ///
     /// [`FleetError::Replication`] when the codec round trip that clones
-    /// the detector fails.
+    /// the detector fails — including detectors that do not implement
+    /// persistence at all (use [`ShardedFleet::deploy_replicas`] for
+    /// those).
     pub fn deploy(&self, name: &str, detector: Box<dyn Detector>) -> Result<u64, FleetError> {
         let detectors = self.replicate(detector)?;
-        if let Ok(endpoint) = self.endpoint(name) {
-            return Ok(endpoint.deploy(detectors));
+        Ok(self.publish(name, detectors))
+    }
+
+    /// Like [`ShardedFleet::deploy`], but takes one **pre-built detector
+    /// per replica** instead of cloning through the codec — the escape
+    /// hatch for detectors that cannot (or must not) round-trip
+    /// persistence, such as the fault-injection wrapper
+    /// [`crate::FaultInjector`] whose schedule is deliberately
+    /// non-persistable. The caller owns the guarantee that the detectors
+    /// are equivalent; the fleet only guarantees they version in lock-step.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Replication`] when `detectors.len()` differs from the
+    /// configured replica count.
+    pub fn deploy_replicas(
+        &self,
+        name: &str,
+        detectors: Vec<Box<dyn Detector>>,
+    ) -> Result<u64, FleetError> {
+        if detectors.len() != self.config.replicas {
+            return Err(FleetError::Replication {
+                message: format!(
+                    "deploy_replicas needs {} detectors (one per replica), got {}",
+                    self.config.replicas,
+                    detectors.len()
+                ),
+            });
         }
-        let mut endpoints = self.endpoints.write_unpoisoned();
-        // Double-checked under the write lock: a racing deploy of the same
-        // name must version-bump, not overwrite.
-        match endpoints.get(name) {
-            Some(endpoint) => Ok(endpoint.deploy(detectors)),
-            None => {
-                let replicas = detectors
-                    .into_iter()
-                    .map(|detector| Arc::new(Endpoint::new(detector, self.config.flush)))
-                    .collect();
-                endpoints.insert(
-                    name.to_string(),
-                    Arc::new(ShardedEndpoint {
-                        replicas,
-                        policy: self.config.policy,
-                        cursor: AtomicUsize::new(0),
-                        generation: Mutex::new(1),
-                    }),
-                );
-                Ok(1)
-            }
-        }
+        Ok(self.publish(name, detectors))
     }
 
     /// Rolls **every replica** of endpoint `name` back to the version
@@ -486,7 +633,9 @@ impl ShardedFleet {
     ///
     /// [`FleetError::UnknownEndpoint`] for unknown names,
     /// [`FleetError::WidthMismatch`] when `features` disagrees with rows
-    /// already queued in the chosen replica's tile.
+    /// already queued in the chosen replica's tile,
+    /// [`FleetError::Overloaded`] / [`FleetError::CircuitOpen`] when the
+    /// chosen replica sheds.
     pub fn score(&self, name: &str, features: &[f64]) -> Result<ShardTicket, FleetError> {
         let endpoint = self.endpoint(name)?;
         let replica = endpoint.route(None);
@@ -497,7 +646,9 @@ impl ShardedFleet {
     /// Like [`ShardedFleet::score`], but pins the request to the replica
     /// derived from `key`'s hash — session stickiness: every request with
     /// the same key queues (and therefore micro-batches) on the same
-    /// replica, under **any** routing policy.
+    /// replica, under **any** routing policy (including while that replica's
+    /// breaker sheds — a sticky session sees its replica's fallback rather
+    /// than silently migrating).
     ///
     /// # Errors
     ///
@@ -596,6 +747,37 @@ impl ShardedFleet {
             .collect())
     }
 
+    /// Each replica's circuit-breaker state, indexed like
+    /// [`ShardedReport::replica`].
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn breaker_states(&self, name: &str) -> Result<Vec<BreakerState>, FleetError> {
+        Ok(self
+            .endpoint(name)?
+            .replicas
+            .iter()
+            .map(|replica| replica.breaker_state())
+            .collect())
+    }
+
+    /// Each replica's supervision health (breaker state, admitted rows,
+    /// shed/degraded/trip counters), indexed like
+    /// [`ShardedReport::replica`].
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn replica_health(&self, name: &str) -> Result<Vec<HealthSnapshot>, FleetError> {
+        Ok(self
+            .endpoint(name)?
+            .replicas
+            .iter()
+            .map(|replica| replica.health())
+            .collect())
+    }
+
     /// Resets every replica's monitor statistics for endpoint `name`.
     ///
     /// # Errors
@@ -610,10 +792,15 @@ impl ShardedFleet {
 }
 
 /// A 1-replica [`ShardedFleet`] behaves exactly like a [`DetectorFleet`],
-/// so converting a fleet's policy into a shard config is the upgrade path.
+/// so converting a fleet's full configuration into a shard config is the
+/// upgrade path.
 impl From<&DetectorFleet> for ShardConfig {
     fn from(fleet: &DetectorFleet) -> ShardConfig {
-        ShardConfig::new(1).with_flush(fleet.policy())
+        let config = fleet.config();
+        ShardConfig::new(1)
+            .with_flush(config.flush)
+            .with_admission(config.admission)
+            .with_breaker(config.breaker)
     }
 }
 
@@ -643,7 +830,23 @@ mod tests {
             replicas: 0,
             policy: RoutePolicy::RoundRobin,
             flush: FlushPolicy::default(),
+            admission: AdmissionPolicy::default(),
+            breaker: BreakerPolicy::default(),
         });
         assert_eq!(fleet.config().replicas, 1);
+    }
+
+    #[test]
+    fn shard_config_carries_fleet_supervision_settings() {
+        use std::time::Duration;
+        let fleet = DetectorFleet::with_config(
+            FleetConfig::default()
+                .with_admission(AdmissionPolicy::new(42))
+                .with_breaker(BreakerPolicy::new(2, Duration::from_millis(5))),
+        );
+        let config = ShardConfig::from(&fleet);
+        assert_eq!(config.replicas, 1);
+        assert_eq!(config.admission.max_pending_rows, 42);
+        assert_eq!(config.breaker.failure_threshold, 2);
     }
 }

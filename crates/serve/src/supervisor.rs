@@ -1,0 +1,201 @@
+//! The background deadline flusher: one supervisor thread per fleet.
+//!
+//! Before this module existed, `FlushPolicy::max_wait` only fired when a
+//! ticket holder was *blocked in [`crate::Ticket::wait`]* — an idle endpoint
+//! whose callers polled with `try_wait`, or simply walked away, sat on its
+//! open tile forever. The supervisor makes the deadline real: each
+//! [`crate::DetectorFleet`] / [`crate::ShardedFleet`] lazily spawns **one**
+//! flusher thread that sleeps until the earliest open-tile deadline across
+//! all endpoints (replicas included), drains every expired tile through the
+//! normal batch path, and goes back to sleep. With no open tile anywhere it
+//! parks indefinitely — an idle fleet costs zero wakeups.
+//!
+//! Coordination is a single epoch-counted condvar:
+//!
+//! * opening a tile bumps the epoch via [`TileNotifier::notify`] (outside
+//!   the tile lock — the notification never nests inside a critical
+//!   section), waking the flusher to re-derive its earliest deadline;
+//! * dropping the fleet sets the shutdown flag and **joins** the thread, so
+//!   no flusher outlives its endpoints;
+//! * every lock site goes through [`crate::sync`], so a panicking scorer
+//!   thread cannot poison the supervisor to death — the flusher recovers
+//!   the guard and keeps flushing.
+//!
+//! The flusher never holds a lock across a drain (or any sleep): it
+//! snapshots the endpoint list, releases, and calls
+//! [`crate::fleet::Endpoint::flush_expired`], which itself takes the tile
+//! out under the lock and drains outside it. This is the guard discipline
+//! `hmd_lint`'s `lock-discipline` rule checks for the serve crate.
+
+use crate::fleet::Endpoint;
+use crate::sync::{unpoison, LockExt};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+#[derive(Default)]
+struct State {
+    shutdown: bool,
+    /// Bumped whenever a tile opens; the flusher re-derives its earliest
+    /// deadline whenever the epoch moves, so a tile opened between its scan
+    /// and its sleep can never be missed (the classic lost-wakeup shape).
+    epoch: u64,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+/// Handed to every [`Endpoint`] at construction: pokes the fleet's flusher
+/// when a fresh tile (with a fresh deadline) opens. Cloneable and cheap;
+/// calling it outside any tile lock is the caller's contract.
+#[derive(Clone)]
+pub(crate) struct TileNotifier {
+    shared: Arc<Shared>,
+}
+
+impl TileNotifier {
+    pub(crate) fn notify(&self) {
+        {
+            let mut state = self.shared.state.lock_unpoisoned();
+            state.epoch = state.epoch.wrapping_add(1);
+        }
+        self.shared.wake.notify_all();
+    }
+}
+
+/// The per-fleet flusher thread handle: lazily spawned, joined on fleet
+/// drop.
+pub(crate) struct Supervisor {
+    shared: Arc<Shared>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Supervisor {
+    pub(crate) fn new() -> Supervisor {
+        Supervisor {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State::default()),
+                wake: Condvar::new(),
+            }),
+            handle: Mutex::new(None),
+        }
+    }
+
+    pub(crate) fn notifier(&self) -> TileNotifier {
+        TileNotifier {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Spawns the flusher thread if it is not already running. `snapshot`
+    /// returns the current endpoint (or replica) list, or `None` once the
+    /// owning fleet is gone — it must hold only a `Weak` reference back, or
+    /// the flusher would keep its own fleet alive forever.
+    ///
+    /// If the OS refuses the thread, the fleet degrades to the waiter-driven
+    /// flush: blocked `wait()` callers still fire `max_wait` themselves.
+    pub(crate) fn ensure_spawned<F>(&self, snapshot: F)
+    where
+        F: Fn() -> Option<Vec<Arc<Endpoint>>> + Send + 'static,
+    {
+        let mut handle = self.handle.lock_unpoisoned();
+        if handle.is_some() {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        *handle = std::thread::Builder::new()
+            .name("hmd-serve-flusher".into())
+            .spawn(move || run(&shared, &snapshot))
+            .ok();
+    }
+
+    /// Signals shutdown and joins the flusher. Idempotent; called from the
+    /// owning fleet's `Drop`.
+    pub(crate) fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock_unpoisoned();
+            state.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        let handle = self.handle.lock_unpoisoned().take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The flusher loop: scan → flush expired → sleep until the earliest
+/// deadline (or forever when no tile is open) → repeat. Exits on shutdown
+/// or when the owning fleet has been dropped (`snapshot` returns `None`).
+fn run<F>(shared: &Shared, snapshot: &F)
+where
+    F: Fn() -> Option<Vec<Arc<Endpoint>>>,
+{
+    loop {
+        let seen = {
+            let state = shared.state.lock_unpoisoned();
+            if state.shutdown {
+                return;
+            }
+            state.epoch
+        };
+        let endpoints = match snapshot() {
+            Some(endpoints) => endpoints,
+            None => return,
+        };
+        // No guard is live here: expired tiles drain through the same
+        // outside-the-lock path as caller-driven flushes.
+        let now = Instant::now();
+        let mut next: Option<Instant> = None;
+        for endpoint in &endpoints {
+            endpoint.flush_expired(now);
+            if let Some(deadline) = endpoint.tile_deadline() {
+                next = Some(next.map_or(deadline, |n: Instant| n.min(deadline)));
+            }
+        }
+        let mut state = shared.state.lock_unpoisoned();
+        while !state.shutdown && state.epoch == seen {
+            match next {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if deadline <= now {
+                        break;
+                    }
+                    let (guard, _) = unpoison(shared.wake.wait_timeout(state, deadline - now));
+                    state = guard;
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                None => state = unpoison(shared.wake.wait(state)),
+            }
+        }
+        if state.shutdown {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_without_spawn_is_a_no_op() {
+        let supervisor = Supervisor::new();
+        supervisor.shutdown();
+        supervisor.shutdown();
+    }
+
+    #[test]
+    fn spawned_flusher_exits_when_its_fleet_is_gone() {
+        let supervisor = Supervisor::new();
+        // A snapshot whose owner is already gone: the thread must exit on
+        // its own, and shutdown must join it without hanging.
+        supervisor.ensure_spawned(|| None);
+        supervisor.notifier().notify();
+        supervisor.shutdown();
+    }
+}

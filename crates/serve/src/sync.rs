@@ -13,6 +13,13 @@
 //! helpers, which recover the guard from a poisoned lock instead of
 //! panicking. This is also what keeps the crate clean under the
 //! `no-panic-in-lib` lint rule — the helpers contain no `unwrap`/`expect`.
+//!
+//! The background flusher ([`crate::supervisor`]) depends on this recovery
+//! for liveness: a scorer thread that panics while holding an endpoint
+//! lock must not take the supervisor down with it, or every subsequent
+//! `max_wait` deadline would silently stop firing. The end-to-end version
+//! of that claim (poison every endpoint lock, then score/flush/stats
+//! anyway) is tested in `fleet.rs`.
 
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -69,6 +76,25 @@ mod tests {
         .join();
         assert!(shared.lock().is_err(), "the lock must actually be poisoned");
         assert_eq!(*shared.lock_unpoisoned(), 7);
+    }
+
+    #[test]
+    fn condvar_wait_results_unpoison_too() {
+        use std::sync::Condvar;
+        use std::time::Duration;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let poisoner = Arc::clone(&pair);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.0.lock().unwrap();
+            panic!("poison the condvar's mutex");
+        })
+        .join();
+        // Both the lock and the timed wait go through `unpoison`: the
+        // supervisor's wait loop survives a poisoned state mutex.
+        let guard = pair.0.lock_unpoisoned();
+        let (guard, timeout) = unpoison(pair.1.wait_timeout(guard, Duration::from_millis(1)));
+        assert!(timeout.timed_out());
+        assert!(!*guard);
     }
 
     #[test]

@@ -25,6 +25,15 @@
 //! replicas (`fleet.stats`), with `fleet.replica_stats` as the per-replica
 //! breakdown.
 //!
+//! The closing **supervision drill** exercises the same machinery under
+//! misbehaviour: a burst beyond the admission budget sheds with
+//! `Overloaded` instead of growing memory; a `FaultInjector`-wrapped
+//! detector trips its circuit breaker, degraded requests are escalated to
+//! the analyst (the serving-layer analogue of the paper's rejection
+//! option) rather than guessed, and after the cooldown a half-open probe
+//! restores service; and breaker-aware `LeastLoaded` routing steers a
+//! sharded endpoint's traffic around its broken replica.
+//!
 //! ```text
 //! cargo run --release --example online_monitor
 //! ```
@@ -178,6 +187,126 @@ fn main() -> Result<(), Box<dyn Error>> {
         "rolled back to v{restored}: {} serves again on all {} replicas",
         fleet.detector_name("edge-hmd")?,
         fleet.replicas("edge-hmd")?
+    );
+
+    let probe_row = builder.simulate_signature(&known_apps[0], &mut rng);
+    supervision_drill(&document, &probe_row)?;
+    Ok(())
+}
+
+/// The serving layer under misbehaviour: overload sheds, breakers trip and
+/// recover, routing steers around broken replicas. Every fault here is
+/// scheduled by a deterministic [`FaultPlan`], so the drill plays out the
+/// same way on every run.
+fn supervision_drill(document: &str, probe_row: &[f64]) -> Result<(), Box<dyn Error>> {
+    use hmd::core::detector::load;
+
+    println!("\n--- supervision drill ---");
+
+    // Overload: a 4-row admission budget on a big tile. The burst's first
+    // four requests are admitted; the rest shed with `Overloaded` *before*
+    // their rows are copied anywhere — overload costs the caller an error,
+    // never the fleet memory.
+    let gate = DetectorFleet::with_config(
+        FleetConfig::default()
+            .with_flush(FlushPolicy::new(64, Duration::from_secs(1)))
+            .with_admission(AdmissionPolicy::new(4)),
+    );
+    gate.deploy("edge-hmd", load(document)?);
+    let mut admitted = Vec::new();
+    for _ in 0..7 {
+        match gate.score("edge-hmd", probe_row) {
+            Ok(ticket) => admitted.push(ticket),
+            Err(FleetError::Overloaded { depth, limit }) => {
+                println!("overload: shed at depth {depth}/{limit}");
+            }
+            Err(other) => return Err(other.into()),
+        }
+    }
+    gate.flush("edge-hmd")?;
+    for ticket in admitted {
+        ticket.wait()?;
+    }
+    let health = gate.health("edge-hmd")?;
+    println!(
+        "overload: 4 admitted + {} shed; budget released, {} rows pending\n",
+        health.shed_overload, health.pending_rows
+    );
+
+    // Breaker: a replica that fails its first two calls. Threshold 2 trips
+    // it to Open; under `EscalateUncertain` the shed requests are answered
+    // with a synthetic maximum-uncertainty escalation — the paper's
+    // rejection option applied to infrastructure faults: when the detector
+    // cannot be trusted, hand the window to the analyst, don't guess.
+    let flaky = FaultInjector::new(load(document)?, FaultPlan::new().fail_call(1).fail_call(2));
+    let solo = DetectorFleet::with_config(
+        FleetConfig::default()
+            .with_flush(FlushPolicy::new(1, Duration::from_secs(1)))
+            .with_breaker(
+                BreakerPolicy::new(2, Duration::from_millis(50))
+                    .with_fallback(FallbackPolicy::EscalateUncertain),
+            ),
+    );
+    solo.deploy("edge-hmd", Box::new(flaky));
+    for call in 1..=2 {
+        let err = solo.score("edge-hmd", probe_row)?.wait().unwrap_err();
+        println!("breaker: call {call} failed ({err})");
+    }
+    println!(
+        "breaker: state {:?} after 2 consecutive failures ({} trip recorded)",
+        solo.breaker_state("edge-hmd")?,
+        solo.health("edge-hmd")?.breaker_trips
+    );
+    let degraded = solo.score("edge-hmd", probe_row)?.wait()?;
+    println!(
+        "breaker: degraded answer — {:?}, entropy {} (excluded from monitor stats)",
+        degraded.report.decision, degraded.report.prediction.entropy
+    );
+    std::thread::sleep(Duration::from_millis(60)); // let the cooldown elapse
+    let recovered = solo.score("edge-hmd", probe_row)?.wait()?;
+    println!(
+        "breaker: half-open probe succeeded — state {:?}, real report {:?}\n",
+        solo.breaker_state("edge-hmd")?,
+        recovered.report.decision
+    );
+
+    // Routing: the same flaky-first-call model behind a 2-replica sharded
+    // endpoint. Fault plans are deliberately not persistable, so
+    // `deploy_replicas` hands each replica its own detector instead of
+    // codec-cloning one. After replica 0 trips, breaker-aware LeastLoaded
+    // steers every request to the healthy replica.
+    let drill = ShardedFleet::with_config(
+        ShardConfig::new(REPLICAS)
+            .with_policy(RoutePolicy::LeastLoaded)
+            .with_flush(FlushPolicy::new(1, Duration::from_secs(1)))
+            .with_breaker(BreakerPolicy::new(1, Duration::from_millis(250))),
+    );
+    drill.deploy_replicas(
+        "edge-hmd",
+        vec![
+            Box::new(FaultInjector::new(
+                load(document)?,
+                FaultPlan::new().fail_call(1),
+            )),
+            load(document)?,
+        ],
+    )?;
+    let first = drill.score("edge-hmd", probe_row)?;
+    println!(
+        "routing: replica {} failed its first call ({})",
+        first.replica(),
+        first.wait().unwrap_err()
+    );
+    for _ in 0..3 {
+        let scored = drill.score("edge-hmd", probe_row)?.wait()?;
+        println!(
+            "routing: served by replica {} ({:?})",
+            scored.replica, scored.report.decision
+        );
+    }
+    println!(
+        "routing: breaker states {:?}",
+        drill.breaker_states("edge-hmd")?
     );
     Ok(())
 }

@@ -13,8 +13,10 @@
 //!   uncertainty estimation, rejection policies, the trusted HMD pipeline and
 //!   the unified [`core::detector`] serving API.
 //! * [`serve`] ([`hmd_serve`]) — the fleet serving layer: named, versioned,
-//!   micro-batching detector endpoints with hot swap, rollback, and sharded
-//!   replicas with load-aware routing.
+//!   micro-batching detector endpoints with hot swap, rollback, sharded
+//!   replicas with load-aware routing, and supervision — a background
+//!   deadline flusher, bounded admission, per-replica circuit breakers,
+//!   and a deterministic fault-injection harness.
 //!
 //! `ARCHITECTURE.md` at the repository root maps the whole workspace — the
 //! layer diagram, each crate's derived-state invariants, and where to add a
@@ -206,8 +208,10 @@ pub mod prelude {
     pub use hmd_ml::tree::DecisionTreeParams;
     pub use hmd_ml::{Classifier, Estimator, ModelTag};
     pub use hmd_serve::{
-        DetectorFleet, FleetError, FlushPolicy, RoutePolicy, ShardConfig, ShardTicket,
-        ShardedFleet, ShardedReport, Ticket, VersionedReport,
+        degraded_escalation, AdmissionPolicy, BreakerPolicy, BreakerState, DetectorFleet,
+        FallbackPolicy, FaultCounters, FaultInjector, FaultPlan, FleetConfig, FleetError,
+        FlushPolicy, HealthSnapshot, RoutePolicy, ShardConfig, ShardTicket, ShardedFleet,
+        ShardedReport, Ticket, VersionedReport,
     };
 }
 
