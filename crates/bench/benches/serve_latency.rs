@@ -17,7 +17,13 @@
 //!   500 µs `max_wait`: nothing fills the tile, so latency is bounded by
 //!   the deadline flusher (p50 ≈ max_wait + drain);
 //! * `shed_circuit_open` — requests fast-shed by an Open breaker: the cost
-//!   of a rejection, which is what keeps overload cheap.
+//!   of a rejection, which is what keeps overload cheap;
+//! * `socket_roundtrip` — the same single-row request through the loopback
+//!   wire protocol (`FleetClient` → `FleetServer` → sharded fleet), i.e.
+//!   `fleet_tile1` plus framing, two JSON codec passes and a TCP round
+//!   trip: the price of the process boundary;
+//! * `socket_batch64_per_row` — a 64-row batch frame over the socket,
+//!   divided per row: how the framing cost amortises.
 //!
 //! Machine-readable results land in `BENCH_serve_latency.json` at the
 //! repository root. Set `HMD_BENCH_QUICK=1` for the CI smoke run.
@@ -31,7 +37,10 @@ use hmd_bench::pipelines::{detector_config, BaseModel};
 use hmd_bench::ExperimentScale;
 use hmd_core::detector::{Detector, DetectorExt};
 use hmd_data::Matrix;
-use hmd_serve::{BreakerPolicy, DetectorFleet, FleetConfig, FleetError, FlushPolicy, Ticket};
+use hmd_serve::{
+    BreakerPolicy, ClientConfig, DetectorFleet, FleetClient, FleetConfig, FleetError, FleetServer,
+    FlushPolicy, ServerConfig, ShardConfig, ShardedFleet, Ticket,
+};
 use std::time::{Duration, Instant};
 
 /// Where the machine-readable results land: the repository root, committed
@@ -218,6 +227,45 @@ fn bench_latency(c: &mut Criterion) {
             }
         }
         report(c, "shed_circuit_open", &samples);
+    }
+
+    // The process boundary: the same single-row request through the
+    // loopback wire protocol. The delta over `fleet_tile1` is what the
+    // frame codec + TCP round trip cost.
+    {
+        let fleet = std::sync::Arc::new(ShardedFleet::with_config(
+            ShardConfig::new(1).with_flush(FlushPolicy::new(1, Duration::from_secs(5))),
+        ));
+        fleet
+            .deploy("hmd", trained_pipeline(scale))
+            .expect("deploys");
+        let server =
+            FleetServer::bind(std::sync::Arc::clone(&fleet), ServerConfig::new()).expect("binds");
+        let mut client =
+            FleetClient::connect(server.local_addr(), ClientConfig::new()).expect("connects");
+
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = requests.row(i % requests.rows());
+            let start = Instant::now();
+            client.score("hmd", row).expect("scores over the wire");
+            samples.push(start.elapsed());
+        }
+        report(c, "socket_roundtrip", &samples);
+
+        // Batch framing amortisation: one 64-row frame, latency per row.
+        let batch_iters = (n / 64).max(8);
+        let batch = batch_of(split.unknown.features(), 64);
+        let mut samples = Vec::with_capacity(batch_iters);
+        for _ in 0..batch_iters {
+            let start = Instant::now();
+            let reports = client.score_batch("hmd", &batch).expect("batch scores");
+            let elapsed = start.elapsed();
+            assert_eq!(reports.len(), 64);
+            samples.push(elapsed / 64);
+        }
+        report(c, "socket_batch64_per_row", &samples);
+        server.shutdown();
     }
 
     // Criterion cross-check on the two closed-loop paths, so the latency

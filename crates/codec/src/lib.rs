@@ -30,6 +30,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod frame;
+
 use std::fmt;
 
 /// Error produced by parsing or by typed decoding.

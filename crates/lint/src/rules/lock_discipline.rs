@@ -22,12 +22,18 @@
 //! - **long calls**: with any guard live, a call to a flush/codec/inference
 //!   function (`flush`, `drain`, `save`, `load`, `encode`, `decode`,
 //!   `serialize`, `deserialize`, `to_json`, `from_json`, `to_saved_json`,
-//!   `parse`, `detect_rows`, `detect_batch`) or to `sleep` is flagged. The
-//!   `sleep` entry polices the background flusher shape: the supervisor
-//!   thread must scan endpoint deadlines in a scoped guard, then park
-//!   *outside* it — a guard held across its sleep/wait would stall every
-//!   scorer for the whole `max_wait` window. (Condvar waits are fine: they
-//!   take the guard by value, which this tracker counts as a move-death.)
+//!   `parse`, `detect_rows`, `detect_batch`), to `sleep`, or to a blocking
+//!   socket operation (`read`/`write` with arguments, `read_exact`,
+//!   `write_all`, `accept`, `connect`, `read_request`, `write_response`) is
+//!   flagged. The `sleep` entry polices the background flusher shape: the
+//!   supervisor thread must scan endpoint deadlines in a scoped guard, then
+//!   park *outside* it — a guard held across its sleep/wait would stall
+//!   every scorer for the whole `max_wait` window. (Condvar waits are fine:
+//!   they take the guard by value, which this tracker counts as a
+//!   move-death.) The socket entries police the wire-protocol layer in
+//!   `net/`: a guard held across blocking I/O hands the critical section's
+//!   duration to the remote peer's TCP window. `.read(`/`.write(` are
+//!   disambiguated from `RwLock` acquisitions by argument presence.
 //!
 //! The model is lexical, not interprocedural: it will not see a lock taken
 //! inside a callee. That is the right trade for a workspace-native linter —
@@ -42,6 +48,11 @@ use crate::tokens::{Token, TokenKind};
 use crate::workspace::{FileContext, FileKind};
 
 /// Method names that acquire a guard.
+///
+/// `read`/`write` are ambiguous: argument-free they are `RwLock`
+/// acquisitions, with an argument they are `std::io::Read`/`Write` calls
+/// on a byte stream. The tracker disambiguates lexically by argument
+/// presence — see the acquisition branch in [`Tracker::ident`].
 const ACQUIRE: &[&str] = &[
     "lock",
     "read",
@@ -51,7 +62,13 @@ const ACQUIRE: &[&str] = &[
     "write_unpoisoned",
 ];
 
-/// Calls that must not run inside a critical section.
+/// Calls that must not run inside a critical section: flush/codec/
+/// inference work, the flusher's park, and — since the wire protocol
+/// landed — **blocking socket I/O** (`read`/`write` with arguments,
+/// `read_exact`/`write_all`, `accept`, `connect`, and the frame helpers
+/// `read_request`/`write_response`). A guard held across a socket call
+/// couples every scorer on
+/// that endpoint to one peer's TCP window.
 const LONG_CALLS: &[&str] = &[
     "flush",
     "drain",
@@ -68,6 +85,14 @@ const LONG_CALLS: &[&str] = &[
     "detect_rows",
     "detect_batch",
     "sleep",
+    "read",
+    "write",
+    "read_exact",
+    "write_all",
+    "accept",
+    "connect",
+    "read_request",
+    "write_response",
 ];
 
 /// See the module docs.
@@ -195,8 +220,13 @@ impl Tracker<'_> {
             return;
         }
 
-        // Acquisition.
-        if after_dot && called && ACQUIRE.contains(&tok.text.as_str()) {
+        // Acquisition. `.read(` / `.write(` are only acquisitions when
+        // argument-free: `RwLock::read`/`write` take no arguments, while
+        // `std::io::Read::read(&mut buf)` / `Write::write(&buf)` always do.
+        // Argful calls fall through to the long-call branch below.
+        let io_call = matches!(tok.text.as_str(), "read" | "write")
+            && tokens.get(i + 2).is_some_and(|t| !t.is_punct(')'));
+        if after_dot && called && !io_call && ACQUIRE.contains(&tok.text.as_str()) {
             if let Some(live) = self.guards.first() {
                 self.out.push(Diagnostic::new(
                     &self.file.rel_path,
@@ -248,8 +278,8 @@ impl Tracker<'_> {
                     self.rule,
                     format!(
                         "guard{} from line {} held across `{}()`: flush/codec/inference \
-                         work must run outside critical sections (tail-latency and \
-                         deadlock hazard)",
+                         and blocking socket work must run outside critical sections \
+                         (tail-latency and deadlock hazard)",
                         live.name
                             .as_ref()
                             .map(|n| format!(" `{n}`"))

@@ -26,4 +26,15 @@ impl State {
         let rows = self.rows.lock_unpoisoned();
         std::thread::sleep(std::time::Duration::from_millis(rows.len() as u64));
     }
+
+    pub fn guard_held_across_socket_write(&self, stream: &mut std::net::TcpStream) {
+        let rows = self.rows.lock_unpoisoned();
+        stream.write_all(&[rows.len() as u8]).ok();
+    }
+
+    pub fn guard_held_across_accept(&self, listener: &std::net::TcpListener) {
+        let count = self.count.lock_unpoisoned();
+        let _ = listener.accept();
+        drop(count);
+    }
 }

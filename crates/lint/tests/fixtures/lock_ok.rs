@@ -41,4 +41,21 @@ impl State {
         };
         std::thread::sleep(std::time::Duration::from_millis(pending as u64));
     }
+
+    pub fn socket_read_is_not_an_acquisition(&self, stream: &mut std::net::TcpStream) {
+        // `.read(&mut buf)` has an argument: byte-stream I/O, not an
+        // `RwLock` acquisition — it must not create a phantom guard that
+        // poisons the rest of the function.
+        let mut buf = [0u8; 8];
+        let n = stream.read(&mut buf).unwrap_or(0);
+        let mut rows = self.rows.lock_unpoisoned();
+        rows.push(n as f64);
+    }
+
+    pub fn dropped_before_socket_write(&self, stream: &mut std::net::TcpStream) {
+        let rows = self.rows.lock_unpoisoned();
+        let len = rows.len() as u8;
+        drop(rows);
+        stream.write_all(&[len]).ok();
+    }
 }

@@ -79,7 +79,7 @@ fn no_panic_ignores_non_serving_crates_and_non_lib_code() {
 #[test]
 fn lock_discipline_fires_on_nesting_and_long_calls() {
     let diags = check("lock_bad.rs", "serve");
-    assert_eq!(count(&diags, "lock-discipline"), 3, "{diags:?}");
+    assert_eq!(count(&diags, "lock-discipline"), 5, "{diags:?}");
 }
 
 #[test]

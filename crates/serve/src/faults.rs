@@ -10,6 +10,15 @@
 //! vector. No randomness, no wall-clock coupling: the same plan against
 //! the same request schedule injects the same faults every run.
 //!
+//! One plan carries two fault vocabularies read by different layers:
+//! detector faults (fail/slow/corrupt, keyed on `detect_rows` call
+//! numbers) interpreted by [`FaultInjector`], and **transport faults**
+//! (dropped connection, slow reader, truncated frame, garbage frame, keyed
+//! on per-connection frame numbers) interpreted by the wire server's
+//! fault-injecting stream wrapper in [`crate::net`]. Each interpreter
+//! ignores the other's schedule, so a chaos test can hand the same plan to
+//! both layers and reason about one deterministic timeline.
+//!
 //! The injector deliberately does **not** implement persistence
 //! (`to_saved_json` stays `None`): a fault plan is test scaffolding, not a
 //! model, and must never survive a save/load round trip. Deploy it into a
@@ -38,6 +47,10 @@ pub struct FaultPlan {
     fail_from: Option<u64>,
     slow_calls: Vec<(u64, Duration)>,
     corrupt_calls: Vec<u64>,
+    drop_reads: Vec<u64>,
+    slow_reads: Vec<(u64, Duration)>,
+    truncate_writes: Vec<u64>,
+    garbage_writes: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -82,6 +95,77 @@ impl FaultPlan {
     pub fn corrupt_width(mut self, call: u64) -> FaultPlan {
         self.corrupt_calls.push(call);
         self
+    }
+
+    /// Drops the connection instead of serving **request frame** `frame`
+    /// (1-based, counted per connection): the peer sees its write or the
+    /// response read fail mid-conversation — the transport fault a crashed
+    /// or restarted server produces.
+    ///
+    /// Transport faults are interpreted by the server's fault-injecting
+    /// stream wrapper (`hmd_serve::net`), not by [`FaultInjector`]; one
+    /// plan can carry both vocabularies and each layer reads only its own.
+    #[must_use]
+    pub fn drop_connection(mut self, frame: u64) -> FaultPlan {
+        self.drop_reads.push(frame);
+        self
+    }
+
+    /// Stalls for `delay` before reading request frame `frame` (1-based,
+    /// per connection) — a slow reader that backs the peer's writes up and
+    /// exercises client-side read timeouts without killing the connection.
+    #[must_use]
+    pub fn slow_reader(mut self, frame: u64, delay: Duration) -> FaultPlan {
+        self.slow_reads.push((frame, delay));
+        self
+    }
+
+    /// Truncates **response frame** `frame` (1-based, per connection):
+    /// writes roughly half the frame's bytes, then drops the connection.
+    /// The peer reads a header that promises more payload than ever
+    /// arrives — the mid-frame cut of a crashing sender.
+    #[must_use]
+    pub fn truncate_frame(mut self, frame: u64) -> FaultPlan {
+        self.truncate_writes.push(frame);
+        self
+    }
+
+    /// Corrupts response frame `frame` (1-based, per connection): the full
+    /// frame is written but its magic bytes are garbage, so the peer's
+    /// framing layer must reject the stream as desynchronised rather than
+    /// misparse it.
+    #[must_use]
+    pub fn garbage_frame(mut self, frame: u64) -> FaultPlan {
+        self.garbage_writes.push(frame);
+        self
+    }
+
+    /// True if the plan schedules any transport fault (as opposed to the
+    /// detector faults [`FaultInjector`] interprets).
+    pub fn has_transport_faults(&self) -> bool {
+        !self.drop_reads.is_empty()
+            || !self.slow_reads.is_empty()
+            || !self.truncate_writes.is_empty()
+            || !self.garbage_writes.is_empty()
+    }
+
+    pub(crate) fn drops_read(&self, frame: u64) -> bool {
+        self.drop_reads.contains(&frame)
+    }
+
+    pub(crate) fn read_delay(&self, frame: u64) -> Option<Duration> {
+        self.slow_reads
+            .iter()
+            .find(|(slow, _)| *slow == frame)
+            .map(|(_, delay)| *delay)
+    }
+
+    pub(crate) fn truncates_write(&self, frame: u64) -> bool {
+        self.truncate_writes.contains(&frame)
+    }
+
+    pub(crate) fn garbles_write(&self, frame: u64) -> bool {
+        self.garbage_writes.contains(&frame)
     }
 
     fn fails(&self, call: u64) -> bool {
@@ -290,6 +374,28 @@ mod tests {
         assert_eq!(short.len(), 3, "one report short of the 4 rows");
         let clean = injector.detect_rows(rows(4).view()).expect("clean call");
         assert_eq!(clean.len(), 4);
+    }
+
+    #[test]
+    fn transport_faults_live_beside_detector_faults() {
+        let plan = FaultPlan::new()
+            .fail_call(1)
+            .drop_connection(2)
+            .slow_reader(3, Duration::from_millis(5))
+            .truncate_frame(4)
+            .garbage_frame(5);
+        assert!(plan.has_transport_faults());
+        assert!(plan.drops_read(2) && !plan.drops_read(1));
+        assert_eq!(plan.read_delay(3), Some(Duration::from_millis(5)));
+        assert!(plan.truncates_write(4) && !plan.truncates_write(5));
+        assert!(plan.garbles_write(5) && !plan.garbles_write(4));
+        // Detector-only plans schedule no transport faults, and the
+        // detector-side injector ignores the transport schedule entirely.
+        assert!(!FaultPlan::new().fail_call(1).has_transport_faults());
+        let injector = FaultInjector::new(Box::new(Stub), plan);
+        let err = injector.detect_rows(rows(1).view()).unwrap_err();
+        assert!(matches!(err, MlError::ContractViolation { .. }));
+        assert!(injector.detect_rows(rows(1).view()).is_ok());
     }
 
     #[test]

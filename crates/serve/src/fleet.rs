@@ -191,6 +191,31 @@ pub enum FleetError {
     },
 }
 
+impl FleetError {
+    /// The variant's **stable numeric code**, as carried in wire-protocol
+    /// error frames (see `PROTOCOL.md`) and suitable for structured logs.
+    ///
+    /// The mapping is append-only: a code, once published, names its
+    /// variant forever — new variants take fresh numbers, retired variants
+    /// retire their number with them. Codes below 100 are fleet-semantic
+    /// errors; the 100+ range is reserved for the transport layer
+    /// (`hmd_serve::net`). The match is deliberately exhaustive (no `_`
+    /// arm): adding a `FleetError` variant without assigning it a code is a
+    /// compile error here and a test failure in `error_codes_are_stable`.
+    pub fn code(&self) -> u16 {
+        match self {
+            FleetError::UnknownEndpoint { .. } => 1,
+            FleetError::NoPreviousVersion { .. } => 2,
+            FleetError::WidthMismatch { .. } => 3,
+            FleetError::Detector { .. } => 4,
+            FleetError::Replication { .. } => 5,
+            FleetError::Overloaded { .. } => 6,
+            FleetError::CircuitOpen => 7,
+            FleetError::DeadlineExceeded { .. } => 8,
+        }
+    }
+}
+
 impl fmt::Display for FleetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -1183,6 +1208,69 @@ mod tests {
             .with_num_estimators(num_estimators)
             .fit(&blobs(120, 7), seed)
             .expect("training succeeds")
+    }
+
+    /// The published wire-protocol mapping (PROTOCOL.md): every variant, its
+    /// code, and the uniqueness of the codes. `FleetError::code`'s match has
+    /// no wildcard arm, so a new variant fails compilation there; this test
+    /// is the second gate — it fails if a code is changed or reused, which
+    /// the exhaustive `match` alone cannot catch.
+    #[test]
+    fn error_codes_are_stable() {
+        let published: &[(FleetError, u16)] = &[
+            (
+                FleetError::UnknownEndpoint {
+                    name: "ep".to_string(),
+                },
+                1,
+            ),
+            (
+                FleetError::NoPreviousVersion {
+                    name: "ep".to_string(),
+                },
+                2,
+            ),
+            (
+                FleetError::WidthMismatch {
+                    expected: 2,
+                    found: 3,
+                },
+                3,
+            ),
+            (
+                FleetError::Detector {
+                    message: String::new(),
+                },
+                4,
+            ),
+            (
+                FleetError::Replication {
+                    message: String::new(),
+                },
+                5,
+            ),
+            (FleetError::Overloaded { depth: 8, limit: 8 }, 6),
+            (FleetError::CircuitOpen, 7),
+            (
+                FleetError::DeadlineExceeded {
+                    timeout: Duration::from_millis(1),
+                },
+                8,
+            ),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for (error, expected) in published {
+            assert_eq!(
+                error.code(),
+                *expected,
+                "published code for {error:?} must never change"
+            );
+            assert!(seen.insert(*expected), "code {expected} assigned twice");
+            assert!(
+                *expected < 100,
+                "fleet-semantic codes stay below the transport range (100+)"
+            );
+        }
     }
 
     #[test]

@@ -53,6 +53,15 @@
 //!   width-corrupt) so chaos tests — `tests/chaos.rs` — can prove the
 //!   shedding, breaker and bit-identity claims above under scheduled
 //!   misbehaviour.
+//! * **Process separation**: [`net`] puts a length-prefixed, versioned
+//!   loopback TCP protocol (`PROTOCOL.md`) in front of a [`ShardedFleet`]:
+//!   [`FleetServer`] is a bounded accept/worker loop with per-connection
+//!   in-flight budgets and deadline-wired drains, [`FleetClient`] a small
+//!   blocking client with deterministic retry/backoff/jitter and
+//!   idempotent-only retry. The same [`FaultPlan`] vocabulary extends to
+//!   transport faults (dropped connection, slow reader, truncated frame,
+//!   garbage frame) so `tests/net_chaos.rs` proves recovery and
+//!   bit-identity across the process boundary.
 //!
 //! # Example
 //!
@@ -102,6 +111,7 @@ mod admission;
 mod breaker;
 mod faults;
 mod fleet;
+pub mod net;
 mod shard;
 mod supervisor;
 mod sync;
@@ -111,5 +121,9 @@ pub use breaker::{degraded_escalation, BreakerPolicy, BreakerState, FallbackPoli
 pub use faults::{FaultCounters, FaultInjector, FaultPlan};
 pub use fleet::{
     DetectorFleet, FleetConfig, FleetError, FlushPolicy, HealthSnapshot, Ticket, VersionedReport,
+};
+pub use net::{
+    ClientConfig, ClientStats, FleetClient, FleetServer, NetError, RetryPolicy, ServerConfig,
+    ServerStats,
 };
 pub use shard::{RoutePolicy, ShardConfig, ShardTicket, ShardedFleet, ShardedReport};

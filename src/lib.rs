@@ -16,7 +16,11 @@
 //!   micro-batching detector endpoints with hot swap, rollback, sharded
 //!   replicas with load-aware routing, and supervision — a background
 //!   deadline flusher, bounded admission, per-replica circuit breakers,
-//!   and a deterministic fault-injection harness.
+//!   and a deterministic fault-injection harness. [`serve::net`] puts a
+//!   length-prefixed loopback wire protocol (`PROTOCOL.md`) in front of a
+//!   sharded fleet — [`serve::FleetServer`] / [`serve::FleetClient`] with
+//!   backpressure, per-request deadlines, stable error codes, and
+//!   deterministic client retry/backoff under injected transport faults.
 //!
 //! `ARCHITECTURE.md` at the repository root maps the whole workspace — the
 //! layer diagram, each crate's derived-state invariants, and where to add a
@@ -208,10 +212,11 @@ pub mod prelude {
     pub use hmd_ml::tree::DecisionTreeParams;
     pub use hmd_ml::{Classifier, Estimator, ModelTag};
     pub use hmd_serve::{
-        degraded_escalation, AdmissionPolicy, BreakerPolicy, BreakerState, DetectorFleet,
-        FallbackPolicy, FaultCounters, FaultInjector, FaultPlan, FleetConfig, FleetError,
-        FlushPolicy, HealthSnapshot, RoutePolicy, ShardConfig, ShardTicket, ShardedFleet,
-        ShardedReport, Ticket, VersionedReport,
+        degraded_escalation, AdmissionPolicy, BreakerPolicy, BreakerState, ClientConfig,
+        ClientStats, DetectorFleet, FallbackPolicy, FaultCounters, FaultInjector, FaultPlan,
+        FleetClient, FleetConfig, FleetError, FleetServer, FlushPolicy, HealthSnapshot, NetError,
+        RetryPolicy, RoutePolicy, ServerConfig, ServerStats, ShardConfig, ShardTicket,
+        ShardedFleet, ShardedReport, Ticket, VersionedReport,
     };
 }
 
