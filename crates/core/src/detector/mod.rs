@@ -63,7 +63,7 @@ pub use session::{MonitorSession, MonitorStats};
 use crate::platt_baseline::PlattHmd;
 use crate::trusted::{DetectionReport, TrustedHmd, TrustedHmdBuilder, UntrustedHmd};
 use hmd_codec::{CodecError, Json, JsonCodec};
-use hmd_data::{Dataset, RowsView};
+use hmd_data::{Dataset, Label, RowsView};
 use hmd_ml::forest::{RandomForest, RandomForestParams};
 use hmd_ml::logistic::{LogisticRegression, LogisticRegressionParams};
 use hmd_ml::svm::{LinearSvm, LinearSvmParams};
@@ -441,6 +441,32 @@ impl DetectorConfig {
             DetectorBackend::LogisticRegression(p) => self.fit_backend(p.clone(), train, seed),
             DetectorBackend::LinearSvm(p) => self.fit_backend(p.clone(), train, seed),
         }
+    }
+
+    /// Refits the configured pipeline on a window of recent rows — the
+    /// retrain entry point of the closed serving loop.
+    ///
+    /// The borrowed `window` (any stride-aware row view: a sliding buffer,
+    /// a matrix slice) is materialised into one owned [`Dataset`], so the
+    /// fast-fit trainer's per-dataset derived caches (`columnar()` column
+    /// gathers and `presorted_rows()` sort orders) are built lazily **once**
+    /// and shared across every estimator of the ensemble, exactly as in
+    /// [`DetectorConfig::fit`]. The result is bit-identical to a from-scratch
+    /// `fit` on the same rows, labels and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::Data`] when `labels.len()` does not match the
+    /// window's row count, and propagates training failures like
+    /// [`DetectorConfig::fit`].
+    pub fn refit_on_window(
+        &self,
+        window: &RowsView<'_>,
+        labels: &[Label],
+        seed: u64,
+    ) -> Result<Box<dyn Detector>, MlError> {
+        let train = Dataset::new(window.to_matrix(), labels.to_vec())?;
+        self.fit(&train, seed)
     }
 
     fn fit_backend<E>(

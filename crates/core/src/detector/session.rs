@@ -24,6 +24,68 @@ pub struct MonitorStats {
     /// Lowest entropy seen so far (0 when nothing was observed).
     pub min_entropy: f64,
     entropy_sum: f64,
+    /// Reset-on-read sub-block covering everything recorded since the last
+    /// [`MonitorStats::window_snapshot`]. Recorded and merged in lock-step
+    /// with the lifetime fields above, never exposed directly.
+    window: WindowBlock,
+}
+
+/// The reset-on-read window: the same counters as the lifetime block,
+/// tracked since the last snapshot. Extremes cannot be *subtracted* from
+/// lifetime stats, so the window is recorded alongside rather than derived.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct WindowBlock {
+    windows: usize,
+    accepted: usize,
+    escalated: usize,
+    accepted_malware: usize,
+    accepted_benign: usize,
+    max_entropy: f64,
+    min_entropy: f64,
+    entropy_sum: f64,
+}
+
+impl WindowBlock {
+    fn record(&mut self, entropy: f64, label: Option<hmd_data::Label>) {
+        if self.windows == 0 {
+            self.max_entropy = entropy;
+            self.min_entropy = entropy;
+        } else {
+            self.max_entropy = self.max_entropy.max(entropy);
+            self.min_entropy = self.min_entropy.min(entropy);
+        }
+        self.windows += 1;
+        self.entropy_sum += entropy;
+        match label {
+            Some(label) => {
+                self.accepted += 1;
+                if label.is_malware() {
+                    self.accepted_malware += 1;
+                } else {
+                    self.accepted_benign += 1;
+                }
+            }
+            None => self.escalated += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &WindowBlock) {
+        if other.windows == 0 {
+            return;
+        }
+        if self.windows == 0 {
+            *self = *other;
+            return;
+        }
+        self.max_entropy = self.max_entropy.max(other.max_entropy);
+        self.min_entropy = self.min_entropy.min(other.min_entropy);
+        self.windows += other.windows;
+        self.accepted += other.accepted;
+        self.escalated += other.escalated;
+        self.accepted_malware += other.accepted_malware;
+        self.accepted_benign += other.accepted_benign;
+        self.entropy_sum += other.entropy_sum;
+    }
 }
 
 impl Default for MonitorStats {
@@ -37,6 +99,7 @@ impl Default for MonitorStats {
             max_entropy: 0.0,
             min_entropy: 0.0,
             entropy_sum: 0.0,
+            window: WindowBlock::default(),
         }
     }
 }
@@ -69,6 +132,7 @@ impl MonitorStats {
             }
             None => self.escalated += 1,
         }
+        self.window.record(entropy, report.decision.label());
     }
 
     /// Folds another statistics block into this one, as if every window the
@@ -95,6 +159,39 @@ impl MonitorStats {
         self.accepted_malware += other.accepted_malware;
         self.accepted_benign += other.accepted_benign;
         self.entropy_sum += other.entropy_sum;
+        self.window.merge(&other.window);
+    }
+
+    /// Takes a reset-on-read snapshot of everything recorded since the last
+    /// snapshot (or since the block was created), returned as a standalone
+    /// [`MonitorStats`] whose lifetime fields cover exactly that interval.
+    ///
+    /// The lifetime statistics of `self` are untouched — only the internal
+    /// window is cleared — so drift monitors can poll at their own cadence
+    /// without perturbing the numbers operators watch. Snapshots are
+    /// merge-compatible: merging the window snapshots of two blocks equals
+    /// the window snapshot of the merged block, and a snapshot's own window
+    /// mirrors its lifetime fields (it reads as freshly recorded).
+    pub fn window_snapshot(&mut self) -> MonitorStats {
+        let w = self.window;
+        self.window = WindowBlock::default();
+        MonitorStats {
+            windows: w.windows,
+            accepted: w.accepted,
+            escalated: w.escalated,
+            accepted_malware: w.accepted_malware,
+            accepted_benign: w.accepted_benign,
+            max_entropy: w.max_entropy,
+            min_entropy: w.min_entropy,
+            entropy_sum: w.entropy_sum,
+            window: w,
+        }
+    }
+
+    /// Signatures recorded since the last [`MonitorStats::window_snapshot`]
+    /// — a peek at the pending window's size without resetting it.
+    pub fn window_rows(&self) -> usize {
+        self.window.windows
     }
 
     /// Mean entropy over every observed window (0 when none).
@@ -333,6 +430,80 @@ mod tests {
         assert_eq!(empty, merged);
         merged.merge(&MonitorStats::default());
         assert_eq!(&merged, joint.stats());
+    }
+
+    #[test]
+    fn window_snapshot_matches_jointly_recorded_stats_and_spares_lifetime() {
+        let detector = Fake;
+        let first = [vec![0.1, 1.0], vec![0.6, 0.0], vec![0.3, 1.0]];
+        let second = [vec![0.9, 0.0], vec![0.05, 0.0]];
+
+        let mut session = MonitorSession::new(&detector);
+        for row in &first {
+            session.observe(row).unwrap();
+        }
+        // The first snapshot covers exactly the first batch: it equals a
+        // block that recorded only those rows.
+        let mut only_first = MonitorSession::new(&detector);
+        for row in &first {
+            only_first.observe(row).unwrap();
+        }
+        let mut stats = *session.stats();
+        let snap = stats.window_snapshot();
+        assert_eq!(&snap, only_first.stats());
+
+        // Lifetime fields are untouched by the read...
+        assert_eq!(stats.windows, first.len());
+        assert_eq!(stats.mean_entropy(), only_first.stats().mean_entropy());
+        // ...but the window reset: the next snapshot covers only what came
+        // after, again equal to a jointly-recorded block of just those rows.
+        for row in &second {
+            stats.record(&detector.detect(row).unwrap());
+        }
+        let mut only_second = MonitorSession::new(&detector);
+        for row in &second {
+            only_second.observe(row).unwrap();
+        }
+        let snap2 = stats.window_snapshot();
+        assert_eq!(&snap2, only_second.stats());
+        assert_eq!(stats.windows, first.len() + second.len());
+        assert_eq!(stats.window_rows(), 0);
+
+        // An empty window reads as a default block.
+        assert_eq!(stats.window_snapshot(), MonitorStats::default());
+    }
+
+    #[test]
+    fn window_snapshots_merge_like_their_source_blocks() {
+        let detector = Fake;
+        let rows = [
+            vec![0.1, 1.0],
+            vec![0.6, 0.0],
+            vec![0.3, 1.0],
+            vec![0.9, 0.0],
+            vec![0.05, 0.0],
+        ];
+        // Two replicas each record a share; a joint block records all rows.
+        let mut left = MonitorStats::default();
+        let mut right = MonitorStats::default();
+        let mut joint = MonitorStats::default();
+        for (i, row) in rows.iter().enumerate() {
+            let report = detector.detect(row).unwrap();
+            joint.record(&report);
+            if i % 2 == 0 {
+                left.record(&report);
+            } else {
+                right.record(&report);
+            }
+        }
+        // Merging per-replica window snapshots equals the joint window
+        // snapshot — the property `ShardedFleet::window_stats` relies on.
+        let mut merged = left.window_snapshot();
+        merged.merge(&right.window_snapshot());
+        assert_eq!(merged, joint.window_snapshot());
+        // The reads reset every window without touching lifetimes.
+        assert_eq!(left.windows + right.windows, joint.windows);
+        assert_eq!(left.window_rows() + right.window_rows(), 0);
     }
 
     #[test]

@@ -258,3 +258,52 @@ fn monitor_session_statistics_match_batch_reports() {
         reports.iter().map(|r| r.prediction.entropy).sum::<f64>() / reports.len() as f64;
     assert!((stats.mean_entropy() - mean).abs() < 1e-12);
 }
+
+#[test]
+fn refit_on_window_is_bit_identical_to_from_scratch_fit() {
+    // The closed loop retrains on a borrowed window of recent rows; the
+    // result must be the same detector — bit for bit through the codec —
+    // as fitting the config from scratch on an owned dataset of the same
+    // rows, labels and seed.
+    let train = blobs(160, 4, 21);
+    for config in [
+        DetectorConfig::trusted(DetectorBackend::random_forest()).with_num_estimators(11),
+        DetectorConfig::trusted(DetectorBackend::decision_tree())
+            .with_num_estimators(9)
+            .with_pca(3),
+        DetectorConfig::platt(DetectorBackend::logistic_regression()),
+    ] {
+        let scratch = config.fit(&train, 5).expect("from-scratch fit");
+        let refit = config
+            .refit_on_window(&train.features().view(), train.labels(), 5)
+            .expect("window refit");
+        assert_eq!(
+            save(refit.as_ref()).expect("persistable"),
+            save(scratch.as_ref()).expect("persistable"),
+            "{}: window refit must be bit-identical",
+            scratch.name()
+        );
+    }
+
+    // A strided sub-window (no copy on the way in) trains the same model as
+    // an owned dataset of exactly those rows.
+    let sub = train.select(&(40..120).collect::<Vec<_>>());
+    let config = DetectorConfig::trusted(DetectorBackend::random_forest()).with_num_estimators(7);
+    let windowed = config
+        .refit_on_window(
+            &train.features().rows_view(40..120),
+            &train.labels()[40..120],
+            9,
+        )
+        .expect("sub-window refit");
+    let scratch = config.fit(&sub, 9).expect("sub fit");
+    assert_eq!(
+        save(windowed.as_ref()).expect("persistable"),
+        save(scratch.as_ref()).expect("persistable")
+    );
+
+    // Mismatched label length is a typed error, not a panic.
+    assert!(config
+        .refit_on_window(&train.features().view(), &train.labels()[..10], 9)
+        .is_err());
+}

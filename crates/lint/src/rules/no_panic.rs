@@ -26,7 +26,7 @@ use crate::tokens::TokenKind;
 use crate::workspace::{FileContext, FileKind};
 
 /// Crates whose library code is on the serving path.
-const SERVING_CRATES: &[&str] = &["core", "codec", "data", "ml", "serve"];
+const SERVING_CRATES: &[&str] = &["core", "codec", "data", "ml", "serve", "loop"];
 
 /// Panicking macros flagged by the rule.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

@@ -1,0 +1,45 @@
+//! Closed-loop serving for the HMD workspace: drift detection, shadow
+//! champion/challenger deployment, and automated retrain.
+//!
+//! [`hmd_serve`] keeps a fleet of detectors serving; this crate keeps them
+//! *current*. The paper's deployment premise — a detector trained offline
+//! watching live traffic and escalating what it cannot judge — only works
+//! while the traffic resembles the training distribution. When it stops
+//! resembling it, the serving layer's own uncertainty statistics say so:
+//! escalation rates climb, entropy creeps. This crate closes that loop:
+//!
+//! * [`DriftDetector`] — Page–Hinkley cumulative tests over the fleet's
+//!   reset-on-read window snapshots
+//!   ([`ShardedFleet::window_stats`](hmd_serve::ShardedFleet::window_stats)),
+//!   watching escalation rate and mean entropy with configurable
+//!   [`DriftPolicy`] thresholds and a typed [`DriftVerdict`]
+//!   (`Stable`/`Warning`/`Drifted`).
+//! * **Shadow deployment** — the serving layer's challenger machinery
+//!   ([`ShardedFleet::deploy_shadow`](hmd_serve::ShardedFleet::deploy_shadow)):
+//!   a challenger scores exactly the micro-batch tiles the champion serves,
+//!   into its own isolated
+//!   [`MonitorStats`](hmd_core::detector::MonitorStats); callers only ever
+//!   receive champion reports, so served results are bit-identical to a
+//!   shadowless fleet *by construction*, and promotion decisions are made
+//!   on same-rows statistics.
+//! * [`LoopSupervisor`] — the caller-driven state machine tying them
+//!   together: `Monitoring` → (drift) retrain on a labelled sliding window
+//!   via the fastfit path
+//!   ([`DetectorConfig::refit_on_window`](hmd_core::detector::DetectorConfig::refit_on_window))
+//!   → `Shadowing` → (gate) promote → `Verifying` → recover, or roll back
+//!   automatically on regression. Every transition lands in an auditable
+//!   [`LoopEvent`] log.
+//!
+//! See the "Closed-loop serving" section of `ARCHITECTURE.md` at the
+//! repository root for the state-machine diagram and the shadow-isolation
+//! invariant, and `examples/closed_loop.rs` for the loop running end to end
+//! on simulated DVFS telemetry.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod drift;
+mod supervisor;
+
+pub use drift::{DriftBaseline, DriftDetector, DriftPolicy, DriftVerdict};
+pub use supervisor::{LoopConfig, LoopError, LoopEvent, LoopState, LoopSupervisor, PromotionGate};

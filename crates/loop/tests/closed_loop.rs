@@ -1,0 +1,527 @@
+//! Seeded end-to-end closed-loop tests through a [`ShardedFleet`]:
+//!
+//! * **Recovery**: a champion trained on the known workload mix watches a
+//!   stream that drifts to the paper's zero-day proxies (unknown DVFS app
+//!   families). The supervisor detects the drift, retrains a challenger on
+//!   its labelled sliding window, shadows it on served traffic, promotes it
+//!   through the `ChallengerNoWorse` gate, verifies, and recovers — with
+//!   escalation rate and F1 on the drifted mix both restored.
+//! * **Rollback**: a deliberately garbage challenger (label-poisoned
+//!   sliding window) is force-promoted with `PromotionGate::Always`; the
+//!   verify phase catches the escalation-rate regression and rolls back to
+//!   the old champion automatically.
+//!
+//! Throughout both, served reports are **bit-identical** to direct
+//! `detect_batch` calls on codec copies of whichever champion is active —
+//! the shadow-isolation invariant — which the test proves by reproducing
+//! the supervisor's challenger fit from a mirrored window (the fastfit path
+//! is deterministic) and comparing every served report.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hmd_core::detector::{
+    load, save, Detector, DetectorBackend, DetectorConfig, DetectorExt, MonitorSession,
+};
+use hmd_data::{Dataset, Label, Matrix};
+use hmd_dvfs::apps::{AppCatalog, AppProfile};
+use hmd_dvfs::dataset::DvfsCorpusBuilder;
+use hmd_loop::{DriftPolicy, LoopConfig, LoopEvent, LoopState, LoopSupervisor, PromotionGate};
+use hmd_ml::metrics::f1_score;
+use hmd_serve::{FlushPolicy, ShardConfig, ShardedFleet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ENDPOINT: &str = "edge-hmd";
+const BATCH: usize = 32;
+
+fn builder() -> DvfsCorpusBuilder {
+    DvfsCorpusBuilder::new()
+        .with_samples_per_app(6)
+        .with_trace_len(192)
+}
+
+fn recipe() -> DetectorConfig {
+    DetectorConfig::trusted(DetectorBackend::random_forest())
+        .with_num_estimators(11)
+        .with_entropy_threshold(0.4)
+}
+
+/// A labelled batch of fresh signatures drawn from `apps` (round-robin).
+fn batch(builder: &DvfsCorpusBuilder, apps: &[&AppProfile], rng: &mut StdRng) -> Dataset {
+    let mut rows = Vec::with_capacity(BATCH);
+    let mut labels = Vec::with_capacity(BATCH);
+    for i in 0..BATCH {
+        let app = apps[i % apps.len()];
+        rows.push(builder.simulate_signature(app, rng));
+        labels.push(app.label);
+    }
+    Dataset::new(Matrix::from_rows(&rows).expect("consistent rows"), labels).expect("valid batch")
+}
+
+/// Serves one labelled batch through the fleet, asserts every report is
+/// bit-identical to direct detection on `active` (the codec copy of the
+/// model the fleet should currently be serving), feeds the supervisor's
+/// sliding window (and the test's mirror of it), and returns the batch's
+/// served escalation count.
+#[allow(clippy::too_many_arguments)]
+fn serve_and_mirror(
+    fleet: &ShardedFleet,
+    active: &dyn Detector,
+    batch: &Dataset,
+    supervisor: &mut LoopSupervisor,
+    mirror_rows: &mut VecDeque<Vec<f64>>,
+    mirror_labels: &mut VecDeque<Label>,
+    mirror_capacity: usize,
+    context: &str,
+) -> usize {
+    let direct = active
+        .detect_batch(batch.features())
+        .expect("direct detect");
+    let served = fleet
+        .score_batch(ENDPOINT, batch.features())
+        .expect("serves");
+    assert_eq!(served.len(), direct.len());
+    let mut escalated = 0;
+    for (row, scored) in served.iter().enumerate() {
+        assert_eq!(
+            scored.report, direct[row],
+            "{context}: served row {row} diverged from the active champion"
+        );
+        if scored.report.decision.label().is_none() {
+            escalated += 1;
+        }
+    }
+    for (row, label) in batch.features().iter_rows().zip(batch.labels()) {
+        supervisor.ingest(row, *label);
+        if mirror_rows.len() == mirror_capacity {
+            mirror_rows.pop_front();
+            mirror_labels.pop_front();
+        }
+        mirror_rows.push_back(row.to_vec());
+        mirror_labels.push_back(*label);
+    }
+    escalated
+}
+
+/// Refits the supervisor's challenger from the mirrored window: the fastfit
+/// path is deterministic, so this copy is bit-identical to the model the
+/// supervisor deployed as a shadow (and later promoted).
+fn reproduce_challenger(
+    config: &LoopConfig,
+    mirror_rows: &VecDeque<Vec<f64>>,
+    mirror_labels: &VecDeque<Label>,
+) -> Box<dyn Detector> {
+    let rows: Vec<Vec<f64>> = mirror_rows.iter().cloned().collect();
+    let labels: Vec<Label> = mirror_labels.iter().copied().collect();
+    let matrix = Matrix::from_rows(&rows).expect("consistent rows");
+    config
+        .detector
+        .refit_on_window(&matrix.view(), &labels, config.seed)
+        .expect("challenger refit")
+}
+
+fn has_event(supervisor: &LoopSupervisor, wanted: fn(&LoopEvent) -> bool) -> bool {
+    supervisor.events().iter().any(wanted)
+}
+
+#[test]
+fn drift_retrain_shadow_promote_recovers_f1_with_bit_identical_serving() {
+    let builder = builder();
+    let catalog = AppCatalog::standard();
+    let known: Vec<&AppProfile> = catalog.known_apps();
+    // The drifted mix: the zero-day proxies dominate, with a minority of
+    // known apps still running.
+    let drifted: Vec<&AppProfile> = catalog
+        .unknown_apps()
+        .into_iter()
+        .chain(known.iter().copied().take(2))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(4242);
+
+    // Champion trained on the known mix only.
+    let split = builder.build_split(7).expect("split");
+    let champion = recipe().fit(&split.train, 13).expect("champion fits");
+    let champion_copy = load(&save(champion.as_ref()).expect("saves")).expect("loads");
+
+    let fleet = Arc::new(ShardedFleet::with_config(
+        ShardConfig::new(2).with_flush(FlushPolicy::new(BATCH, Duration::from_millis(50))),
+    ));
+    assert_eq!(fleet.deploy(ENDPOINT, champion).expect("deploys"), 1);
+
+    let mut config = LoopConfig::new(recipe());
+    config.drift = DriftPolicy {
+        calibration_windows: 3,
+        min_window_rows: 8,
+        ..DriftPolicy::default()
+    };
+    config.window_capacity = 8 * BATCH;
+    config.min_retrain_rows = 4 * BATCH;
+    config.shadow_rows = 2 * BATCH as u64;
+    config.verify_rows = 2 * BATCH;
+    config.gate = PromotionGate::ChallengerNoWorse { margin: 0.05 };
+    config.seed = 17;
+    let capacity = config.window_capacity;
+    let mut supervisor = LoopSupervisor::new(Arc::clone(&fleet), ENDPOINT, config.clone());
+    let (mut mirror_rows, mut mirror_labels) = (VecDeque::new(), VecDeque::new());
+
+    // ---- Phase 1: healthy stream calibrates the drift baseline ----------
+    let mut rows_served = 0usize;
+    for _ in 0..5 {
+        rows_served += BATCH;
+        serve_and_mirror(
+            &fleet,
+            champion_copy.as_ref(),
+            &batch(&builder, &known, &mut rng),
+            &mut supervisor,
+            &mut mirror_rows,
+            &mut mirror_labels,
+            capacity,
+            "healthy",
+        );
+        assert_eq!(supervisor.tick().expect("tick"), LoopState::Monitoring);
+    }
+    assert!(
+        supervisor.events().is_empty(),
+        "healthy stream raised events"
+    );
+    let baseline = supervisor
+        .drift_detector()
+        .baseline()
+        .expect("calibrated")
+        .escalation_rate;
+
+    // ---- Phase 2: the workload mix drifts to the zero-day proxies -------
+    // Stream drifted batches until drift fires and a challenger is fit. The
+    // window must hold enough drifted rows first, so ticks may starve; keep
+    // feeding until the supervisor enters `Shadowing`.
+    let mut challenger_copy: Option<Box<dyn Detector>> = None;
+    let mut champion_escalations = 0usize;
+    let mut drifted_rows_before_shadow = 0usize;
+    for round in 0..32 {
+        champion_escalations += serve_and_mirror(
+            &fleet,
+            champion_copy.as_ref(),
+            &batch(&builder, &drifted, &mut rng),
+            &mut supervisor,
+            &mut mirror_rows,
+            &mut mirror_labels,
+            capacity,
+            "drifted (pre-shadow)",
+        );
+        drifted_rows_before_shadow += BATCH;
+        rows_served += BATCH;
+        match supervisor.tick() {
+            Ok(LoopState::Shadowing) => {
+                // The supervisor fit its challenger from exactly the rows we
+                // mirrored; reproduce it for bit-identity checks.
+                challenger_copy = Some(reproduce_challenger(&config, &mirror_rows, &mirror_labels));
+                break;
+            }
+            Ok(LoopState::Monitoring) => continue,
+            Ok(state) => panic!("unexpected state {state:?} in round {round}"),
+            Err(hmd_loop::LoopError::WindowStarved { .. }) => continue,
+            Err(other) => panic!("tick failed: {other}"),
+        }
+    }
+    let challenger_copy = challenger_copy.expect("drift never fired on the zero-day mix");
+    assert!(
+        champion_escalations as f64 / drifted_rows_before_shadow as f64 > baseline + 0.2,
+        "drifted mix did not raise the champion's escalation rate"
+    );
+    assert!(has_event(&supervisor, |e| matches!(
+        e,
+        LoopEvent::DriftDetected { .. }
+    )));
+    assert!(has_event(&supervisor, |e| matches!(
+        e,
+        LoopEvent::Retrained { .. }
+    )));
+    assert!(has_event(&supervisor, |e| matches!(
+        e,
+        LoopEvent::ShadowStarted { .. }
+    )));
+
+    // ---- Phase 3: shadow scores served traffic; gate promotes -----------
+    // Served rows still come from the OLD champion while the challenger
+    // shadows (bit-identity asserted every batch).
+    let mut promoted = false;
+    for _ in 0..8 {
+        rows_served += BATCH;
+        serve_and_mirror(
+            &fleet,
+            champion_copy.as_ref(),
+            &batch(&builder, &drifted, &mut rng),
+            &mut supervisor,
+            &mut mirror_rows,
+            &mut mirror_labels,
+            capacity,
+            "drifted (shadowing)",
+        );
+        if supervisor.tick().expect("tick") == LoopState::Verifying {
+            promoted = true;
+            break;
+        }
+    }
+    assert!(promoted, "shadow never promoted");
+    assert_eq!(fleet.active_version(ENDPOINT).expect("version"), 2);
+    let promotion = supervisor
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            LoopEvent::Promoted {
+                challenger_escalation,
+                champion_escalation,
+                version,
+            } => Some((*version, *challenger_escalation, *champion_escalation)),
+            _ => None,
+        })
+        .expect("promotion event");
+    assert_eq!(promotion.0, 2);
+    assert!(
+        promotion.1 <= promotion.2 + 0.05,
+        "gate promoted a challenger worse than the champion: {promotion:?}"
+    );
+
+    // ---- Phase 4: the new champion serves; verification recovers --------
+    let mut recovered = false;
+    let mut post_escalations = 0usize;
+    let mut post_rows = 0usize;
+    for _ in 0..8 {
+        post_escalations += serve_and_mirror(
+            &fleet,
+            challenger_copy.as_ref(),
+            &batch(&builder, &drifted, &mut rng),
+            &mut supervisor,
+            &mut mirror_rows,
+            &mut mirror_labels,
+            capacity,
+            "drifted (post-promote)",
+        );
+        post_rows += BATCH;
+        rows_served += BATCH;
+        supervisor.tick().expect("tick");
+        if has_event(&supervisor, |e| matches!(e, LoopEvent::Recovered { .. })) {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "verification never recovered");
+    assert!(
+        !has_event(&supervisor, |e| matches!(e, LoopEvent::RolledBack { .. })),
+        "healthy promotion must not roll back"
+    );
+    assert_eq!(supervisor.state(), LoopState::Monitoring);
+
+    // The loop measurably recovered: the new champion escalates far less of
+    // the drifted mix than the old one did...
+    let old_rate = champion_escalations as f64 / drifted_rows_before_shadow as f64;
+    let new_rate = post_escalations as f64 / post_rows as f64;
+    assert!(
+        new_rate < old_rate - 0.2,
+        "escalation rate did not recover: old {old_rate:.3}, new {new_rate:.3}"
+    );
+
+    // ...and F1 on a fresh drifted evaluation set recovers too (measured on
+    // raw ensemble votes, the same quantity for both models).
+    let eval = batch(&builder, &drifted, &mut rng);
+    let old_predictions: Vec<Label> = champion_copy
+        .detect_batch(eval.features())
+        .expect("old eval")
+        .iter()
+        .map(|r| r.prediction.label)
+        .collect();
+    let new_predictions: Vec<Label> = challenger_copy
+        .detect_batch(eval.features())
+        .expect("new eval")
+        .iter()
+        .map(|r| r.prediction.label)
+        .collect();
+    let old_f1 = f1_score(eval.labels(), &old_predictions);
+    let new_f1 = f1_score(eval.labels(), &new_predictions);
+    assert!(
+        new_f1 >= old_f1 && new_f1 > 0.85,
+        "F1 did not recover: old {old_f1:.3}, new {new_f1:.3}"
+    );
+
+    // The challenger's shadow statistics never leaked into the endpoint's
+    // served statistics: the lifetime monitor counts exactly the rows the
+    // champions served (the F1 eval above ran on codec copies, not through
+    // the fleet).
+    assert_eq!(fleet.stats(ENDPOINT).expect("stats").windows, rows_served);
+}
+
+#[test]
+fn regressing_forced_promotion_rolls_back_automatically() {
+    let builder = builder();
+    let catalog = AppCatalog::standard();
+    let known: Vec<&AppProfile> = catalog.known_apps();
+    let drifted: Vec<&AppProfile> = catalog.unknown_apps();
+    let mut rng = StdRng::seed_from_u64(9001);
+
+    let split = builder.build_split(7).expect("split");
+    let champion = recipe().fit(&split.train, 13).expect("champion fits");
+    let champion_copy = load(&save(champion.as_ref()).expect("saves")).expect("loads");
+
+    let fleet = Arc::new(ShardedFleet::with_config(
+        ShardConfig::new(2).with_flush(FlushPolicy::new(BATCH, Duration::from_millis(50))),
+    ));
+    assert_eq!(fleet.deploy(ENDPOINT, champion).expect("deploys"), 1);
+
+    let mut config = LoopConfig::new(recipe());
+    config.drift = DriftPolicy {
+        calibration_windows: 3,
+        min_window_rows: 8,
+        ..DriftPolicy::default()
+    };
+    config.window_capacity = 4 * BATCH;
+    config.min_retrain_rows = 2 * BATCH;
+    config.shadow_rows = BATCH as u64;
+    config.verify_rows = 2 * BATCH;
+    config.regression_tolerance = 0.15;
+    // Force the rollout: the gate is what normally keeps a bad challenger
+    // out, so bypass it to prove the verify phase is a real safety net.
+    config.gate = PromotionGate::Always;
+    let mut supervisor = LoopSupervisor::new(Arc::clone(&fleet), ENDPOINT, config);
+
+    // Calibrate healthy.
+    for _ in 0..3 {
+        let healthy = batch(&builder, &known, &mut rng);
+        fleet
+            .score_batch(ENDPOINT, healthy.features())
+            .expect("serves");
+        assert_eq!(supervisor.tick().expect("tick"), LoopState::Monitoring);
+    }
+
+    // Drift the stream, but poison the supervisor's labelled window with
+    // coin-flip labels: the retrained ensemble's members disagree on fresh
+    // rows, so the challenger escalates nearly everything — a regression
+    // the verify phase must catch.
+    let mut shadowing = false;
+    for _ in 0..32 {
+        let poisoned = batch(&builder, &drifted, &mut rng);
+        fleet
+            .score_batch(ENDPOINT, poisoned.features())
+            .expect("serves");
+        for (row, label) in poisoned.features().iter_rows().zip(poisoned.labels()) {
+            let _ = label;
+            supervisor.ingest(row, Label::from(rng.gen_bool(0.5)));
+        }
+        match supervisor.tick() {
+            Ok(LoopState::Shadowing) => {
+                shadowing = true;
+                break;
+            }
+            Ok(_) => continue,
+            Err(hmd_loop::LoopError::WindowStarved { .. }) => continue,
+            Err(other) => panic!("tick failed: {other}"),
+        }
+    }
+    assert!(shadowing, "drift never fired");
+
+    // Shadow long enough to force-promote, then verify long enough to
+    // catch the regression and roll back.
+    let mut rolled_back = false;
+    for _ in 0..16 {
+        let stream = batch(&builder, &drifted, &mut rng);
+        fleet
+            .score_batch(ENDPOINT, stream.features())
+            .expect("serves");
+        supervisor.tick().expect("tick");
+        if has_event(&supervisor, |e| matches!(e, LoopEvent::RolledBack { .. })) {
+            rolled_back = true;
+            break;
+        }
+    }
+    assert!(rolled_back, "regression never rolled back");
+    assert!(
+        has_event(&supervisor, |e| matches!(
+            e,
+            LoopEvent::Promoted { version: 2, .. }
+        )),
+        "forced promotion missing from the audit log"
+    );
+    assert!(
+        !has_event(&supervisor, |e| matches!(e, LoopEvent::Recovered { .. })),
+        "a garbage challenger must not be declared recovered"
+    );
+    assert_eq!(supervisor.state(), LoopState::Monitoring);
+
+    // The rollback restored the original champion: version 1 serves again,
+    // bit-identically to the codec copy saved before deployment.
+    assert_eq!(fleet.active_version(ENDPOINT).expect("version"), 1);
+    let eval = batch(&builder, &known, &mut rng);
+    let direct = champion_copy
+        .detect_batch(eval.features())
+        .expect("direct detect");
+    let served = fleet
+        .score_batch(ENDPOINT, eval.features())
+        .expect("serves");
+    for (row, scored) in served.iter().enumerate() {
+        assert_eq!(scored.version, 1, "row {row} not served by the restored v1");
+        assert_eq!(
+            scored.report, direct[row],
+            "restored champion diverged on row {row}"
+        );
+    }
+}
+
+/// The supervisor's window statistics come from the same reset-on-read
+/// machinery `MonitorSession` uses, so a quick cross-check: ticking the
+/// supervisor consumes the endpoint's pending window without touching the
+/// lifetime statistics a dashboard reads.
+#[test]
+fn ticks_consume_windows_without_perturbing_lifetime_stats() {
+    let builder = builder();
+    let catalog = AppCatalog::standard();
+    let known: Vec<&AppProfile> = catalog.known_apps();
+    let mut rng = StdRng::seed_from_u64(31);
+
+    let split = builder.build_split(7).expect("split");
+    let champion = recipe().fit(&split.train, 13).expect("fits");
+    let reference = load(&save(champion.as_ref()).expect("saves")).expect("loads");
+
+    let fleet = Arc::new(ShardedFleet::new(2));
+    fleet.deploy(ENDPOINT, champion).expect("deploys");
+    let mut supervisor =
+        LoopSupervisor::new(Arc::clone(&fleet), ENDPOINT, LoopConfig::new(recipe()));
+
+    let stream = batch(&builder, &known, &mut rng);
+    fleet
+        .score_batch(ENDPOINT, stream.features())
+        .expect("serves");
+    let lifetime = |stats: &hmd_core::detector::MonitorStats| {
+        (
+            stats.windows,
+            stats.accepted,
+            stats.escalated,
+            stats.accepted_malware,
+            stats.accepted_benign,
+            stats.max_entropy,
+            stats.min_entropy,
+            stats.mean_entropy(),
+        )
+    };
+    let before = fleet.stats(ENDPOINT).expect("stats");
+    supervisor.tick().expect("tick");
+    let after = fleet.stats(ENDPOINT).expect("stats");
+    assert_eq!(
+        lifetime(&before),
+        lifetime(&after),
+        "tick perturbed lifetime statistics"
+    );
+    assert_eq!(
+        fleet.window_stats(ENDPOINT).expect("window").windows,
+        0,
+        "tick left the pending window unconsumed"
+    );
+
+    // Sanity: the session-level statistics of the same stream agree with
+    // the fleet's lifetime view.
+    let mut session = MonitorSession::new(reference.as_ref());
+    session
+        .observe_batch(stream.features())
+        .expect("session observes");
+    assert_eq!(lifetime(session.stats()), lifetime(&after));
+}

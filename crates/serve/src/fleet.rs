@@ -189,6 +189,12 @@ pub enum FleetError {
         /// How long the caller was willing to wait.
         timeout: Duration,
     },
+    /// A shadow operation (`promote_shadow`, and friends that require a
+    /// challenger) was called on an endpoint with no challenger installed.
+    NoShadow {
+        /// The endpoint name.
+        name: String,
+    },
 }
 
 impl FleetError {
@@ -212,6 +218,7 @@ impl FleetError {
             FleetError::Overloaded { .. } => 6,
             FleetError::CircuitOpen => 7,
             FleetError::DeadlineExceeded { .. } => 8,
+            FleetError::NoShadow { .. } => 9,
         }
     }
 }
@@ -246,6 +253,9 @@ impl fmt::Display for FleetError {
             }
             FleetError::DeadlineExceeded { timeout } => {
                 write!(f, "request not scored within {timeout:?}")
+            }
+            FleetError::NoShadow { name } => {
+                write!(f, "endpoint `{name}` has no shadow challenger installed")
             }
         }
     }
@@ -301,9 +311,51 @@ struct Health {
 }
 
 /// One published version of an endpoint's detector.
+///
+/// The detector is held behind an `Arc` (not a `Box`) so a challenger
+/// promoted out of the shadow slot can become the active version without a
+/// codec round trip — the same instance that accumulated shadow statistics
+/// starts serving.
 pub(crate) struct Version {
     pub(crate) number: u64,
-    pub(crate) detector: Box<dyn Detector>,
+    pub(crate) detector: Arc<dyn Detector>,
+}
+
+/// The challenger riding along with an endpoint: a detector that scores
+/// every batch the champion serves, into its **own** statistics.
+///
+/// Isolation invariant (the whole point of shadow deployment): nothing a
+/// shadow produces ever reaches a caller or the champion's [`MonitorStats`].
+/// The shadow pass runs *after* the champion's results are published and
+/// records exclusively into this struct, so served rows are bit-identical
+/// to a shadowless endpoint by construction.
+struct ShadowState {
+    detector: Arc<dyn Detector>,
+    stats: Mutex<MonitorStats>,
+    /// Rows offered to the challenger (including rows of failed attempts).
+    rows: AtomicU64,
+    /// Shadow batches whose scoring failed or broke the report-count
+    /// contract. Champion serving is unaffected; a challenger that cannot
+    /// score production traffic simply disqualifies itself here.
+    errors: AtomicU64,
+}
+
+/// Observable state of an endpoint's challenger: its own monitor
+/// statistics plus shadow-specific counters — the evidence a promotion
+/// decision is gated on.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ShadowSnapshot {
+    /// The challenger detector's human-readable description.
+    pub detector: String,
+    /// The challenger's own [`MonitorStats`] over every row it shadow-scored
+    /// since it was installed. Never merged into the champion's statistics.
+    pub stats: MonitorStats,
+    /// Rows offered to the challenger (rows of failed batches included).
+    pub rows: u64,
+    /// Shadow batches that failed to score. A healthy challenger keeps this
+    /// at 0; any other value should block promotion.
+    pub errors: u64,
 }
 
 /// Result cell shared by every ticket of one micro-batch: one allocation per
@@ -363,6 +415,10 @@ pub(crate) struct Endpoint {
     versions: Mutex<VersionStack>,
     pending: Mutex<Option<OpenTile>>,
     pub(crate) stats: Mutex<MonitorStats>,
+    /// The challenger slot. `RwLock` so the per-drain existence check is a
+    /// cheap shared read; the guard is only ever held to clone the `Arc`
+    /// out (never across inference — see the crate's lock discipline).
+    shadow: RwLock<Option<Arc<ShadowState>>>,
     breaker: Breaker,
     /// Rows admitted but not yet scored — incremented at enqueue, decremented
     /// when the drain publishes results, so the admission budget covers the
@@ -389,13 +445,14 @@ impl Endpoint {
             versions: Mutex::new(VersionStack {
                 active: Arc::new(Version {
                     number: 1,
-                    detector,
+                    detector: Arc::from(detector),
                 }),
                 retired: Vec::new(),
                 next: 2,
             }),
             pending: Mutex::new(None),
             stats: Mutex::new(MonitorStats::default()),
+            shadow: RwLock::new(None),
             breaker: Breaker::new(config.breaker),
             pending_rows: AtomicUsize::new(0),
             health: Health::default(),
@@ -465,6 +522,12 @@ impl Endpoint {
     /// drains that tile to bound how long the retired version keeps
     /// serving.
     pub(crate) fn deploy(&self, detector: Box<dyn Detector>) -> u64 {
+        self.deploy_shared(Arc::from(detector))
+    }
+
+    /// [`Endpoint::deploy`] for an already-shared detector — the promotion
+    /// path publishes the same instance that served as shadow.
+    pub(crate) fn deploy_shared(&self, detector: Arc<dyn Detector>) -> u64 {
         let number = {
             let mut versions = self.versions.lock_unpoisoned();
             let number = versions.next;
@@ -479,6 +542,93 @@ impl Endpoint {
         };
         self.flush();
         number
+    }
+
+    /// Installs `detector` as this endpoint's challenger, replacing (and
+    /// discarding the statistics of) any previous shadow. The challenger
+    /// starts with fresh [`MonitorStats`] so its evidence covers exactly
+    /// its own tenure.
+    pub(crate) fn set_shadow(&self, detector: Arc<dyn Detector>) {
+        *self.shadow.write_unpoisoned() = Some(Arc::new(ShadowState {
+            detector,
+            stats: Mutex::new(MonitorStats::default()),
+            rows: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }));
+    }
+
+    /// The installed challenger, if any — an `Arc` clone taken under a
+    /// short read guard, never held across inference.
+    fn shadow(&self) -> Option<Arc<ShadowState>> {
+        self.shadow.read_unpoisoned().clone()
+    }
+
+    fn snapshot_of(shadow: &ShadowState) -> ShadowSnapshot {
+        let stats = *shadow.stats.lock_unpoisoned();
+        ShadowSnapshot {
+            detector: shadow.detector.name(),
+            stats,
+            rows: shadow.rows.load(Ordering::Relaxed),
+            errors: shadow.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Observable state of the challenger (`None` when no shadow is
+    /// installed).
+    pub(crate) fn shadow_snapshot(&self) -> Option<ShadowSnapshot> {
+        self.shadow().map(|shadow| Self::snapshot_of(&shadow))
+    }
+
+    /// Removes the challenger without promoting it, returning its final
+    /// evidence.
+    pub(crate) fn clear_shadow(&self) -> Option<ShadowSnapshot> {
+        let taken = self.shadow.write_unpoisoned().take();
+        taken.map(|shadow| Self::snapshot_of(&shadow))
+    }
+
+    /// Promotes the challenger to champion: the shadow slot empties and the
+    /// **same detector instance** that accumulated the shadow evidence is
+    /// published as the next version (the outgoing champion is retired for
+    /// [`Endpoint::rollback`]). Returns the published version number.
+    pub(crate) fn promote_shadow(&self, name: &str) -> Result<u64, FleetError> {
+        let taken = self.shadow.write_unpoisoned().take();
+        match taken {
+            Some(shadow) => Ok(self.deploy_shared(Arc::clone(&shadow.detector))),
+            None => Err(FleetError::NoShadow {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Reset-on-read window over the champion's statistics: everything
+    /// recorded since the previous call (see
+    /// [`MonitorStats::window_snapshot`]). Lifetime statistics are
+    /// untouched.
+    pub(crate) fn window_stats(&self) -> MonitorStats {
+        self.stats.lock_unpoisoned().window_snapshot()
+    }
+
+    /// Scores `batch` through the challenger, if one is installed, into the
+    /// challenger's own statistics. Called after the champion's results are
+    /// published; infallible by design — shadow failures are evidence
+    /// against the challenger, never an error on the serving path.
+    fn shadow_observe(&self, batch: RowsView<'_>) {
+        let Some(shadow) = self.shadow() else {
+            return;
+        };
+        let expected = batch.rows();
+        shadow.rows.fetch_add(expected as u64, Ordering::Relaxed);
+        match shadow.detector.detect_rows(batch) {
+            Ok(reports) if reports.len() == expected => {
+                let mut stats = shadow.stats.lock_unpoisoned();
+                for report in &reports {
+                    stats.record(report);
+                }
+            }
+            Ok(_) | Err(_) => {
+                shadow.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     pub(crate) fn rollback(&self, name: &str) -> Result<u64, FleetError> {
@@ -651,6 +801,11 @@ impl Endpoint {
             version,
             ..
         } = tile;
+        // Kept alive past the champion pass so an installed challenger can
+        // score the identical rows. `None` when the champion pass failed —
+        // the challenger only sees rows that were actually served, so its
+        // statistics stay comparable to the champion's.
+        let mut shadow_batch: Option<Matrix> = None;
         let ok = match Matrix::from_vec(count, width, rows) {
             Ok(matrix) => match version.detector.detect_rows(matrix.view()) {
                 Ok(reports) if reports.len() == count => {
@@ -671,6 +826,7 @@ impl Endpoint {
                             })
                             .collect(),
                     );
+                    shadow_batch = Some(matrix);
                     true
                 }
                 Ok(reports) => {
@@ -709,6 +865,13 @@ impl Endpoint {
             self.health.breaker_trips.fetch_add(1, Ordering::Relaxed);
         }
         self.pending_rows.fetch_sub(count, Ordering::SeqCst);
+        // Challenger pass, strictly after the champion's results were
+        // published, the breaker fed and the admission budget released: a
+        // shadow never delays a waiter, never changes what callers receive,
+        // and never holds serving capacity.
+        if let Some(matrix) = shadow_batch {
+            self.shadow_observe(matrix.view());
+        }
     }
 
     /// The synchronous batch path. Consults the breaker (a broken endpoint
@@ -760,6 +923,9 @@ impl Endpoint {
             stats.record(report);
         }
         drop(stats);
+        // Same isolation as the tile path: the challenger re-scores the
+        // borrowed view (it is `Copy`) into its own statistics only.
+        self.shadow_observe(batch);
         Ok(reports
             .into_iter()
             .map(|report| VersionedReport {
@@ -1177,6 +1343,70 @@ impl DetectorFleet {
         *self.endpoint(name)?.stats.lock_unpoisoned() = MonitorStats::default();
         Ok(())
     }
+
+    /// Reset-on-read window over endpoint `name`'s statistics: everything
+    /// recorded since the previous `window_stats` call, as a standalone
+    /// [`MonitorStats`]. Lifetime statistics ([`DetectorFleet::stats`]) are
+    /// untouched — this is the feed a drift detector polls at its own
+    /// cadence.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn window_stats(&self, name: &str) -> Result<MonitorStats, FleetError> {
+        Ok(self.endpoint(name)?.window_stats())
+    }
+
+    /// Installs `detector` as endpoint `name`'s **challenger**: from now on
+    /// it scores every batch the champion serves, into its own
+    /// [`MonitorStats`], while callers keep receiving exactly the
+    /// champion's reports — served rows are bit-identical to a shadowless
+    /// endpoint by construction. Replaces (and discards the evidence of)
+    /// any previous challenger.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn deploy_shadow(&self, name: &str, detector: Box<dyn Detector>) -> Result<(), FleetError> {
+        self.endpoint(name)?.set_shadow(Arc::from(detector));
+        Ok(())
+    }
+
+    /// The challenger's accumulated evidence (`None` when no shadow is
+    /// installed): its own monitor statistics, rows offered, and failed
+    /// shadow batches.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn shadow_stats(&self, name: &str) -> Result<Option<ShadowSnapshot>, FleetError> {
+        Ok(self.endpoint(name)?.shadow_snapshot())
+    }
+
+    /// Removes endpoint `name`'s challenger without promoting it, returning
+    /// its final evidence (`None` when no shadow was installed). The
+    /// champion is untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn clear_shadow(&self, name: &str) -> Result<Option<ShadowSnapshot>, FleetError> {
+        Ok(self.endpoint(name)?.clear_shadow())
+    }
+
+    /// Promotes endpoint `name`'s challenger to champion: the same detector
+    /// instance that accumulated the shadow evidence is published as the
+    /// next version, the outgoing champion is retired for
+    /// [`DetectorFleet::rollback`], and the shadow slot empties. Returns
+    /// the published version number.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names,
+    /// [`FleetError::NoShadow`] when no challenger is installed.
+    pub fn promote_shadow(&self, name: &str) -> Result<u64, FleetError> {
+        self.endpoint(name)?.promote_shadow(name)
+    }
 }
 
 #[cfg(test)]
@@ -1256,6 +1486,12 @@ mod tests {
                     timeout: Duration::from_millis(1),
                 },
                 8,
+            ),
+            (
+                FleetError::NoShadow {
+                    name: "ep".to_string(),
+                },
+                9,
             ),
         ];
         let mut seen = std::collections::BTreeSet::new();
@@ -1452,6 +1688,127 @@ mod tests {
         }
         assert_eq!(fleet.health("ep").unwrap().pending_rows, 0);
         assert!(fleet.score("ep", &[0.5, -0.5]).is_ok());
+    }
+
+    #[test]
+    fn shadow_scores_same_tiles_without_touching_served_rows_or_champion_stats() {
+        let fleet = DetectorFleet::with_policy(FlushPolicy::new(4, Duration::from_secs(5)));
+        let champion = trained(5, 30);
+        let challenger = trained(9, 31);
+        let test = blobs(8, 32);
+
+        // Reference run: the same champion, no shadow anywhere near it.
+        let reference = DetectorFleet::with_policy(FlushPolicy::new(4, Duration::from_secs(5)));
+        reference.deploy("ep", trained(5, 30));
+        let expected_reports = reference.score_batch("ep", test.features()).unwrap();
+        let expected_direct = trained(9, 31).detect_batch(test.features()).unwrap();
+
+        fleet.deploy("ep", champion);
+        assert_eq!(fleet.shadow_stats("ep").unwrap(), None);
+        fleet.deploy_shadow("ep", challenger).unwrap();
+
+        // Tile path: two 4-row tiles drain; shadow sees both.
+        let tickets: Vec<Ticket> = test
+            .features()
+            .view()
+            .iter_rows()
+            .map(|row| fleet.score("ep", row).unwrap())
+            .collect();
+        let served: Vec<VersionedReport> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        // Served rows are bit-identical to the shadowless fleet.
+        for (got, want) in served.iter().zip(&expected_reports) {
+            assert_eq!(got, want);
+        }
+        // Champion stats unchanged by the shadow; challenger recorded the
+        // same rows into its own block, matching a direct challenger run.
+        assert_eq!(fleet.stats("ep").unwrap(), reference.stats("ep").unwrap());
+        let snapshot = fleet.shadow_stats("ep").unwrap().expect("shadow present");
+        assert_eq!(snapshot.rows, 8);
+        assert_eq!(snapshot.errors, 0);
+        assert_eq!(snapshot.stats.windows, 8);
+        let expected_escalations = expected_direct
+            .iter()
+            .filter(|r| r.decision.is_escalation())
+            .count();
+        assert_eq!(snapshot.stats.escalated, expected_escalations);
+        assert!(snapshot.detector.starts_with("trusted[9x"));
+
+        // Promotion publishes the challenger as v2 and empties the slot.
+        assert_eq!(fleet.promote_shadow("ep").unwrap(), 2);
+        assert_eq!(fleet.shadow_stats("ep").unwrap(), None);
+        assert!(fleet.detector_name("ep").unwrap().starts_with("trusted[9x"));
+        let promoted = fleet.score_batch("ep", test.features()).unwrap();
+        for (got, want) in promoted.iter().zip(&expected_direct) {
+            assert_eq!(got.version, 2);
+            assert_eq!(&got.report, want);
+        }
+        // Rollback restores the pre-promotion champion.
+        assert_eq!(fleet.rollback("ep").unwrap(), 1);
+        assert!(fleet.detector_name("ep").unwrap().starts_with("trusted[5x"));
+
+        // Promotion without a shadow is the typed code-9 error.
+        assert_eq!(
+            fleet.promote_shadow("ep").unwrap_err(),
+            FleetError::NoShadow { name: "ep".into() }
+        );
+        assert_eq!(fleet.clear_shadow("ep").unwrap(), None);
+    }
+
+    #[test]
+    fn window_stats_reset_on_read_without_touching_lifetime() {
+        let fleet = DetectorFleet::with_policy(FlushPolicy::new(4, Duration::from_secs(5)));
+        fleet.deploy("ep", trained(5, 33));
+        let test = blobs(12, 34);
+        fleet
+            .score_batch("ep", test.features().rows_view(0..8))
+            .unwrap();
+        let first = fleet.window_stats("ep").unwrap();
+        assert_eq!(first.windows, 8);
+        // Lifetime untouched; a second read covers only newer rows.
+        assert_eq!(fleet.stats("ep").unwrap().windows, 8);
+        fleet
+            .score_batch("ep", test.features().rows_view(8..12))
+            .unwrap();
+        assert_eq!(fleet.window_stats("ep").unwrap().windows, 4);
+        assert_eq!(fleet.window_stats("ep").unwrap().windows, 0);
+        assert_eq!(fleet.stats("ep").unwrap().windows, 12);
+    }
+
+    #[test]
+    fn failing_shadow_counts_errors_and_never_harms_serving() {
+        struct BrokenShadow;
+        impl Detector for BrokenShadow {
+            fn name(&self) -> String {
+                "broken-shadow".to_string()
+            }
+            fn entropy_threshold(&self) -> f64 {
+                0.5
+            }
+            fn detect_rows(
+                &self,
+                _rows: RowsView<'_>,
+            ) -> Result<Vec<DetectionReport>, hmd_ml::MlError> {
+                Err(hmd_ml::MlError::ContractViolation {
+                    message: "shadow fault".to_string(),
+                })
+            }
+        }
+        let fleet = DetectorFleet::with_policy(FlushPolicy::new(2, Duration::from_secs(5)));
+        fleet.deploy("ep", trained(5, 35));
+        fleet.deploy_shadow("ep", Box::new(BrokenShadow)).unwrap();
+        let test = blobs(4, 36);
+        let reports = fleet.score_batch("ep", test.features()).unwrap();
+        assert_eq!(reports.len(), 4);
+        let snapshot = fleet.shadow_stats("ep").unwrap().expect("shadow present");
+        assert_eq!(snapshot.rows, 4);
+        assert_eq!(snapshot.errors, 1);
+        assert_eq!(snapshot.stats.windows, 0);
+        // The champion's breaker and stats never saw the shadow failure.
+        assert_eq!(fleet.stats("ep").unwrap().windows, 4);
+        assert_eq!(
+            fleet.breaker_state("ep").unwrap(),
+            crate::BreakerState::Closed
+        );
     }
 
     #[test]

@@ -120,7 +120,8 @@ pub use admission::AdmissionPolicy;
 pub use breaker::{degraded_escalation, BreakerPolicy, BreakerState, FallbackPolicy};
 pub use faults::{FaultCounters, FaultInjector, FaultPlan};
 pub use fleet::{
-    DetectorFleet, FleetConfig, FleetError, FlushPolicy, HealthSnapshot, Ticket, VersionedReport,
+    DetectorFleet, FleetConfig, FleetError, FlushPolicy, HealthSnapshot, ShadowSnapshot, Ticket,
+    VersionedReport,
 };
 pub use net::{
     ClientConfig, ClientStats, FleetClient, FleetServer, NetError, RetryPolicy, ServerConfig,

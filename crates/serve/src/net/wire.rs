@@ -530,7 +530,9 @@ pub(crate) fn error_json(error: &NetError) -> Json {
     ];
     match error {
         NetError::Fleet(fleet) => match fleet {
-            FleetError::UnknownEndpoint { name } | FleetError::NoPreviousVersion { name } => {
+            FleetError::UnknownEndpoint { name }
+            | FleetError::NoPreviousVersion { name }
+            | FleetError::NoShadow { name } => {
                 fields.push(("name", Json::Str(name.clone())));
             }
             FleetError::WidthMismatch { expected, found } => {
@@ -637,6 +639,10 @@ pub(crate) fn json_error(payload: &Json) -> NetError {
             Ok(us) => NetError::Fleet(FleetError::DeadlineExceeded {
                 timeout: Duration::from_micros(us),
             }),
+            Err(_) => remote(message),
+        },
+        9 => match name() {
+            Ok(name) => NetError::Fleet(FleetError::NoShadow { name }),
             Err(_) => remote(message),
         },
         CODE_FRAME_TOO_LARGE => match (
@@ -871,6 +877,7 @@ mod tests {
             FleetError::DeadlineExceeded {
                 timeout: Duration::from_millis(250),
             },
+            FleetError::NoShadow { name: "ep".into() },
         ];
         for error in errors {
             let net = NetError::Fleet(error.clone());

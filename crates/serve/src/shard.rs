@@ -36,8 +36,8 @@ use crate::supervisor::Supervisor;
 use crate::sync::{LockExt, RwLockExt};
 use crate::{AdmissionPolicy, BreakerPolicy};
 use crate::{
-    BreakerState, DetectorFleet, FleetConfig, FleetError, FlushPolicy, HealthSnapshot, Ticket,
-    VersionedReport,
+    BreakerState, DetectorFleet, FleetConfig, FleetError, FlushPolicy, HealthSnapshot,
+    ShadowSnapshot, Ticket, VersionedReport,
 };
 use hmd_core::detector::{load, save, Detector, MonitorStats};
 use hmd_core::trusted::DetectionReport;
@@ -332,6 +332,73 @@ impl ShardedEndpoint {
         *generation = number;
         Ok(number)
     }
+
+    /// Installs one challenger clone per replica, in lock-step under the
+    /// generation lock (shadow installation is administrative: it must not
+    /// interleave with a concurrent deploy/rollback/promote walk).
+    fn deploy_shadow(&self, detectors: Vec<Box<dyn Detector>>) {
+        debug_assert_eq!(detectors.len(), self.replicas.len());
+        let _generation = self.generation.lock_unpoisoned();
+        for (replica, detector) in self.replicas.iter().zip(detectors) {
+            replica.set_shadow(Arc::from(detector));
+        }
+    }
+
+    /// Promotes every replica's challenger in lock-step. All-or-nothing:
+    /// shadow mutations all run under the generation lock, so either every
+    /// replica has a challenger or none does — the pre-check cannot race a
+    /// half-installed shadow.
+    fn promote_shadow(&self, name: &str) -> Result<u64, FleetError> {
+        let mut generation = self.generation.lock_unpoisoned();
+        if !self
+            .replicas
+            .iter()
+            .all(|replica| replica.shadow_snapshot().is_some())
+        {
+            return Err(FleetError::NoShadow {
+                name: name.to_string(),
+            });
+        }
+        let mut number = 0;
+        for replica in &self.replicas {
+            let published = replica.promote_shadow(name)?;
+            debug_assert!(
+                number == 0 || published == number,
+                "replicas must publish the same version"
+            );
+            number = published;
+        }
+        *generation = number;
+        Ok(number)
+    }
+
+    /// Clears every replica's challenger in lock-step, returning the merged
+    /// final evidence (`None` when no shadow was installed).
+    fn clear_shadow(&self) -> Option<ShadowSnapshot> {
+        let _generation = self.generation.lock_unpoisoned();
+        merge_shadow_snapshots(self.replicas.iter().map(|replica| replica.clear_shadow()))
+    }
+}
+
+/// Merges per-replica shadow snapshots into one endpoint-wide view:
+/// statistics merge through [`MonitorStats::merge`], row/error counters
+/// add, and the (identical) challenger name is taken from the first
+/// replica. `None` when no replica has a challenger.
+fn merge_shadow_snapshots(
+    snapshots: impl Iterator<Item = Option<ShadowSnapshot>>,
+) -> Option<ShadowSnapshot> {
+    let mut merged: Option<ShadowSnapshot> = None;
+    for snapshot in snapshots.flatten() {
+        match merged.as_mut() {
+            None => merged = Some(snapshot),
+            Some(merged) => {
+                merged.stats.merge(&snapshot.stats);
+                merged.rows += snapshot.rows;
+                merged.errors += snapshot.errors;
+            }
+        }
+    }
+    merged
 }
 
 /// Deterministic 64-bit mixer (splitmix64 finaliser) turning caller keys
@@ -788,6 +855,86 @@ impl ShardedFleet {
             *replica.stats.lock_unpoisoned() = MonitorStats::default();
         }
         Ok(())
+    }
+
+    /// Reset-on-read window over endpoint `name`'s merged statistics:
+    /// every replica's window since the previous call, merged with
+    /// [`MonitorStats::merge`] (window snapshots merge exactly like their
+    /// source blocks). Lifetime statistics ([`ShardedFleet::stats`]) are
+    /// untouched — this is the feed a drift detector polls.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn window_stats(&self, name: &str) -> Result<MonitorStats, FleetError> {
+        let endpoint = self.endpoint(name)?;
+        let mut merged = MonitorStats::default();
+        for replica in &endpoint.replicas {
+            merged.merge(&replica.window_stats());
+        }
+        Ok(merged)
+    }
+
+    /// Installs `detector` as endpoint `name`'s **challenger on every
+    /// replica** (cloned through the persistence codec like
+    /// [`ShardedFleet::deploy`]): each replica's challenger scores every
+    /// batch that replica's champion serves, into its own statistics, while
+    /// callers keep receiving exactly the champion's reports. Replaces any
+    /// previous challenger. The fan-out runs under the endpoint's
+    /// generation lock, in lock-step with deploys and promotions.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names,
+    /// [`FleetError::Replication`] when the codec round trip that clones
+    /// the challenger fails.
+    pub fn deploy_shadow(&self, name: &str, detector: Box<dyn Detector>) -> Result<(), FleetError> {
+        let endpoint = self.endpoint(name)?;
+        let detectors = self.replicate(detector)?;
+        endpoint.deploy_shadow(detectors);
+        Ok(())
+    }
+
+    /// The challenger's merged evidence across every replica (`None` when
+    /// no shadow is installed): statistics merge, row/error counters add.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn shadow_stats(&self, name: &str) -> Result<Option<ShadowSnapshot>, FleetError> {
+        let endpoint = self.endpoint(name)?;
+        Ok(merge_shadow_snapshots(
+            endpoint
+                .replicas
+                .iter()
+                .map(|replica| replica.shadow_snapshot()),
+        ))
+    }
+
+    /// Removes endpoint `name`'s challenger from every replica without
+    /// promoting it, returning the merged final evidence (`None` when no
+    /// shadow was installed).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names.
+    pub fn clear_shadow(&self, name: &str) -> Result<Option<ShadowSnapshot>, FleetError> {
+        Ok(self.endpoint(name)?.clear_shadow())
+    }
+
+    /// Promotes endpoint `name`'s challenger to champion on **every
+    /// replica** in lock-step: each replica publishes its own challenger
+    /// instance as the next version (the same version number everywhere,
+    /// by the shared administrative history), the outgoing champions are
+    /// retired for [`ShardedFleet::rollback`], and the shadow slots empty.
+    /// Returns the published version number.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownEndpoint`] for unknown names,
+    /// [`FleetError::NoShadow`] when no challenger is installed.
+    pub fn promote_shadow(&self, name: &str) -> Result<u64, FleetError> {
+        self.endpoint(name)?.promote_shadow(name)
     }
 }
 

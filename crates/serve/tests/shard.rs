@@ -6,6 +6,7 @@
 
 use hmd_core::detector::{
     load, save, Detector, DetectorBackend, DetectorConfig, DetectorExt, MonitorSession,
+    MonitorStats,
 };
 use hmd_data::{Dataset, Label, Matrix};
 use hmd_serve::{DetectorFleet, FleetError, FlushPolicy, RoutePolicy, ShardConfig, ShardedFleet};
@@ -498,5 +499,71 @@ fn unknown_endpoints_and_single_replica_degeneration() {
     for (row, s) in scored.iter().enumerate() {
         assert_eq!((s.replica, s.version), (0, 1));
         assert_reports_bit_identical(&s.report, &direct[row], "single-replica row");
+    }
+}
+
+/// Shadow challengers across shards: the challenger scores the same served
+/// tiles on every replica without perturbing served reports or champion
+/// stats, `shadow_stats` merges replica-local shadow monitors, and
+/// `promote_shadow` publishes the challenger to every replica in lock-step
+/// (with `rollback` restoring the old champion afterwards).
+#[test]
+fn sharded_shadow_merges_stats_and_promotes_in_lock_step() {
+    let champion = trained(7, 101);
+    let challenger = trained(11, 102);
+    let challenger_copy = load(&save(challenger.as_ref()).expect("saves")).expect("loads");
+    let requests = request_matrix(24, 4, 103);
+    let direct_champion = champion.detect_batch(&requests).expect("direct champion");
+    let direct_challenger = challenger_copy
+        .detect_batch(&requests)
+        .expect("direct challenger");
+
+    let fleet = ShardedFleet::with_config(
+        ShardConfig::new(3).with_flush(FlushPolicy::new(4, Duration::from_secs(5))),
+    );
+    fleet.deploy("hmd", champion).expect("deploys");
+    assert_eq!(
+        fleet.promote_shadow("hmd").unwrap_err(),
+        FleetError::NoShadow { name: "hmd".into() }
+    );
+    assert!(fleet.shadow_stats("hmd").expect("queries").is_none());
+
+    fleet.deploy_shadow("hmd", challenger).expect("shadows");
+    let scored = fleet.score_batch("hmd", &requests).expect("scores");
+    for (row, s) in scored.iter().enumerate() {
+        assert_eq!(s.version, 1);
+        assert_reports_bit_identical(&s.report, &direct_champion[row], "shadowed row");
+    }
+
+    // Shadow saw exactly the served rows, split across replicas; the merged
+    // snapshot matches a session that scored the same rows directly.
+    let shadow = fleet
+        .shadow_stats("hmd")
+        .expect("queries")
+        .expect("present");
+    assert_eq!((shadow.rows, shadow.errors), (24, 0));
+    let mut expected = MonitorStats::default();
+    for report in &direct_challenger {
+        expected.record(report);
+    }
+    assert_eq!(shadow.stats, expected);
+    // Champion stats are untouched by the shadow pass.
+    assert_eq!(fleet.stats("hmd").expect("stats").windows, 24);
+
+    // Promotion fans out in lock-step: every replica serves the challenger.
+    assert_eq!(fleet.promote_shadow("hmd").expect("promotes"), 2);
+    assert!(fleet.shadow_stats("hmd").expect("queries").is_none());
+    assert_eq!(fleet.active_version("hmd").expect("version"), 2);
+    let scored = fleet.score_batch("hmd", &requests).expect("scores");
+    for (row, s) in scored.iter().enumerate() {
+        assert_eq!(s.version, 2);
+        assert_reports_bit_identical(&s.report, &direct_challenger[row], "promoted row");
+    }
+
+    // And the ordinary rollback path restores the old champion.
+    assert_eq!(fleet.rollback("hmd").expect("rolls back"), 1);
+    let scored = fleet.score_batch("hmd", &requests).expect("scores");
+    for (row, s) in scored.iter().enumerate() {
+        assert_reports_bit_identical(&s.report, &direct_champion[row], "rolled-back row");
     }
 }

@@ -21,6 +21,16 @@
 //!   sharded fleet — [`serve::FleetServer`] / [`serve::FleetClient`] with
 //!   backpressure, per-request deadlines, stable error codes, and
 //!   deterministic client retry/backoff under injected transport faults.
+//! * [`closed_loop`] ([`hmd_loop`]) — closes the online loop: Page–Hinkley
+//!   drift detection over the fleet's reset-on-read window statistics,
+//!   shadow champion/challenger deployment (the challenger scores the same
+//!   served tiles into isolated statistics, so served rows stay
+//!   bit-identical to the champion), and the caller-driven
+//!   [`closed_loop::LoopSupervisor`] state machine that retrains on a
+//!   labelled sliding window, promotes through a gate, verifies, and rolls
+//!   back automatically on regression — with an auditable
+//!   [`closed_loop::LoopEvent`] log. See the "Closed-loop serving" section
+//!   of `ARCHITECTURE.md` and `examples/closed_loop.rs`.
 //!
 //! `ARCHITECTURE.md` at the repository root maps the whole workspace — the
 //! layer diagram, each crate's derived-state invariants, and where to add a
@@ -185,6 +195,9 @@ pub use hmd_data as data;
 pub use hmd_dvfs as dvfs;
 pub use hmd_hpc as hpc;
 pub use hmd_ml as ml;
+// `loop` is a Rust keyword, so the closed-loop crate re-exports under a
+// descriptive alias instead of its package name.
+pub use hmd_loop as closed_loop;
 pub use hmd_serve as serve;
 
 /// Commonly used items, re-exported for convenient glob imports in examples
@@ -204,6 +217,10 @@ pub mod prelude {
     pub use hmd_data::{Dataset, Label, Matrix, RowsView};
     pub use hmd_dvfs::dataset::DvfsCorpusBuilder;
     pub use hmd_hpc::dataset::HpcCorpusBuilder;
+    pub use hmd_loop::{
+        DriftBaseline, DriftDetector, DriftPolicy, DriftVerdict, LoopConfig, LoopError, LoopEvent,
+        LoopState, LoopSupervisor, PromotionGate,
+    };
     pub use hmd_ml::bagging::BaggingParams;
     pub use hmd_ml::forest::RandomForestParams;
     pub use hmd_ml::logistic::LogisticRegressionParams;
@@ -215,8 +232,8 @@ pub mod prelude {
         degraded_escalation, AdmissionPolicy, BreakerPolicy, BreakerState, ClientConfig,
         ClientStats, DetectorFleet, FallbackPolicy, FaultCounters, FaultInjector, FaultPlan,
         FleetClient, FleetConfig, FleetError, FleetServer, FlushPolicy, HealthSnapshot, NetError,
-        RetryPolicy, RoutePolicy, ServerConfig, ServerStats, ShardConfig, ShardTicket,
-        ShardedFleet, ShardedReport, Ticket, VersionedReport,
+        RetryPolicy, RoutePolicy, ServerConfig, ServerStats, ShadowSnapshot, ShardConfig,
+        ShardTicket, ShardedFleet, ShardedReport, Ticket, VersionedReport,
     };
 }
 
