@@ -1,0 +1,116 @@
+//! Robustness of the pipelines under the `hmd_threat` attack suite.
+//!
+//! Runs [`hmd_bench::robustness::evaluate`]: every attack corpus (mimicry,
+//! gradual drift, sensor dropout/saturation/stuck-at) against the trusted,
+//! untrusted and Platt pipelines, a perturbation-bounded evasion search, and
+//! the closed loop's detection/recovery under gradual drift. Prints the
+//! paper-style figure and lands the machine-readable rows in
+//! `BENCH_robustness.json` at the repository root.
+//!
+//! Set `HMD_BENCH_QUICK=1` for the CI smoke run.
+//!
+//! ```text
+//! cargo bench -p hmd_bench --bench robustness
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmd_bench::robustness::{evaluate, render, RobustnessConfig};
+
+const JSON_REPORT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_robustness.json");
+
+fn quick_mode() -> bool {
+    std::env::var("HMD_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn bench_robustness(c: &mut Criterion) {
+    let config = if quick_mode() {
+        RobustnessConfig::quick()
+    } else {
+        RobustnessConfig::full()
+    };
+    let report = evaluate(&config);
+    println!("\n{}", render(&report));
+
+    c.json_note("bench", "robustness");
+    c.json_note("scale", &report.scale);
+    c.json_note("rows_per_attack", format!("{}", config.rows_per_attack));
+    for row in &report.attacks {
+        c.json_note(
+            &format!("attack_{}_{}", row.attack, row.pipeline),
+            format!(
+                "raw_acc={:.4} accepted_acc={:.4} escalation={:.4} caught={:.4} rows={}",
+                row.raw_accuracy,
+                row.accepted_accuracy,
+                row.escalation_rate,
+                row.caught_fraction,
+                row.rows
+            ),
+        );
+    }
+    for row in &report.evasion {
+        c.json_note(
+            &format!("evasion_{}", row.pipeline),
+            format!(
+                "attacked={} flipped={} escalated={} accepted={} flip_rate={:.4} caught={:.4} accepted_rate={:.4}",
+                row.attacked,
+                row.flipped_predictions,
+                row.escalated_evasions,
+                row.accepted_evasions,
+                row.flip_rate,
+                row.caught_fraction,
+                row.accepted_rate
+            ),
+        );
+    }
+    let dl = &report.drift_loop;
+    c.json_note(
+        "drift_loop",
+        format!(
+            "detected={} rows_to_detection={} promoted={} recovered={} healthy_escalation={:.4} drifted_escalation={:.4} recovered_escalation={:.4}",
+            dl.drift_detected,
+            dl.rows_to_detection,
+            dl.promoted,
+            dl.recovered,
+            dl.pre_drift_escalation,
+            dl.drifted_escalation,
+            dl.recovered_escalation
+        ),
+    );
+
+    // The acceptance bars of the experiment: drift must be caught and
+    // recovered from, and the rejection option must escalate a measurable
+    // fraction of the evasions that fool raw accuracy.
+    assert!(dl.drift_detected, "gradual drift never flagged");
+    assert!(dl.recovered, "closed loop never recovered");
+    let trusted = report
+        .evasion
+        .iter()
+        .find(|r| r.pipeline == "trusted")
+        .expect("trusted evasion row");
+    assert!(
+        trusted.flipped_predictions == 0 || trusted.escalated_evasions > 0,
+        "rejection option caught none of {} successful evasions",
+        trusted.flipped_predictions
+    );
+
+    c.bench_function("robustness_quick_evaluation", |b| {
+        let tiny = RobustnessConfig {
+            rows_per_attack: 48,
+            evasion_rows: 4,
+            ..RobustnessConfig::quick()
+        };
+        b.iter(|| evaluate(&tiny))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = {
+        let samples = if quick_mode() { 5 } else { 10 };
+        Criterion::default()
+            .sample_size(samples)
+            .with_json_report(JSON_REPORT)
+    };
+    targets = bench_robustness
+}
+criterion_main!(benches);

@@ -16,6 +16,7 @@
 //! | Fig. 9b (HPC rejection vs threshold) | [`rejection_curves`] | `fig9b_hpc_rejection` |
 //! | §V.A headline numbers | [`rejection_curves::dvfs_operating_points`] | `experiments -- headline` |
 //! | Ablations (bootstrap diversity, Platt baseline) | [`ablations`] | `ablation_*` |
+//! | Robustness under attack (threat suite) | [`robustness`] | `robustness` |
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -26,6 +27,7 @@ pub mod entropy_boxplots;
 pub mod f1_curves;
 pub mod pipelines;
 pub mod rejection_curves;
+pub mod robustness;
 pub mod scale;
 pub mod table1;
 pub mod tsne_overlap;

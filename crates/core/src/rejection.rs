@@ -8,6 +8,7 @@
 //! accepted predictions vs. threshold).
 
 use crate::estimator::UncertainPrediction;
+use crate::trusted::{Decision, DetectionReport};
 use hmd_data::Label;
 use hmd_ml::metrics::ClassificationReport;
 use serde::{Deserialize, Serialize};
@@ -198,6 +199,110 @@ impl F1Curve {
     }
 }
 
+/// How a batch of decisions divides between acceptance and escalation, and
+/// whether escalation caught the rows the raw prediction got wrong.
+///
+/// This is the paper's trustworthiness claim in one table: a detector can
+/// have mediocre *raw* accuracy under attack yet remain trustworthy if the
+/// rows it would misclassify are the rows it escalates. The breakdown
+/// cross-tabulates every report's decision (accept/escalate) against the
+/// correctness of its underlying prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EscalationBreakdown {
+    /// Total rows evaluated.
+    pub rows: usize,
+    /// Accepted rows whose accepted label matched the ground truth.
+    pub accepted_correct: usize,
+    /// Accepted rows whose accepted label was wrong — the silent failures.
+    pub accepted_wrong: usize,
+    /// Escalated rows whose prediction was actually correct — the price paid
+    /// for the rejection option (analyst time spent on good predictions).
+    pub escalated_correct: usize,
+    /// Escalated rows whose prediction was wrong — the catches: every one of
+    /// these would have been a silent failure without the rejection option.
+    pub escalated_wrong: usize,
+}
+
+impl EscalationBreakdown {
+    /// Cross-tabulates reports against ground truth.
+    ///
+    /// Accepted rows are scored by their accepted label, escalated rows by
+    /// the prediction the policy refused to trust.
+    pub fn from_reports(reports: &[DetectionReport], truth: &[Label]) -> EscalationBreakdown {
+        assert_eq!(
+            reports.len(),
+            truth.len(),
+            "reports and ground truth must align"
+        );
+        let mut breakdown = EscalationBreakdown {
+            rows: reports.len(),
+            ..EscalationBreakdown::default()
+        };
+        for (report, &actual) in reports.iter().zip(truth) {
+            match report.decision {
+                Decision::Accept(label) => {
+                    if label == actual {
+                        breakdown.accepted_correct += 1;
+                    } else {
+                        breakdown.accepted_wrong += 1;
+                    }
+                }
+                Decision::Escalate => {
+                    if report.prediction.label == actual {
+                        breakdown.escalated_correct += 1;
+                    } else {
+                        breakdown.escalated_wrong += 1;
+                    }
+                }
+            }
+        }
+        breakdown
+    }
+
+    /// Rows escalated.
+    pub fn escalated(&self) -> usize {
+        self.escalated_correct + self.escalated_wrong
+    }
+
+    /// Fraction of rows escalated.
+    pub fn escalation_rate(&self) -> f64 {
+        fraction(self.escalated(), self.rows)
+    }
+
+    /// Accuracy of the underlying predictions, ignoring the rejection option
+    /// (what a conventional pipeline would silently act on).
+    pub fn raw_accuracy(&self) -> f64 {
+        fraction(self.accepted_correct + self.escalated_correct, self.rows)
+    }
+
+    /// Accuracy over the accepted rows only — what the system actually acts
+    /// on once uncertain rows are escalated.
+    pub fn accepted_accuracy(&self) -> f64 {
+        fraction(
+            self.accepted_correct,
+            self.accepted_correct + self.accepted_wrong,
+        )
+    }
+
+    /// Of all rows the prediction got wrong, the fraction the policy
+    /// escalated instead of silently accepting — the headline
+    /// "does uncertainty catch what accuracy misses?" number.
+    pub fn caught_fraction(&self) -> f64 {
+        fraction(
+            self.escalated_wrong,
+            self.escalated_wrong + self.accepted_wrong,
+        )
+    }
+}
+
+fn fraction(numerator: usize, denominator: usize) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
 /// Evenly spaced thresholds from `start` to `end` inclusive, with `step`
 /// spacing (the tick spacing used by the paper's figures is 0.05).
 pub fn threshold_grid(start: f64, end: f64, step: f64) -> Vec<f64> {
@@ -306,5 +411,66 @@ mod tests {
     #[should_panic(expected = "must align")]
     fn mismatched_truth_length_panics() {
         let _ = F1Curve::sweep("x", &[prediction(Label::Benign, 0.1)], &[], &[0.5]);
+    }
+
+    fn report(predicted: Label, truth_entropy: f64, escalate: bool) -> DetectionReport {
+        DetectionReport {
+            prediction: prediction(predicted, truth_entropy),
+            decision: if escalate {
+                Decision::Escalate
+            } else {
+                Decision::Accept(predicted)
+            },
+        }
+    }
+
+    #[test]
+    fn escalation_breakdown_cross_tabulates_decisions_and_correctness() {
+        let reports = vec![
+            report(Label::Malware, 0.1, false), // accepted, correct
+            report(Label::Malware, 0.1, false), // accepted, wrong
+            report(Label::Benign, 0.9, true),   // escalated, correct
+            report(Label::Benign, 0.9, true),   // escalated, wrong
+            report(Label::Benign, 0.9, true),   // escalated, wrong
+        ];
+        let truth = vec![
+            Label::Malware,
+            Label::Benign,
+            Label::Benign,
+            Label::Malware,
+            Label::Malware,
+        ];
+        let breakdown = EscalationBreakdown::from_reports(&reports, &truth);
+        assert_eq!(breakdown.rows, 5);
+        assert_eq!(breakdown.accepted_correct, 1);
+        assert_eq!(breakdown.accepted_wrong, 1);
+        assert_eq!(breakdown.escalated_correct, 1);
+        assert_eq!(breakdown.escalated_wrong, 2);
+        assert_eq!(breakdown.escalated(), 3);
+        assert!((breakdown.escalation_rate() - 0.6).abs() < 1e-12);
+        assert!((breakdown.raw_accuracy() - 0.4).abs() < 1e-12);
+        assert!((breakdown.accepted_accuracy() - 0.5).abs() < 1e-12);
+        // 2 of the 3 wrong predictions were escalated rather than accepted.
+        assert!((breakdown.caught_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn escalation_breakdown_handles_empty_and_all_escalated_batches() {
+        let empty = EscalationBreakdown::from_reports(&[], &[]);
+        assert_eq!(empty.raw_accuracy(), 0.0);
+        assert_eq!(empty.accepted_accuracy(), 0.0);
+        assert_eq!(empty.caught_fraction(), 0.0);
+
+        let reports = vec![report(Label::Malware, 0.9, true)];
+        let truth = vec![Label::Malware];
+        let all_escalated = EscalationBreakdown::from_reports(&reports, &truth);
+        assert_eq!(all_escalated.escalation_rate(), 1.0);
+        assert_eq!(all_escalated.accepted_accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn escalation_breakdown_rejects_mismatched_lengths() {
+        let _ = EscalationBreakdown::from_reports(&[report(Label::Benign, 0.1, false)], &[]);
     }
 }

@@ -10,6 +10,8 @@
 //! * [`split`] — train/test and known/unknown partitioning utilities.
 //! * [`scaler`] — standardisation and min-max scaling.
 //! * [`taxonomy`] — the Table I style summary of a generated corpus.
+//! * [`stream`] — the constant-memory [`stream::CorpusStream`] contract that
+//!   the simulator crates implement for corpus-scale robustness runs.
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@ mod label;
 mod matrix;
 pub mod scaler;
 pub mod split;
+pub mod stream;
 pub mod taxonomy;
 
 pub use dataset::{AppId, Dataset, SampleMeta};

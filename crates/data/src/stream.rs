@@ -1,0 +1,160 @@
+//! Streaming corpus abstraction: constant-memory, seeded signature sources.
+//!
+//! The batch builders ([`Dataset`]-producing corpus generators) materialise
+//! every row before anything can consume one; that caps how far a stress run
+//! can scale. A [`CorpusStream`] inverts the contract: it is an ordinary
+//! [`Iterator`] yielding one [`StreamRecord`] at a time, so a robustness
+//! sweep can fold over millions of signatures while holding exactly one row
+//! in memory. Streams are **seeded**: the same seed yields a bit-identical
+//! row sequence, which is what makes corpus-scale adversarial benchmarks
+//! reproducible.
+//!
+//! Attack layers (mimicry, drift schedules, sensor faults — see the
+//! `hmd_threat` crate) are stream adaptors: they wrap any [`CorpusStream`]
+//! and yield perturbed records, composing like iterator adaptors do.
+//!
+//! # Example
+//!
+//! ```
+//! use hmd_data::stream::{CorpusStream, StreamRecord};
+//! use hmd_data::{Label, SampleMeta, AppId};
+//!
+//! /// A toy two-feature stream alternating classes forever.
+//! struct Toy { row: usize }
+//! impl Iterator for Toy {
+//!     type Item = StreamRecord;
+//!     fn next(&mut self) -> Option<StreamRecord> {
+//!         let malware = self.row % 2 == 0;
+//!         self.row += 1;
+//!         Some(StreamRecord {
+//!             features: if malware { vec![0.9, 0.8] } else { vec![0.1, 0.2] },
+//!             label: Label::from(malware),
+//!             meta: SampleMeta::known(AppId(1)),
+//!         })
+//!     }
+//! }
+//! impl CorpusStream for Toy {
+//!     fn num_features(&self) -> usize { 2 }
+//! }
+//!
+//! let dataset = hmd_data::stream::collect_dataset(&mut Toy { row: 0 }, 8).unwrap();
+//! assert_eq!(dataset.len(), 8);
+//! assert_eq!(dataset.num_features(), 2);
+//! ```
+
+use crate::{DataError, Dataset, Label, Matrix, SampleMeta};
+
+/// One streamed signature row: features, ground truth, and provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamRecord {
+    /// The signature vector.
+    pub features: Vec<f64>,
+    /// Ground-truth class of the application that produced the signature.
+    pub label: Label,
+    /// Which application produced it, and whether that application is held
+    /// out of training (the zero-day bucket).
+    pub meta: SampleMeta,
+}
+
+/// A constant-memory, seeded signature source.
+///
+/// Implementations yield rows forever (or until their configured corpus is
+/// exhausted) without materialising the corpus; callers bound consumption
+/// with [`Iterator::take`] or fold over chunks. Two streams constructed with
+/// the same configuration and seed must yield bit-identical sequences.
+pub trait CorpusStream: Iterator<Item = StreamRecord> {
+    /// Width of every yielded feature vector.
+    fn num_features(&self) -> usize;
+}
+
+/// Materialises the next `rows` records of a stream into a [`Dataset`]
+/// (features + labels + provenance metadata).
+///
+/// This is the bridge from the streaming world back to the batch APIs
+/// (training, `detect_batch`): stress harnesses stream millions of rows but
+/// still train challengers on bounded windows.
+///
+/// # Errors
+///
+/// Returns [`DataError::Empty`] when the stream ends before yielding a
+/// single row, and propagates matrix-construction errors when the stream
+/// yields ragged rows (a bug in the stream, not a user error).
+pub fn collect_dataset<S>(stream: &mut S, rows: usize) -> Result<Dataset, DataError>
+where
+    S: CorpusStream + ?Sized,
+{
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    let mut meta = Vec::new();
+    for record in stream.take(rows) {
+        features.push(record.features);
+        labels.push(record.label);
+        meta.push(record.meta);
+    }
+    let matrix = Matrix::from_rows(&features)?;
+    Dataset::with_meta(matrix, labels, meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AppId;
+
+    struct Toy {
+        row: usize,
+        limit: usize,
+    }
+
+    impl Iterator for Toy {
+        type Item = StreamRecord;
+        fn next(&mut self) -> Option<StreamRecord> {
+            if self.row == self.limit {
+                return None;
+            }
+            let malware = self.row.is_multiple_of(2);
+            let x = self.row as f64;
+            self.row += 1;
+            Some(StreamRecord {
+                features: vec![x, -x],
+                label: Label::from(malware),
+                meta: SampleMeta::unknown(AppId(7)),
+            })
+        }
+    }
+
+    impl CorpusStream for Toy {
+        fn num_features(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn collect_dataset_preserves_order_labels_and_meta() {
+        let mut stream = Toy { row: 0, limit: 100 };
+        let dataset = collect_dataset(&mut stream, 5).unwrap();
+        assert_eq!(dataset.len(), 5);
+        assert_eq!(dataset.features().row(3), &[3.0, -3.0]);
+        assert_eq!(dataset.labels()[0], Label::Malware);
+        assert_eq!(dataset.labels()[1], Label::Benign);
+        assert!(dataset.meta().iter().all(|m| m.unknown_app));
+        // The stream resumes where collection stopped.
+        let rest = collect_dataset(&mut stream, 5).unwrap();
+        assert_eq!(rest.features().row(0), &[5.0, -5.0]);
+    }
+
+    #[test]
+    fn collect_dataset_on_exhausted_stream_is_an_error() {
+        let mut stream = Toy { row: 0, limit: 0 };
+        assert!(matches!(
+            collect_dataset(&mut stream, 4),
+            Err(DataError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn collect_dataset_truncates_at_stream_end() {
+        let mut stream = Toy { row: 0, limit: 3 };
+        let dataset = collect_dataset(&mut stream, 10).unwrap();
+        assert_eq!(dataset.len(), 3);
+    }
+}

@@ -45,6 +45,7 @@ pub mod features;
 pub mod governor;
 pub mod soc;
 pub mod spectral;
+pub mod stream;
 pub mod trace;
 pub mod workload;
 
@@ -55,5 +56,6 @@ pub use governor::{
     ConservativeGovernor, Governor, GovernorKind, OndemandGovernor, SchedutilGovernor,
 };
 pub use soc::SocConfig;
+pub use stream::DvfsCorpusStream;
 pub use trace::DvfsTrace;
 pub use workload::{Phase, WorkloadModel};

@@ -51,6 +51,9 @@ impl SocConfig {
         let max = *self
             .frequencies_mhz
             .last()
+            // hmd-lint: allow(no-panic-in-lib) documented under `# Panics`;
+            // the indexing on the next line panics on the same misuse, and
+            // every constructor ships a non-empty OPP table.
             .expect("OPP table must not be empty") as f64;
         self.frequencies_mhz[index] as f64 / max
     }

@@ -46,6 +46,7 @@ pub mod cpu;
 pub mod dataset;
 pub mod features;
 pub mod sampler;
+pub mod stream;
 pub mod workload;
 
 pub use apps::{ProgramCatalog, ProgramProfile};
@@ -55,4 +56,5 @@ pub use counters::CounterSet;
 pub use cpu::{Cpu, CpuConfig};
 pub use dataset::HpcCorpusBuilder;
 pub use sampler::Sampler;
+pub use stream::HpcCorpusStream;
 pub use workload::ProgramModel;

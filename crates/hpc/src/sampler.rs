@@ -77,7 +77,7 @@ impl Default for Sampler {
 
 /// Perturbs a program model's behavioural parameters by up to ±`jitter`
 /// (relative), clamping every field to its valid range.
-fn jitter_model<R: Rng>(model: &ProgramModel, jitter: f64, rng: &mut R) -> ProgramModel {
+pub(crate) fn jitter_model<R: Rng>(model: &ProgramModel, jitter: f64, rng: &mut R) -> ProgramModel {
     let mut scale = |value: f64, lo: f64, hi: f64| -> f64 {
         let factor = 1.0 + rng.gen_range(-jitter..=jitter);
         (value * factor).clamp(lo, hi)
@@ -113,7 +113,7 @@ fn jitter_model<R: Rng>(model: &ProgramModel, jitter: f64, rng: &mut R) -> Progr
 
 /// Applies ±3 % multiplicative noise to every counter except the instruction
 /// count (the sampling interval itself is exact).
-fn apply_measurement_noise<R: Rng>(counters: &mut CounterSet, rng: &mut R) {
+pub(crate) fn apply_measurement_noise<R: Rng>(counters: &mut CounterSet, rng: &mut R) {
     let mut noisy = |value: u64| -> u64 {
         let factor = 1.0 + rng.gen_range(-0.03..=0.03);
         ((value as f64) * factor).max(0.0).round() as u64

@@ -1,0 +1,239 @@
+//! Constant-memory streaming HPC corpus generation.
+//!
+//! [`HpcCorpusStream`] implements [`CorpusStream`]: each [`Iterator::next`]
+//! call simulates one fresh sampling interval, cycling round-robin over a
+//! fixed program mix with a single seeded RNG. Unlike the batch
+//! [`HpcCorpusBuilder`](crate::dataset::HpcCorpusBuilder), which re-creates
+//! and re-warms a [`Cpu`] for every `sample_program` call, the stream keeps
+//! one persistent core (caches + branch predictor + program state) per
+//! program and warms it lazily on that program's first row — so per-row cost
+//! is one sampling interval, not interval + warm-up.
+//!
+//! # Example
+//!
+//! ```
+//! use hmd_data::stream::CorpusStream;
+//! use hmd_hpc::sampler::Sampler;
+//! use hmd_hpc::stream::HpcCorpusStream;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sampler = Sampler::new().with_interval(64);
+//! let mut stream = HpcCorpusStream::full_catalog(sampler, 7)?;
+//! let width = stream.num_features();
+//! let first = stream.next().expect("stream is infinite");
+//! assert_eq!(first.features.len(), width);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::apps::{ProgramCatalog, ProgramProfile};
+use crate::cpu::Cpu;
+use crate::features::HpcFeatureExtractor;
+use crate::sampler::{apply_measurement_noise, jitter_model, Sampler};
+use crate::workload::ProgramState;
+use hmd_data::stream::{CorpusStream, StreamRecord};
+use hmd_data::{DataError, SampleMeta};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Persistent simulation context for one program in the mix: a core whose
+/// caches and branch predictor stay trained across intervals, plus the
+/// program's access-pattern state. `warmed` flips on the program's first row.
+#[derive(Debug, Clone)]
+struct ProgramContext {
+    cpu: Cpu,
+    state: ProgramState,
+    warmed: bool,
+}
+
+/// An infinite, seeded stream of HPC signatures over a fixed program mix.
+#[derive(Debug, Clone)]
+pub struct HpcCorpusStream {
+    sampler: Sampler,
+    extractor: HpcFeatureExtractor,
+    programs: Vec<ProgramProfile>,
+    contexts: Vec<ProgramContext>,
+    rng: StdRng,
+    cursor: usize,
+}
+
+impl HpcCorpusStream {
+    /// Streams over an explicit program mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Empty`] when `programs` is empty — an empty mix
+    /// can never yield a row.
+    pub fn new(
+        sampler: Sampler,
+        programs: Vec<ProgramProfile>,
+        seed: u64,
+    ) -> Result<HpcCorpusStream, DataError> {
+        if programs.is_empty() {
+            return Err(DataError::Empty {
+                context: "HPC stream program mix",
+            });
+        }
+        let contexts = programs
+            .iter()
+            .map(|_| ProgramContext {
+                cpu: Cpu::new(sampler.cpu),
+                state: ProgramState::default(),
+                warmed: false,
+            })
+            .collect();
+        Ok(HpcCorpusStream {
+            sampler,
+            extractor: HpcFeatureExtractor::new(),
+            programs,
+            contexts,
+            rng: StdRng::seed_from_u64(seed),
+            cursor: 0,
+        })
+    }
+
+    /// Streams over the full standard catalog (known and unknown programs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HpcCorpusStream::new`] errors (the standard catalog is
+    /// never empty, so this cannot fail in practice).
+    pub fn full_catalog(sampler: Sampler, seed: u64) -> Result<HpcCorpusStream, DataError> {
+        let programs = ProgramCatalog::standard().programs().to_vec();
+        HpcCorpusStream::new(sampler, programs, seed)
+    }
+
+    /// Streams over the known (trainable) programs only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HpcCorpusStream::new`] errors.
+    pub fn known_programs(sampler: Sampler, seed: u64) -> Result<HpcCorpusStream, DataError> {
+        let programs = ProgramCatalog::standard()
+            .known_programs()
+            .into_iter()
+            .cloned()
+            .collect();
+        HpcCorpusStream::new(sampler, programs, seed)
+    }
+
+    /// Streams over the unknown (zero-day proxy) programs only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HpcCorpusStream::new`] errors.
+    pub fn unknown_programs(sampler: Sampler, seed: u64) -> Result<HpcCorpusStream, DataError> {
+        let programs = ProgramCatalog::standard()
+            .unknown_programs()
+            .into_iter()
+            .cloned()
+            .collect();
+        HpcCorpusStream::new(sampler, programs, seed)
+    }
+
+    /// The program mix this stream cycles through.
+    pub fn programs(&self) -> &[ProgramProfile] {
+        &self.programs
+    }
+}
+
+impl Iterator for HpcCorpusStream {
+    type Item = StreamRecord;
+
+    fn next(&mut self) -> Option<StreamRecord> {
+        let index = self.cursor % self.programs.len();
+        self.cursor = self.cursor.wrapping_add(1);
+        let program = &self.programs[index];
+        let context = &mut self.contexts[index];
+        if !context.warmed {
+            let _ = context.cpu.run_interval(
+                &program.model,
+                &mut context.state,
+                self.sampler.warmup_instructions,
+                &mut self.rng,
+            );
+            context.warmed = true;
+        }
+        let jittered = jitter_model(&program.model, program.behaviour_jitter, &mut self.rng);
+        let mut counters = context.cpu.run_interval(
+            &jittered,
+            &mut context.state,
+            self.sampler.interval_instructions,
+            &mut self.rng,
+        );
+        apply_measurement_noise(&mut counters, &mut self.rng);
+        Some(StreamRecord {
+            features: self.extractor.extract(&counters),
+            label: program.label,
+            meta: if program.known {
+                SampleMeta::known(program.id)
+            } else {
+                SampleMeta::unknown(program.id)
+            },
+        })
+    }
+}
+
+impl CorpusStream for HpcCorpusStream {
+    fn num_features(&self) -> usize {
+        self.extractor.num_features()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_data::stream::collect_dataset;
+
+    fn tiny_sampler() -> Sampler {
+        let mut sampler = Sampler::new().with_interval(64);
+        sampler.warmup_instructions = 64;
+        sampler
+    }
+
+    #[test]
+    fn empty_mix_is_rejected() {
+        assert!(matches!(
+            HpcCorpusStream::new(tiny_sampler(), Vec::new(), 0),
+            Err(DataError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn rows_have_the_advertised_width_and_finite_values() {
+        let mut stream = HpcCorpusStream::full_catalog(tiny_sampler(), 3).unwrap();
+        let width = stream.num_features();
+        for record in stream.by_ref().take(20) {
+            assert_eq!(record.features.len(), width);
+            assert!(record.features.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn round_robin_covers_the_whole_mix() {
+        let mut stream = HpcCorpusStream::full_catalog(tiny_sampler(), 3).unwrap();
+        let n = stream.programs().len();
+        let ids: Vec<_> = stream.by_ref().take(n).map(|r| r.meta.app).collect();
+        let expected: Vec<_> = ProgramCatalog::standard()
+            .programs()
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn known_stream_matches_batch_metadata() {
+        let mut stream = HpcCorpusStream::known_programs(tiny_sampler(), 9).unwrap();
+        let dataset = collect_dataset(&mut stream, 28).unwrap();
+        assert!(dataset.meta().iter().all(|m| !m.unknown_app));
+        let counts = dataset.class_counts();
+        assert!(counts[0] > 0 && counts[1] > 0);
+    }
+
+    #[test]
+    fn unknown_stream_is_all_unknown() {
+        let mut stream = HpcCorpusStream::unknown_programs(tiny_sampler(), 9).unwrap();
+        assert!(stream.by_ref().take(8).all(|r| r.meta.unknown_app));
+    }
+}

@@ -3,9 +3,11 @@
 //! A detector fleet serving millions of users cannot afford a poisoned lock
 //! or a dead scorer thread because someone `.unwrap()`ed an `Option` that was
 //! "obviously" `Some`. Library code in the serving crates
-//! (`core`/`codec`/`data`/`ml`/`serve`) must surface failures as
-//! `Result`/`FleetError` values; tests, benches, and examples stay free to
-//! assert. Flagged forms:
+//! (`core`/`codec`/`data`/`ml`/`serve`/`loop`) and the corpus generators
+//! (`dvfs`/`hpc`/`threat` — their streams feed long-running soak and
+//! robustness runs, where a panic kills hours of accumulated state) must
+//! surface failures as `Result` values; tests, benches, and examples stay
+//! free to assert. Flagged forms:
 //!
 //! - `panic!(`, `unreachable!(`, `todo!(`, `unimplemented!(`
 //! - `.unwrap()`
@@ -25,8 +27,11 @@ use crate::source::SourceFile;
 use crate::tokens::TokenKind;
 use crate::workspace::{FileContext, FileKind};
 
-/// Crates whose library code is on the serving path.
-const SERVING_CRATES: &[&str] = &["core", "codec", "data", "ml", "serve", "loop"];
+/// Crates whose library code is on the serving path, plus the corpus
+/// generators whose streams drive long-running robustness evaluations.
+const SERVING_CRATES: &[&str] = &[
+    "core", "codec", "data", "ml", "serve", "loop", "dvfs", "hpc", "threat",
+];
 
 /// Panicking macros flagged by the rule.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

@@ -156,6 +156,36 @@ mod tests {
     }
 
     #[test]
+    fn classification_covers_the_corpus_module_layout() {
+        // The corpus generators grew streaming modules and integration
+        // suites; the classifier must keep their lib code in scope for the
+        // no-panic rule while leaving the tests free to assert.
+        let c = classify("crates/dvfs/src/stream.rs").unwrap();
+        assert_eq!(c.crate_name, "dvfs");
+        assert_eq!(c.kind, FileKind::Lib);
+        assert!(!c.is_shim);
+
+        let c = classify("crates/hpc/src/stream.rs").unwrap();
+        assert_eq!(c.crate_name, "hpc");
+        assert_eq!(c.kind, FileKind::Lib);
+
+        let c = classify("crates/threat/src/evasion.rs").unwrap();
+        assert_eq!(c.crate_name, "threat");
+        assert_eq!(c.kind, FileKind::Lib);
+
+        let c = classify("crates/dvfs/tests/stream.rs").unwrap();
+        assert_eq!(c.crate_name, "dvfs");
+        assert_eq!(c.kind, FileKind::Test);
+
+        let c = classify("crates/hpc/tests/stream.rs").unwrap();
+        assert_eq!(c.kind, FileKind::Test);
+
+        let c = classify("crates/loop/tests/adversarial_loop.rs").unwrap();
+        assert_eq!(c.crate_name, "loop");
+        assert_eq!(c.kind, FileKind::Test);
+    }
+
+    #[test]
     fn the_workspace_root_is_found_from_this_crate() {
         let here = Path::new(env!("CARGO_MANIFEST_DIR"));
         let root = find_root(here).expect("workspace root above crates/lint");

@@ -64,6 +64,28 @@ fn no_panic_accepts_results_allows_domain_expect_and_test_code() {
 }
 
 #[test]
+fn no_panic_polices_corpus_generator_lib_code() {
+    // The corpus generators (dvfs/hpc/threat) feed long-running soak and
+    // robustness streams, so their lib code is in scope for the no-panic
+    // rule — while their integration tests (the million-row stream suites)
+    // stay free to assert.
+    for krate in ["dvfs", "hpc", "threat"] {
+        let diags = check("no_panic_bad.rs", krate);
+        assert_eq!(
+            count(&diags, "no-panic-in-lib"),
+            4,
+            "{krate} lib code must be policed: {diags:?}"
+        );
+    }
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join("no_panic_bad.rs");
+    let file = SourceFile::read(&path, "crates/dvfs/tests/stream.rs").unwrap();
+    let diags = engine::check_file(&file, &FileContext::new("dvfs", FileKind::Test, false));
+    assert!(diags.is_empty(), "stream tests panic freely: {diags:?}");
+}
+
+#[test]
 fn no_panic_ignores_non_serving_crates_and_non_lib_code() {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")

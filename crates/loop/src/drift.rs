@@ -363,6 +363,113 @@ mod tests {
     }
 
     #[test]
+    fn zero_min_window_rows_admits_empty_snapshots_without_poisoning() {
+        // With the row floor removed, even empty reset-on-read snapshots
+        // (both rates degrade to 0.0, never NaN) flow into calibration and
+        // accumulation. They must not corrupt the statistic: an empty
+        // window deviates by -delta and the running minimum absorbs it.
+        let policy = DriftPolicy {
+            min_window_rows: 0,
+            ..DriftPolicy::default()
+        };
+        let mut detector = DriftDetector::new(policy);
+        for _ in 0..3 {
+            assert_eq!(
+                detector.observe(&MonitorStats::default()),
+                DriftVerdict::Stable
+            );
+        }
+        // Calibrated against the all-empty baseline: zeros, not NaN.
+        let baseline = detector.baseline().expect("calibrated on empty windows");
+        assert_eq!(baseline.escalation_rate, 0.0);
+        assert_eq!(baseline.mean_entropy, 0.0);
+        for _ in 0..50 {
+            assert_eq!(
+                detector.observe(&MonitorStats::default()),
+                DriftVerdict::Stable
+            );
+        }
+        // The test still arms: a real escalation burst crosses lambda.
+        let mut verdict = DriftVerdict::Stable;
+        for _ in 0..3 {
+            verdict = detector.observe(&window(16, 20, 0.9));
+        }
+        assert_eq!(verdict, DriftVerdict::Drifted);
+    }
+
+    #[test]
+    fn single_row_windows_calibrate_and_detect_with_min_window_rows_one() {
+        // min_window_rows = 1 admits the noisiest possible estimates: each
+        // snapshot's escalation rate is exactly 0 or 1. Calibrating on
+        // accepted singletons then streaming escalated singletons must
+        // still drift — each one accumulates ~(1 - delta).
+        let policy = DriftPolicy {
+            min_window_rows: 1,
+            ..DriftPolicy::default()
+        };
+        let mut detector = DriftDetector::new(policy);
+        for _ in 0..3 {
+            assert_eq!(detector.observe(&window(0, 1, 0.9)), DriftVerdict::Stable);
+        }
+        assert_eq!(
+            detector.baseline().expect("calibrated").escalation_rate,
+            0.0
+        );
+        // One escalated singleton exceeds lambda = 0.6 on its own.
+        assert_eq!(detector.observe(&window(1, 1, 0.9)), DriftVerdict::Drifted);
+    }
+
+    #[test]
+    fn zero_calibration_windows_arms_immediately_against_a_zero_baseline() {
+        // calibration_windows = 0 skips calibration entirely: the baseline
+        // is reported immediately (both channels at their zero defaults)
+        // and every observation accumulates against it. A stream that
+        // would be perfectly healthy under a calibrated baseline therefore
+        // reads as sustained positive deviation and eventually drifts —
+        // the footgun this policy encodes, pinned down as a regression.
+        let policy = DriftPolicy {
+            calibration_windows: 0,
+            ..DriftPolicy::default()
+        };
+        let mut detector = DriftDetector::new(policy);
+        let baseline = detector.baseline().expect("armed before any observation");
+        assert_eq!(baseline.escalation_rate, 0.0);
+        assert_eq!(baseline.mean_entropy, 0.0);
+
+        // 10 % escalation accumulates 0.08 per snapshot against mu0 = 0;
+        // lambda = 0.6 is crossed on the 8th snapshot.
+        let mut verdicts = Vec::new();
+        for _ in 0..8 {
+            verdicts.push(detector.observe(&window(2, 20, 0.9)));
+        }
+        assert_eq!(verdicts[0], DriftVerdict::Stable);
+        assert_eq!(*verdicts.last().unwrap(), DriftVerdict::Drifted);
+        assert!(
+            verdicts.contains(&DriftVerdict::Warning),
+            "two-stage signal skipped the warning: {verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn identical_windows_never_accumulate_drift() {
+        // A perfectly stationary stream: every post-calibration snapshot
+        // equals the calibration mean exactly, so each deviation is -delta,
+        // the cumulative sum only falls, and the test statistic
+        // (m - m_min) stays pinned at zero forever — no false positive at
+        // any horizon, for any escalation level.
+        for escalated in [0, 5, 20] {
+            let mut detector = DriftDetector::new(DriftPolicy::default());
+            for _ in 0..1000 {
+                assert_eq!(
+                    detector.observe(&window(escalated, 20, 0.9)),
+                    DriftVerdict::Stable,
+                    "identical windows ({escalated}/20 escalated) drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn reset_clears_verdict_and_recalibrates() {
         let mut detector = DriftDetector::new(DriftPolicy::default());
         for _ in 0..3 {

@@ -1,0 +1,236 @@
+//! Gradual feature drift: the whole signature distribution shifts over time.
+//!
+//! Drift models environmental change rather than a targeted attack — a
+//! firmware update changing governor latencies, thermal throttling, a new
+//! co-running service. The drift is a per-feature shift vector scaled by a
+//! schedule intensity that grows with the row index:
+//!
+//! ```text
+//! x'ᵢ[j] = xᵢ[j] + intensity(i) · shift[j]
+//! ```
+//!
+//! The closed loop ([`hmd_loop`]'s drift detector) is supposed to flag this
+//! before accuracy collapses; `crates/loop/tests/adversarial_loop.rs` and the
+//! robustness benchmark drive exactly that scenario.
+//!
+//! [`hmd_loop`]: ../../hmd_loop/index.html
+
+use crate::ThreatError;
+use hmd_data::stream::{CorpusStream, StreamRecord};
+
+/// How the drift intensity ramps with the row index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum DriftSchedule {
+    /// Intensity grows linearly from 0 at row 0 to 1 at `full_after`, then
+    /// stays at 1.
+    Linear {
+        /// Row index at which the drift reaches full intensity.
+        full_after: usize,
+    },
+    /// Intensity jumps from 0 to 1 at row `at` (a regime change).
+    Step {
+        /// First row index with full drift.
+        at: usize,
+    },
+}
+
+impl DriftSchedule {
+    /// A linear ramp reaching full intensity at `full_after`.
+    ///
+    /// `full_after == 0` degenerates to full intensity from the first row.
+    pub fn linear(full_after: usize) -> DriftSchedule {
+        DriftSchedule::Linear { full_after }
+    }
+
+    /// A step change at row `at`.
+    pub fn step(at: usize) -> DriftSchedule {
+        DriftSchedule::Step { at }
+    }
+
+    /// Drift intensity in `[0, 1]` for the given row index.
+    pub fn intensity(&self, row: usize) -> f64 {
+        match *self {
+            DriftSchedule::Linear { full_after } => {
+                if full_after == 0 || row >= full_after {
+                    1.0
+                } else {
+                    row as f64 / full_after as f64
+                }
+            }
+            DriftSchedule::Step { at } => {
+                if row >= at {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// The gradual-drift attack: a per-feature shift vector plus a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradualDrift {
+    shift: Vec<f64>,
+    schedule: DriftSchedule,
+}
+
+impl GradualDrift {
+    /// Builds the drift from an explicit per-feature shift vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreatError::InvalidParameter`] when the shift vector is
+    /// empty or contains non-finite entries.
+    pub fn new(shift: Vec<f64>, schedule: DriftSchedule) -> Result<GradualDrift, ThreatError> {
+        if shift.is_empty() {
+            return Err(ThreatError::InvalidParameter {
+                name: "shift",
+                message: "shift vector must not be empty".to_string(),
+            });
+        }
+        if shift.iter().any(|v| !v.is_finite()) {
+            return Err(ThreatError::InvalidParameter {
+                name: "shift",
+                message: "shift vector entries must be finite".to_string(),
+            });
+        }
+        Ok(GradualDrift { shift, schedule })
+    }
+
+    /// A uniform shift of `magnitude` on every one of `num_features`
+    /// features — the simplest whole-distribution drift.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GradualDrift::new`] validation errors.
+    pub fn uniform(
+        num_features: usize,
+        magnitude: f64,
+        schedule: DriftSchedule,
+    ) -> Result<GradualDrift, ThreatError> {
+        GradualDrift::new(vec![magnitude; num_features], schedule)
+    }
+
+    /// The schedule driving the intensity ramp.
+    pub fn schedule(&self) -> DriftSchedule {
+        self.schedule
+    }
+
+    /// Wraps a corpus stream so every row is shifted by the scheduled
+    /// intensity at its index (the first wrapped row has index 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreatError::InvalidParameter`] when the shift width does
+    /// not match the stream's feature count.
+    pub fn apply<S: CorpusStream>(self, inner: S) -> Result<DriftingStream<S>, ThreatError> {
+        if self.shift.len() != inner.num_features() {
+            return Err(ThreatError::InvalidParameter {
+                name: "shift",
+                message: format!(
+                    "shift width {} does not match stream width {}",
+                    self.shift.len(),
+                    inner.num_features()
+                ),
+            });
+        }
+        Ok(DriftingStream {
+            inner,
+            drift: self,
+            row: 0,
+        })
+    }
+}
+
+/// A [`CorpusStream`] adaptor applying [`GradualDrift`] to every row.
+#[derive(Debug, Clone)]
+pub struct DriftingStream<S> {
+    inner: S,
+    drift: GradualDrift,
+    row: usize,
+}
+
+impl<S: CorpusStream> Iterator for DriftingStream<S> {
+    type Item = StreamRecord;
+
+    fn next(&mut self) -> Option<StreamRecord> {
+        let mut record = self.inner.next()?;
+        let intensity = self.drift.schedule.intensity(self.row);
+        self.row = self.row.wrapping_add(1);
+        if intensity > 0.0 {
+            for (x, shift) in record.features.iter_mut().zip(self.drift.shift.iter()) {
+                *x += intensity * shift;
+            }
+        }
+        Some(record)
+    }
+}
+
+impl<S: CorpusStream> CorpusStream for DriftingStream<S> {
+    fn num_features(&self) -> usize {
+        self.inner.num_features()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_data::{AppId, Label, SampleMeta};
+
+    struct Ones;
+
+    impl Iterator for Ones {
+        type Item = StreamRecord;
+        fn next(&mut self) -> Option<StreamRecord> {
+            Some(StreamRecord {
+                features: vec![1.0, 1.0],
+                label: Label::Benign,
+                meta: SampleMeta::known(AppId(1)),
+            })
+        }
+    }
+
+    impl CorpusStream for Ones {
+        fn num_features(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn linear_schedule_ramps_and_saturates() {
+        let schedule = DriftSchedule::linear(4);
+        assert_eq!(schedule.intensity(0), 0.0);
+        assert_eq!(schedule.intensity(2), 0.5);
+        assert_eq!(schedule.intensity(4), 1.0);
+        assert_eq!(schedule.intensity(400), 1.0);
+        // Degenerate ramp: immediately full.
+        assert_eq!(DriftSchedule::linear(0).intensity(0), 1.0);
+    }
+
+    #[test]
+    fn step_schedule_is_all_or_nothing() {
+        let schedule = DriftSchedule::step(3);
+        assert_eq!(schedule.intensity(2), 0.0);
+        assert_eq!(schedule.intensity(3), 1.0);
+    }
+
+    #[test]
+    fn drifting_stream_applies_the_scheduled_shift() {
+        let drift = GradualDrift::new(vec![2.0, 0.0], DriftSchedule::linear(2)).unwrap();
+        let mut stream = drift.apply(Ones).unwrap();
+        let rows: Vec<_> = stream.by_ref().take(3).collect();
+        assert_eq!(rows[0].features, vec![1.0, 1.0]);
+        assert_eq!(rows[1].features, vec![2.0, 1.0]);
+        assert_eq!(rows[2].features, vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(GradualDrift::new(vec![], DriftSchedule::step(0)).is_err());
+        assert!(GradualDrift::new(vec![f64::NAN], DriftSchedule::step(0)).is_err());
+        let drift = GradualDrift::uniform(3, 1.0, DriftSchedule::step(0)).unwrap();
+        assert!(drift.apply(Ones).is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Perturbation-bounded black-box evasion search against a fitted detector.
+//!
+//! The attacker holds a malware signature and query access to the deployed
+//! detector (its reports expose the ensemble's malware vote fraction — the
+//! approximate posterior of the paper's Eq. 3). Within an L∞ ball around the
+//! original signature, [`evade`] runs a greedy per-feature coordinate search
+//! that walks each feature toward whichever direction lowers the malware
+//! vote fraction — per-feature threshold crossing, which is exactly the
+//! attack surface of axis-aligned tree ensembles.
+//!
+//! The point of the experiment is the paper's trustworthiness claim: a
+//! successful evasion flips the *accepted label*, but to do so it typically
+//! drags the signature into the region where base classifiers disagree — so
+//! an uncertainty-aware pipeline escalates it instead of trusting the flipped
+//! label. [`EvasionSummary::escalated_evasions`] measures exactly that.
+
+use crate::ThreatError;
+use hmd_core::detector::Detector;
+use hmd_core::trusted::{Decision, DetectionReport};
+use hmd_data::Label;
+
+/// The attacker's perturbation budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvasionBudget {
+    /// Per-feature L∞ radius, relative to the feature's magnitude: feature
+    /// `j` may move within `±linf · max(1, |x[j]|)` of its original value.
+    /// The `max(1, ·)` floor keeps near-zero features perturbable.
+    pub linf: f64,
+    /// Number of greedy coordinate passes over the feature vector.
+    pub passes: usize,
+}
+
+impl EvasionBudget {
+    /// A budget with the given relative L∞ radius and 3 greedy passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreatError::InvalidParameter`] when `linf` is negative or
+    /// not finite.
+    pub fn new(linf: f64) -> Result<EvasionBudget, ThreatError> {
+        if !linf.is_finite() || linf < 0.0 {
+            return Err(ThreatError::InvalidParameter {
+                name: "linf",
+                message: format!("must be finite and non-negative, got {linf}"),
+            });
+        }
+        Ok(EvasionBudget { linf, passes: 3 })
+    }
+
+    /// Sets the number of greedy passes.
+    #[must_use]
+    pub fn with_passes(mut self, passes: usize) -> EvasionBudget {
+        self.passes = passes;
+        self
+    }
+}
+
+/// The outcome of one per-row evasion search.
+#[derive(Debug, Clone)]
+pub struct EvasionOutcome {
+    /// The perturbed signature the search settled on.
+    pub adversarial: Vec<f64>,
+    /// The detector's report on the original signature.
+    pub before: DetectionReport,
+    /// The detector's report on the perturbed signature.
+    pub after: DetectionReport,
+}
+
+impl EvasionOutcome {
+    /// `true` when the search flipped a detected malware row to a benign
+    /// *prediction* (the raw-accuracy view, ignoring escalation).
+    pub fn evaded_prediction(&self) -> bool {
+        self.before.prediction.label == Label::Malware
+            && self.after.prediction.label == Label::Benign
+    }
+
+    /// `true` when the evasion actually wins end to end: the perturbed row is
+    /// *accepted* as benign. An escalated row is not a successful evasion —
+    /// the rejection option caught it.
+    pub fn evaded_decision(&self) -> bool {
+        self.after.decision == Decision::Accept(Label::Benign)
+            && self.before.prediction.label == Label::Malware
+    }
+
+    /// `true` when the rejection option caught the evasion: the predicted
+    /// label flipped to benign but the decision escalated instead of
+    /// accepting it.
+    pub fn caught_by_escalation(&self) -> bool {
+        self.evaded_prediction() && self.after.decision == Decision::Escalate
+    }
+}
+
+/// Aggregate results of an evasion sweep over many malware rows.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EvasionSummary {
+    /// Malware rows attacked (rows the detector originally called malware).
+    pub attacked: usize,
+    /// Rows whose *prediction* flipped to benign within the budget.
+    pub flipped_predictions: usize,
+    /// Flipped rows the detector nevertheless escalated (caught).
+    pub escalated_evasions: usize,
+    /// Flipped rows accepted as benign (the end-to-end evasion wins).
+    pub accepted_evasions: usize,
+}
+
+impl EvasionSummary {
+    /// Fraction of attacked rows whose prediction flipped (raw-accuracy
+    /// evasion rate). Zero when nothing was attacked.
+    pub fn flip_rate(&self) -> f64 {
+        ratio(self.flipped_predictions, self.attacked)
+    }
+
+    /// Fraction of flipped rows the escalation option caught.
+    pub fn caught_fraction(&self) -> f64 {
+        ratio(self.escalated_evasions, self.flipped_predictions)
+    }
+
+    /// Fraction of attacked rows accepted as benign end to end.
+    pub fn accepted_rate(&self) -> f64 {
+        ratio(self.accepted_evasions, self.attacked)
+    }
+}
+
+fn ratio(numerator: usize, denominator: usize) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+/// Runs the bounded black-box evasion search for one signature.
+///
+/// The search has two stages, both confined to the relative L∞ ball:
+///
+/// 1. **Line probes.** Pure per-coordinate moves plateau against bagged
+///    ensembles — flipping one feature rarely flips any base learner's
+///    majority, so the vote fraction gives no gradient. The probe stage
+///    therefore walks the two diagonal rays toward the ball's all-low and
+///    all-high corners at increasing fractions of the budget and seeds the
+///    search at the probe with the lowest malware vote fraction.
+/// 2. **Greedy coordinate refinement.** Each pass walks the features in
+///    order, probing one step in both directions (step halving per pass)
+///    and keeping strict vote-fraction improvements — per-feature threshold
+///    crossing against the ensemble's axis-aligned splits. The search stops
+///    early once the prediction flips to benign.
+///
+/// # Errors
+///
+/// Propagates detector inference failures.
+pub fn evade(
+    detector: &dyn Detector,
+    features: &[f64],
+    budget: &EvasionBudget,
+) -> Result<EvasionOutcome, ThreatError> {
+    let before = detector.detect(features)?;
+    let mut adversarial = features.to_vec();
+    let mut current = before;
+    if before.prediction.label == Label::Malware && budget.linf > 0.0 {
+        let radius: Vec<f64> = features
+            .iter()
+            .map(|x| budget.linf * x.abs().max(1.0))
+            .collect();
+
+        // Stage 1: diagonal line probes toward the two extreme corners.
+        'probes: for direction in [-1.0, 1.0] {
+            for t in [0.25, 0.5, 0.75, 1.0] {
+                let candidate: Vec<f64> = features
+                    .iter()
+                    .zip(radius.iter())
+                    .map(|(x, r)| x + direction * t * r)
+                    .collect();
+                let report = detector.detect(&candidate)?;
+                if report.prediction.malware_vote_fraction
+                    < current.prediction.malware_vote_fraction
+                {
+                    current = report;
+                    adversarial = candidate;
+                }
+                if current.prediction.label == Label::Benign {
+                    break 'probes;
+                }
+            }
+        }
+
+        // Stage 2: greedy coordinate refinement from the best probe.
+        if current.prediction.label == Label::Malware {
+            'passes: for pass in 0..budget.passes {
+                let mut improved = false;
+                let step_scale = 1.0 / f64::powi(2.0, pass.min(8) as i32);
+                for j in 0..adversarial.len() {
+                    let lo = features[j] - radius[j];
+                    let hi = features[j] + radius[j];
+                    let step = step_scale * radius[j];
+                    let saved = adversarial[j];
+                    let mut best = current;
+                    let mut best_value = saved;
+                    for candidate in [saved - step, saved + step] {
+                        let clamped = candidate.clamp(lo, hi);
+                        if clamped == saved {
+                            continue;
+                        }
+                        adversarial[j] = clamped;
+                        let report = detector.detect(&adversarial)?;
+                        if report.prediction.malware_vote_fraction
+                            < best.prediction.malware_vote_fraction
+                        {
+                            best = report;
+                            best_value = clamped;
+                        }
+                    }
+                    adversarial[j] = best_value;
+                    if best_value != saved {
+                        improved = true;
+                        current = best;
+                    }
+                    if current.prediction.label == Label::Benign {
+                        break 'passes;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+    }
+    let after = detector.detect(&adversarial)?;
+    Ok(EvasionOutcome {
+        adversarial,
+        before,
+        after,
+    })
+}
+
+/// Runs [`evade`] over a batch of signatures and aggregates the results.
+///
+/// Only rows the detector originally predicts as malware are counted as
+/// attacked; rows it already misclassifies need no evasion.
+///
+/// # Errors
+///
+/// Propagates detector inference failures.
+pub fn evade_batch(
+    detector: &dyn Detector,
+    rows: &[Vec<f64>],
+    budget: &EvasionBudget,
+) -> Result<(EvasionSummary, Vec<EvasionOutcome>), ThreatError> {
+    let mut summary = EvasionSummary::default();
+    let mut outcomes = Vec::with_capacity(rows.len());
+    for row in rows {
+        let outcome = evade(detector, row, budget)?;
+        if outcome.before.prediction.label == Label::Malware {
+            summary.attacked += 1;
+            if outcome.evaded_prediction() {
+                summary.flipped_predictions += 1;
+            }
+            if outcome.caught_by_escalation() {
+                summary.escalated_evasions += 1;
+            }
+            if outcome.evaded_decision() {
+                summary.accepted_evasions += 1;
+            }
+        }
+        outcomes.push(outcome);
+    }
+    Ok((summary, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_core::detector::{DetectorBackend, DetectorConfig};
+    use hmd_data::{Dataset, Matrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two well-separated clusters with a soft boundary: benign near 0.2,
+    /// malware near 0.8, in 4 dimensions.
+    fn toy_training_set() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..120 {
+            let malware = i % 2 == 0;
+            let center = if malware { 0.8 } else { 0.2 };
+            rows.push(
+                (0..4)
+                    .map(|_| center + rng.gen_range(-0.15..=0.15))
+                    .collect::<Vec<f64>>(),
+            );
+            labels.push(Label::from(malware));
+        }
+        Dataset::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    #[test]
+    fn budget_validation_rejects_bad_radii() {
+        assert!(EvasionBudget::new(-0.1).is_err());
+        assert!(EvasionBudget::new(f64::NAN).is_err());
+        assert!(EvasionBudget::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn zero_budget_changes_nothing() {
+        let train = toy_training_set();
+        let detector = DetectorConfig::trusted(DetectorBackend::decision_tree())
+            .with_num_estimators(9)
+            .fit(&train, 3)
+            .unwrap();
+        let row = vec![0.8, 0.8, 0.8, 0.8];
+        let budget = EvasionBudget::new(0.0).unwrap();
+        let outcome = evade(detector.as_ref(), &row, &budget).unwrap();
+        assert_eq!(outcome.adversarial, row);
+        assert!(!outcome.evaded_prediction());
+    }
+
+    #[test]
+    fn large_budget_flips_a_forest_prediction() {
+        let train = toy_training_set();
+        let detector = DetectorConfig::trusted(DetectorBackend::random_forest())
+            .with_num_estimators(9)
+            .fit(&train, 3)
+            .unwrap();
+        // A clearly-malware row; a generous budget reaches the benign region.
+        let row = vec![0.8, 0.8, 0.8, 0.8];
+        let budget = EvasionBudget::new(1.0).unwrap().with_passes(4);
+        let outcome = evade(detector.as_ref(), &row, &budget).unwrap();
+        assert!(
+            outcome.evaded_prediction(),
+            "after: label {:?} vote {:.3}",
+            outcome.after.prediction.label,
+            outcome.after.prediction.malware_vote_fraction
+        );
+        // The perturbation respected the relative L∞ ball.
+        for (a, x) in outcome.adversarial.iter().zip(row.iter()) {
+            assert!((a - x).abs() <= 1.0 * x.abs().max(1.0) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_summary_counts_are_consistent() {
+        let train = toy_training_set();
+        let detector = DetectorConfig::trusted(DetectorBackend::decision_tree())
+            .with_num_estimators(9)
+            .fit(&train, 3)
+            .unwrap();
+        let rows: Vec<Vec<f64>> = (0..6).map(|i| vec![0.7 + 0.02 * i as f64; 4]).collect();
+        let budget = EvasionBudget::new(0.8).unwrap();
+        let (summary, outcomes) = evade_batch(detector.as_ref(), &rows, &budget).unwrap();
+        assert_eq!(outcomes.len(), rows.len());
+        assert!(summary.attacked <= rows.len());
+        assert!(summary.flipped_predictions <= summary.attacked);
+        assert_eq!(
+            summary.flipped_predictions,
+            summary.escalated_evasions + summary.accepted_evasions
+        );
+        assert!(summary.flip_rate() <= 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Adversarial threat corpora for hardware malware detectors.
+//!
+//! The paper's trustworthiness claim is that the rejection/escalation option
+//! catches what raw accuracy misses. This crate supplies the attacks that
+//! stress that claim, layered over the workspace's streaming corpus
+//! generators ([`hmd_data::stream::CorpusStream`]):
+//!
+//! * [`mimicry`] — malware whose signatures are blended toward the nearest
+//!   benign template, with a budget knob ([`Mimicry`]).
+//! * [`drift`] — gradual feature-drift schedules that shift the whole
+//!   distribution over time ([`GradualDrift`], [`DriftSchedule`]).
+//! * [`sensor`] — dropout, saturation and stuck-at faults on selected
+//!   sensor channels ([`SensorFault`]).
+//! * [`evasion`] — perturbation-bounded black-box evasion search against a
+//!   fitted [`hmd_core::detector::Detector`] ([`evade`], [`EvasionBudget`]).
+//!
+//! The first three are *stream adaptors*: they wrap any
+//! [`CorpusStream`](hmd_data::stream::CorpusStream) and yield perturbed
+//! records, composing like iterator adaptors. Evasion is per-row: it needs
+//! the fitted detector in the loop.
+//!
+//! # Example
+//!
+//! ```
+//! use hmd_data::stream::{CorpusStream, StreamRecord};
+//! use hmd_data::{AppId, Label, SampleMeta};
+//! use hmd_threat::{DriftSchedule, GradualDrift};
+//!
+//! /// A constant benign stream.
+//! struct Flat;
+//! impl Iterator for Flat {
+//!     type Item = StreamRecord;
+//!     fn next(&mut self) -> Option<StreamRecord> {
+//!         Some(StreamRecord {
+//!             features: vec![1.0, 2.0],
+//!             label: Label::Benign,
+//!             meta: SampleMeta::known(AppId(1)),
+//!         })
+//!     }
+//! }
+//! impl CorpusStream for Flat {
+//!     fn num_features(&self) -> usize { 2 }
+//! }
+//!
+//! # fn main() -> Result<(), hmd_threat::ThreatError> {
+//! let drift = GradualDrift::new(vec![1.0, 0.0], DriftSchedule::linear(10))?;
+//! let mut stream = drift.apply(Flat)?;
+//! let rows: Vec<_> = stream.by_ref().take(11).collect();
+//! assert_eq!(rows[0].features, vec![1.0, 2.0]); // intensity 0 at row 0
+//! assert_eq!(rows[10].features, vec![2.0, 2.0]); // full shift from row 10
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod drift;
+pub mod evasion;
+pub mod mimicry;
+pub mod sensor;
+
+pub use drift::{DriftSchedule, DriftingStream, GradualDrift};
+pub use evasion::{evade, evade_batch, EvasionBudget, EvasionOutcome, EvasionSummary};
+pub use mimicry::{Mimicry, MimicryStream};
+pub use sensor::{SensorFault, SensorFaultStream};
+
+use std::fmt;
+
+/// Errors of the threat layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ThreatError {
+    /// An attack parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Explanation of the valid range.
+        message: String,
+    },
+    /// A data-layer failure (empty template set, ragged rows, …).
+    Data(hmd_data::DataError),
+    /// A detector inference failure during evasion search.
+    Ml(hmd_ml::MlError),
+}
+
+impl fmt::Display for ThreatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreatError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            ThreatError::Data(err) => write!(f, "{err}"),
+            ThreatError::Ml(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for ThreatError {}
+
+impl From<hmd_data::DataError> for ThreatError {
+    fn from(err: hmd_data::DataError) -> ThreatError {
+        ThreatError::Data(err)
+    }
+}
+
+impl From<hmd_ml::MlError> for ThreatError {
+    fn from(err: hmd_ml::MlError) -> ThreatError {
+        ThreatError::Ml(err)
+    }
+}

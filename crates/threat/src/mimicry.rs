@@ -1,0 +1,240 @@
+//! Mimicry malware: signatures blended toward the nearest benign template.
+//!
+//! A mimicry attacker shapes its observable behaviour (governor activity,
+//! instruction mix) to resemble a benign application while keeping its
+//! payload. In feature space that is a convex blend: for a malware signature
+//! `x` and the nearest benign template `t`,
+//!
+//! ```text
+//! x' = x + budget · (t − x)
+//! ```
+//!
+//! `budget ∈ [0, 1]` is the attacker's imitation capability — 0 leaves the
+//! signature untouched, 1 lands exactly on the benign template. Benign rows
+//! pass through unchanged, and ground-truth labels are **not** rewritten:
+//! the stream still reports the row as malware, which is what lets an
+//! evaluation measure how many mimicked rows the detector accepts as benign.
+
+use crate::ThreatError;
+use hmd_data::stream::{CorpusStream, StreamRecord};
+use hmd_data::{Dataset, Label};
+
+/// The mimicry attack configuration: benign templates plus a blend budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mimicry {
+    templates: Vec<Vec<f64>>,
+    budget: f64,
+}
+
+impl Mimicry {
+    /// Builds the attack from explicit benign template rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreatError::InvalidParameter`] when `budget` is outside
+    /// `[0, 1]` or not finite, when `templates` is empty, or when template
+    /// rows have unequal lengths.
+    pub fn new(templates: Vec<Vec<f64>>, budget: f64) -> Result<Mimicry, ThreatError> {
+        if !budget.is_finite() || !(0.0..=1.0).contains(&budget) {
+            return Err(ThreatError::InvalidParameter {
+                name: "budget",
+                message: format!("must be in [0, 1], got {budget}"),
+            });
+        }
+        if templates.is_empty() {
+            return Err(ThreatError::InvalidParameter {
+                name: "templates",
+                message: "at least one benign template row is required".to_string(),
+            });
+        }
+        let width = templates[0].len();
+        if templates.iter().any(|t| t.len() != width) {
+            return Err(ThreatError::InvalidParameter {
+                name: "templates",
+                message: "template rows must all have the same length".to_string(),
+            });
+        }
+        Ok(Mimicry { templates, budget })
+    }
+
+    /// Builds the attack using every benign row of a dataset as a template —
+    /// the common case: mimic the benign applications the detector was
+    /// trained to accept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreatError::InvalidParameter`] when the dataset contains no
+    /// benign rows, and propagates [`Mimicry::new`] validation errors.
+    pub fn from_benign_rows(dataset: &Dataset, budget: f64) -> Result<Mimicry, ThreatError> {
+        let features = dataset.features();
+        let templates: Vec<Vec<f64>> = dataset
+            .labels()
+            .iter()
+            .enumerate()
+            .filter(|(_, label)| **label == Label::Benign)
+            .map(|(i, _)| features.row(i).to_vec())
+            .collect();
+        if templates.is_empty() {
+            return Err(ThreatError::InvalidParameter {
+                name: "dataset",
+                message: "no benign rows to use as mimicry templates".to_string(),
+            });
+        }
+        Mimicry::new(templates, budget)
+    }
+
+    /// The blend budget.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// Wraps a corpus stream so that every malware row is blended toward its
+    /// nearest benign template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreatError::InvalidParameter`] when the template width does
+    /// not match the stream's feature count.
+    pub fn apply<S: CorpusStream>(self, inner: S) -> Result<MimicryStream<S>, ThreatError> {
+        let width = self.templates[0].len();
+        if width != inner.num_features() {
+            return Err(ThreatError::InvalidParameter {
+                name: "templates",
+                message: format!(
+                    "template width {width} does not match stream width {}",
+                    inner.num_features()
+                ),
+            });
+        }
+        Ok(MimicryStream {
+            inner,
+            attack: self,
+        })
+    }
+
+    /// Blends one signature in place toward its nearest template (squared
+    /// Euclidean distance). Used by the stream adaptor; exposed so batch
+    /// evaluations can mimic materialised rows too.
+    pub fn blend(&self, features: &mut [f64]) {
+        let mut best = 0usize;
+        let mut best_distance = f64::INFINITY;
+        for (index, template) in self.templates.iter().enumerate() {
+            let distance: f64 = template
+                .iter()
+                .zip(features.iter())
+                .map(|(t, x)| (t - x) * (t - x))
+                .sum();
+            if distance < best_distance {
+                best_distance = distance;
+                best = index;
+            }
+        }
+        for (x, t) in features.iter_mut().zip(self.templates[best].iter()) {
+            *x += self.budget * (t - *x);
+        }
+    }
+}
+
+/// A [`CorpusStream`] adaptor applying [`Mimicry`] to every malware row.
+#[derive(Debug, Clone)]
+pub struct MimicryStream<S> {
+    inner: S,
+    attack: Mimicry,
+}
+
+impl<S: CorpusStream> Iterator for MimicryStream<S> {
+    type Item = StreamRecord;
+
+    fn next(&mut self) -> Option<StreamRecord> {
+        let mut record = self.inner.next()?;
+        if record.label == Label::Malware {
+            self.attack.blend(&mut record.features);
+        }
+        Some(record)
+    }
+}
+
+impl<S: CorpusStream> CorpusStream for MimicryStream<S> {
+    fn num_features(&self) -> usize {
+        self.inner.num_features()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_data::{AppId, SampleMeta};
+
+    struct Alternating {
+        row: usize,
+    }
+
+    impl Iterator for Alternating {
+        type Item = StreamRecord;
+        fn next(&mut self) -> Option<StreamRecord> {
+            let malware = self.row % 2 == 1;
+            self.row += 1;
+            Some(StreamRecord {
+                features: if malware {
+                    vec![10.0, 10.0]
+                } else {
+                    vec![0.0, 0.0]
+                },
+                label: Label::from(malware),
+                meta: SampleMeta::known(AppId(1)),
+            })
+        }
+    }
+
+    impl CorpusStream for Alternating {
+        fn num_features(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn budget_zero_is_identity() {
+        let attack = Mimicry::new(vec![vec![0.0, 0.0]], 0.0).unwrap();
+        let mut stream = attack.apply(Alternating { row: 0 }).unwrap();
+        let rows: Vec<_> = stream.by_ref().take(2).collect();
+        assert_eq!(rows[1].features, vec![10.0, 10.0]);
+    }
+
+    #[test]
+    fn budget_one_lands_on_the_template() {
+        let attack = Mimicry::new(vec![vec![0.0, 0.0], vec![9.0, 9.0]], 1.0).unwrap();
+        let mut stream = attack.apply(Alternating { row: 0 }).unwrap();
+        let rows: Vec<_> = stream.by_ref().take(2).collect();
+        // Malware at (10, 10) is nearest the (9, 9) template.
+        assert_eq!(rows[1].features, vec![9.0, 9.0]);
+        // Labels are NOT rewritten.
+        assert_eq!(rows[1].label, Label::Malware);
+    }
+
+    #[test]
+    fn benign_rows_pass_through() {
+        let attack = Mimicry::new(vec![vec![5.0, 5.0]], 1.0).unwrap();
+        let mut stream = attack.apply(Alternating { row: 0 }).unwrap();
+        let first = stream.next().unwrap();
+        assert_eq!(first.features, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn half_budget_blends_half_way() {
+        let attack = Mimicry::new(vec![vec![0.0, 0.0]], 0.5).unwrap();
+        let mut stream = attack.apply(Alternating { row: 0 }).unwrap();
+        let rows: Vec<_> = stream.by_ref().take(2).collect();
+        assert_eq!(rows[1].features, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Mimicry::new(vec![], 0.5).is_err());
+        assert!(Mimicry::new(vec![vec![1.0]], 1.5).is_err());
+        assert!(Mimicry::new(vec![vec![1.0]], f64::NAN).is_err());
+        assert!(Mimicry::new(vec![vec![1.0], vec![1.0, 2.0]], 0.5).is_err());
+        // Width mismatch against the stream.
+        let attack = Mimicry::new(vec![vec![1.0, 2.0, 3.0]], 0.5).unwrap();
+        assert!(attack.apply(Alternating { row: 0 }).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Sensor faults: dropout, saturation and stuck-at on selected channels.
+//!
+//! Hardware telemetry fails in characteristic ways — a counter register
+//! reads zero for an interval (dropout), clips at a rail (saturation), or
+//! latches its last value permanently (stuck-at). These are *not* attacks on
+//! the classifier; they degrade the signal the detector sees, which is
+//! exactly the regime where an uncertainty-aware pipeline should escalate
+//! rather than guess.
+//!
+//! Faults are applied per row with a seeded activation probability, so a
+//! fault stream is as reproducible as the corpus underneath it. Stuck-at is
+//! persistent: once a channel latches, it stays latched for the rest of the
+//! stream.
+
+use crate::ThreatError;
+use hmd_data::stream::{CorpusStream, StreamRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The fault model applied to the selected channels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SensorFault {
+    /// The sensor reads zero for the affected row.
+    Dropout,
+    /// The sensor clips: readings are clamped to at most `level`.
+    Saturation {
+        /// The rail the reading clips at.
+        level: f64,
+    },
+    /// The sensor latches the value it had when the fault first fired and
+    /// reports it forever after.
+    StuckAt,
+}
+
+/// A [`CorpusStream`] adaptor injecting a [`SensorFault`] on selected
+/// channels with a per-row activation probability.
+#[derive(Debug, Clone)]
+pub struct SensorFaultStream<S> {
+    inner: S,
+    fault: SensorFault,
+    channels: Vec<usize>,
+    probability: f64,
+    rng: StdRng,
+    /// Latched values per affected channel (stuck-at only).
+    latched: Option<Vec<f64>>,
+}
+
+impl<S: CorpusStream> SensorFaultStream<S> {
+    /// Wraps a stream with a fault on the given channels.
+    ///
+    /// Every row independently activates the fault with `probability`
+    /// (stuck-at activates once and persists). `channels` are the affected
+    /// feature indices; pass every index to fault the whole sensor front end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreatError::InvalidParameter`] when `probability` is
+    /// outside `[0, 1]`, `channels` is empty or contains an out-of-range
+    /// index, or a saturation level is not finite.
+    pub fn new(
+        inner: S,
+        fault: SensorFault,
+        channels: Vec<usize>,
+        probability: f64,
+        seed: u64,
+    ) -> Result<SensorFaultStream<S>, ThreatError> {
+        if !probability.is_finite() || !(0.0..=1.0).contains(&probability) {
+            return Err(ThreatError::InvalidParameter {
+                name: "probability",
+                message: format!("must be in [0, 1], got {probability}"),
+            });
+        }
+        if channels.is_empty() {
+            return Err(ThreatError::InvalidParameter {
+                name: "channels",
+                message: "at least one affected channel is required".to_string(),
+            });
+        }
+        let width = inner.num_features();
+        if let Some(&bad) = channels.iter().find(|&&c| c >= width) {
+            return Err(ThreatError::InvalidParameter {
+                name: "channels",
+                message: format!("channel {bad} out of range for {width} features"),
+            });
+        }
+        if let SensorFault::Saturation { level } = fault {
+            if !level.is_finite() {
+                return Err(ThreatError::InvalidParameter {
+                    name: "level",
+                    message: "saturation level must be finite".to_string(),
+                });
+            }
+        }
+        Ok(SensorFaultStream {
+            inner,
+            fault,
+            channels,
+            probability,
+            rng: StdRng::seed_from_u64(seed),
+            latched: None,
+        })
+    }
+
+    /// Wraps a stream with a fault on **every** channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SensorFaultStream::new`] validation errors.
+    pub fn all_channels(
+        inner: S,
+        fault: SensorFault,
+        probability: f64,
+        seed: u64,
+    ) -> Result<SensorFaultStream<S>, ThreatError> {
+        let channels = (0..inner.num_features()).collect();
+        SensorFaultStream::new(inner, fault, channels, probability, seed)
+    }
+}
+
+impl<S: CorpusStream> Iterator for SensorFaultStream<S> {
+    type Item = StreamRecord;
+
+    fn next(&mut self) -> Option<StreamRecord> {
+        let mut record = self.inner.next()?;
+        // Draw exactly one uniform per row regardless of fault state, so the
+        // row sequence stays aligned across fault kinds with the same seed.
+        let fired = self.rng.gen_range(0.0..1.0) < self.probability;
+        match self.fault {
+            SensorFault::Dropout => {
+                if fired {
+                    for &channel in &self.channels {
+                        record.features[channel] = 0.0;
+                    }
+                }
+            }
+            SensorFault::Saturation { level } => {
+                if fired {
+                    for &channel in &self.channels {
+                        if record.features[channel] > level {
+                            record.features[channel] = level;
+                        }
+                    }
+                }
+            }
+            SensorFault::StuckAt => {
+                if self.latched.is_none() && fired {
+                    self.latched = Some(
+                        self.channels
+                            .iter()
+                            .map(|&channel| record.features[channel])
+                            .collect(),
+                    );
+                }
+                if let Some(latched) = &self.latched {
+                    for (&channel, &value) in self.channels.iter().zip(latched.iter()) {
+                        record.features[channel] = value;
+                    }
+                }
+            }
+        }
+        Some(record)
+    }
+}
+
+impl<S: CorpusStream> CorpusStream for SensorFaultStream<S> {
+    fn num_features(&self) -> usize {
+        self.inner.num_features()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_data::{AppId, Label, SampleMeta};
+
+    struct Counting {
+        row: usize,
+    }
+
+    impl Iterator for Counting {
+        type Item = StreamRecord;
+        fn next(&mut self) -> Option<StreamRecord> {
+            let x = self.row as f64;
+            self.row += 1;
+            Some(StreamRecord {
+                features: vec![x, 100.0 + x, -x],
+                label: Label::Benign,
+                meta: SampleMeta::known(AppId(1)),
+            })
+        }
+    }
+
+    impl CorpusStream for Counting {
+        fn num_features(&self) -> usize {
+            3
+        }
+    }
+
+    #[test]
+    fn dropout_zeroes_only_selected_channels() {
+        let mut stream =
+            SensorFaultStream::new(Counting { row: 1 }, SensorFault::Dropout, vec![1], 1.0, 0)
+                .unwrap();
+        let record = stream.next().unwrap();
+        assert_eq!(record.features, vec![1.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn saturation_clamps_from_above_only() {
+        let mut stream = SensorFaultStream::new(
+            Counting { row: 1 },
+            SensorFault::Saturation { level: 50.0 },
+            vec![0, 1, 2],
+            1.0,
+            0,
+        )
+        .unwrap();
+        let record = stream.next().unwrap();
+        // 1.0 and -1.0 are below the rail and untouched; 101.0 clips.
+        assert_eq!(record.features, vec![1.0, 50.0, -1.0]);
+    }
+
+    #[test]
+    fn stuck_at_latches_permanently() {
+        let mut stream =
+            SensorFaultStream::new(Counting { row: 1 }, SensorFault::StuckAt, vec![0], 1.0, 0)
+                .unwrap();
+        let rows: Vec<_> = stream.by_ref().take(3).collect();
+        // Channel 0 latched at its row-one value; others keep counting.
+        assert_eq!(rows[0].features[0], 1.0);
+        assert_eq!(rows[1].features[0], 1.0);
+        assert_eq!(rows[2].features[0], 1.0);
+        assert_eq!(rows[2].features[1], 103.0);
+    }
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let mut stream =
+            SensorFaultStream::all_channels(Counting { row: 1 }, SensorFault::Dropout, 0.0, 0)
+                .unwrap();
+        let record = stream.next().unwrap();
+        assert_eq!(record.features, vec![1.0, 101.0, -1.0]);
+    }
+
+    #[test]
+    fn fault_streams_are_seed_deterministic() {
+        let collect = |seed: u64| -> Vec<StreamRecord> {
+            SensorFaultStream::all_channels(Counting { row: 0 }, SensorFault::Dropout, 0.5, seed)
+                .unwrap()
+                .take(32)
+                .collect()
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let make = |channels: Vec<usize>, p: f64| {
+            SensorFaultStream::new(Counting { row: 0 }, SensorFault::Dropout, channels, p, 0)
+        };
+        assert!(make(vec![], 0.5).is_err());
+        assert!(make(vec![3], 0.5).is_err());
+        assert!(make(vec![0], 1.5).is_err());
+        assert!(SensorFaultStream::new(
+            Counting { row: 0 },
+            SensorFault::Saturation {
+                level: f64::INFINITY
+            },
+            vec![0],
+            0.5,
+            0,
+        )
+        .is_err());
+    }
+}

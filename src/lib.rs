@@ -31,6 +31,11 @@
 //!   back automatically on regression — with an auditable
 //!   [`closed_loop::LoopEvent`] log. See the "Closed-loop serving" section
 //!   of `ARCHITECTURE.md` and `examples/closed_loop.rs`.
+//! * [`threat`] ([`hmd_threat`]) — adversarial threat corpora layered over
+//!   the streaming generators: mimicry blending, gradual drift schedules,
+//!   sensor dropout/saturation/stuck-at faults, and perturbation-bounded
+//!   black-box evasion search against fitted detectors. See the "Threat
+//!   corpora & robustness evaluation" section of `ARCHITECTURE.md`.
 //!
 //! `ARCHITECTURE.md` at the repository root maps the whole workspace — the
 //! layer diagram, each crate's derived-state invariants, and where to add a
@@ -199,6 +204,7 @@ pub use hmd_ml as ml;
 // descriptive alias instead of its package name.
 pub use hmd_loop as closed_loop;
 pub use hmd_serve as serve;
+pub use hmd_threat as threat;
 
 /// Commonly used items, re-exported for convenient glob imports in examples
 /// and applications.
@@ -210,7 +216,9 @@ pub mod prelude {
     };
     pub use hmd_core::estimator::{EnsembleUncertaintyEstimator, UncertainPrediction};
     pub use hmd_core::platt_baseline::PlattHmd;
-    pub use hmd_core::rejection::{threshold_grid, F1Curve, RejectionCurve, RejectionPolicy};
+    pub use hmd_core::rejection::{
+        threshold_grid, EscalationBreakdown, F1Curve, RejectionCurve, RejectionPolicy,
+    };
     pub use hmd_core::trusted::{
         Decision, DetectionReport, TrustedHmd, TrustedHmdBuilder, UntrustedHmd,
     };
